@@ -1,0 +1,69 @@
+package nbody
+
+import (
+	"math"
+	"math/rand"
+
+	"nbody/internal/core"
+	"nbody/internal/geom"
+)
+
+// AccuracyEstimate predicts the accuracy of an Anderson configuration.
+type AccuracyEstimate struct {
+	K int // integration points the configuration resolves to
+	M int // Legendre truncation
+	// WorstPairError is the measured worst relative error of a single
+	// well-separated box-to-point interaction (the per-interaction bound
+	// of the paper's Table 2).
+	WorstPairError float64
+	// ExpectedDigits is the per-interaction digit count -log10(err);
+	// whole-system errors relative to the mean field are typically one to
+	// two digits better through statistical averaging over boxes.
+	ExpectedDigits float64
+}
+
+// EstimateAccuracy probes a configuration's error without running a solve:
+// it builds an outer approximation of a random unit-box charge cluster and
+// measures its worst relative error over random two-separation evaluation
+// geometries, the same experiment as the paper's Table 2.
+func EstimateAccuracy(opts Options) (AccuracyEstimate, error) {
+	cfg, err := opts.coreConfig(3).Normalized()
+	if err != nil {
+		return AccuracyEstimate{}, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	var pos []geom.Vec3
+	var q []float64
+	for i := 0; i < 30; i++ {
+		pos = append(pos, geom.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5})
+		q = append(q, rng.Float64())
+	}
+	truePot := func(x geom.Vec3) float64 {
+		var v float64
+		for j := range pos {
+			v += q[j] / x.Dist(pos[j])
+		}
+		return v
+	}
+	rule := cfg.Rule
+	a := cfg.RadiusRatio
+	g := make([]float64, rule.K())
+	for i, s := range rule.Points {
+		g[i] = truePot(s.Scale(a))
+	}
+	worst := 0.0
+	for trial := 0; trial < 200; trial++ {
+		dir := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Normalize()
+		x := dir.Scale(float64(cfg.Separation+1) - a + (a+0.9)*rng.Float64())
+		got := core.EvalOuter(rule, cfg.M, geom.Vec3{}, a, g, x)
+		if rel := math.Abs(got-truePot(x)) / math.Abs(truePot(x)); rel > worst {
+			worst = rel
+		}
+	}
+	return AccuracyEstimate{
+		K:              rule.K(),
+		M:              cfg.M,
+		WorstPairError: worst,
+		ExpectedDigits: -math.Log10(worst),
+	}, nil
+}

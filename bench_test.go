@@ -1,0 +1,309 @@
+package nbody
+
+// The repository benchmark harness: one benchmark per table and figure of
+// the paper, plus the ablations DESIGN.md calls out. Each benchmark runs
+// the corresponding experiment generator (internal/experiments) and reports
+// its headline quantities as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every artifact. cmd/tables prints the same experiments as
+// full paper-style tables.
+
+import (
+	"testing"
+
+	"nbody/internal/core"
+	"nbody/internal/dpfmm"
+	"nbody/internal/experiments"
+)
+
+func BenchmarkTable1EfficiencyAndCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(experiments.Table1Config{N: 8192, Nodes: 8, Depth: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*r.Rows[0].Report.Efficiency(), "effK12_%")
+			b.ReportMetric(100*r.Rows[1].Report.Efficiency(), "effK72_%")
+			b.ReportMetric(r.Rows[0].Report.CyclesPerParticle(), "cycles/particle_K12")
+			b.ReportMetric(r.Rows[1].Report.CyclesPerParticle(), "cycles/particle_K72")
+		}
+	}
+}
+
+func BenchmarkTable2ErrorDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2()
+		if i == 0 {
+			first := r.Rows[0]
+			last := r.Rows[len(r.Rows)-1]
+			b.ReportMetric(first.WorstErr/last.WorstErr, "errRatio_D2_to_D15")
+			for _, row := range r.Rows {
+				if row.D == 5 {
+					b.ReportMetric(row.WorstErr, "worstErr_D5")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable3LeafEfficiencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*r.Rows[0].InclCopyAndMask, "K12_inclCopyMask_%")
+			b.ReportMetric(100*r.Rows[1].InclCopyAndMask, "K72_inclCopyMask_%")
+		}
+	}
+}
+
+func BenchmarkTable4GhostStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				b.ReportMetric(float64(row.NonLocalBoxes), "boxes_"+row.Strategy.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7MultigridEmbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(16, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			best := 0.0
+			for _, p := range r.Points {
+				if p.Speedup > best {
+					best = p.Speedup
+				}
+			}
+			b.ReportMetric(best, "bestSpeedup_x")
+		}
+	}
+}
+
+func BenchmarkFigure8ParentChildPrecompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := r.Points[len(r.Points)-1]
+			b.ReportMetric(p.Replicate/p.ComputeAll, "replicateOverComputeAll")
+		}
+	}
+}
+
+func BenchmarkFigure9T2Precompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9([]int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := r.Points[0]
+			b.ReportMetric(p.ComputeAll/p.Replicate, "speedup_x")
+		}
+	}
+}
+
+func BenchmarkScalingN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ClaimScalingN(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first := r.Points[0].Report.CyclesPerParticle()
+			last := r.Points[len(r.Points)-1].Report.CyclesPerParticle()
+			b.ReportMetric(last/first, "cyclesPerParticleRatio_64xN")
+		}
+	}
+}
+
+func BenchmarkScalingP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ClaimScalingP(8192, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first := r.Points[0].Report.ModelSeconds()
+			last := r.Points[len(r.Points)-1].Report.ModelSeconds()
+			b.ReportMetric(first/last, "speedup_16xP")
+		}
+	}
+}
+
+func BenchmarkOptimalDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ClaimOptimalDepth(8192)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Points[0].Near)/float64(r.Points[0].Flops), "nearFraction_depth3")
+		}
+	}
+}
+
+func BenchmarkAblationSupernodes(b *testing.B) {
+	sys := NewUniformSystem(4096, 21)
+	for _, sup := range []bool{false, true} {
+		name := "plain"
+		if sup {
+			name = "supernodes"
+		}
+		b.Run(name, func(b *testing.B) {
+			a, err := NewAnderson(sys.BoundingBox(), Options{Degree: 7, Depth: 3, Supernodes: sup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Potentials(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(a.Stats().T2Count)/float64(b.N), "T2count")
+		})
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	sys := NewUniformSystem(8192, 22)
+	for _, disable := range []bool{true, false} {
+		name := "gemv"
+		if !disable {
+			name = "aggregated"
+		}
+		b.Run(name, func(b *testing.B) {
+			a, err := NewAnderson(sys.BoundingBox(), Options{Accuracy: Fast, Depth: 3, DisableAggregation: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Potentials(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := a.Stats()
+			hier := st.Time[core.PhaseUpward] + st.Time[core.PhaseDownward]
+			if hier > 0 {
+				b.ReportMetric(float64(st.TraversalFlops())/hier.Seconds()/1e6, "traversal_Mflops")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSeparation(b *testing.B) {
+	sys := NewUniformSystem(4096, 23)
+	for _, cfg := range []struct {
+		name  string
+		sep   int
+		ratio float64
+	}{
+		{"d1", 1, 0.95},
+		{"d2", 2, 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			a, err := NewAnderson(sys.BoundingBox(), Options{
+				Accuracy: Fast, Depth: 3, Separation: cfg.sep, RadiusRatio: cfg.ratio,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Potentials(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolvers(b *testing.B) {
+	sys := NewUniformSystem(16384, 24)
+	box := sys.BoundingBox()
+	solvers := []Solver{
+		mustAnderson(b, box, Options{Accuracy: Fast}),
+		NewBarnesHut(box, 0.6),
+		NewDirect(),
+	}
+	for _, s := range solvers {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Potentials(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.Len())*float64(b.N)/b.Elapsed().Seconds(), "particles/s")
+		})
+	}
+}
+
+func mustAnderson(b *testing.B, box Box, opts Options) *Anderson {
+	b.Helper()
+	a, err := NewAnderson(box, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func BenchmarkDataParallelSolve(b *testing.B) {
+	sys := NewUniformSystem(8192, 25)
+	for _, strat := range []dpfmm.GhostStrategy{dpfmm.DirectAliased, dpfmm.LinearizedAliased} {
+		b.Run(strat.String(), func(b *testing.B) {
+			d, err := NewDataParallel(8, sys.BoundingBox(), Options{Accuracy: Fast, Depth: 3}, strat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Potentials(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := d.Report("bench", sys.Len())
+			b.ReportMetric(100*r.Efficiency(), "modelEff_%")
+			b.ReportMetric(100*r.CommFraction(), "modelComm_%")
+		})
+	}
+}
+
+func BenchmarkAnderson2D(b *testing.B) {
+	const n = 8192
+	sys := NewUniformSystem(n, 26)
+	pos := make([]Vec2, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = Vec2{X: sys.Positions[i].X, Y: sys.Positions[i].Y}
+		q[i] = sys.Charges[i]
+	}
+	a, err := NewAnderson2D(Box2D{Center: Vec2{X: 0.5, Y: 0.5}, Side: 1.001}, Options2D{Depth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Potentials(pos, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command nbody solves one N-body potential problem and reports the timing
+// breakdown, accuracy and (for the data-parallel solver) the paper's
+// efficiency metrics.
+//
+//	nbody -n 100000 -solver anderson -accuracy fast
+//	nbody -n 32768 -solver dp -nodes 16 -depth 4
+//	nbody -n 20000 -solver bh -theta 0.5 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"nbody"
+	"nbody/internal/dpfmm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nbody: ")
+	var (
+		n        = flag.Int("n", 32768, "number of particles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dist     = flag.String("dist", "uniform", "distribution: uniform|plummer|neutral")
+		solver   = flag.String("solver", "anderson", "solver: anderson|bh|direct|dp")
+		accuracy = flag.String("accuracy", "fast", "anderson preset: fast|balanced|accurate")
+		depth    = flag.Int("depth", 0, "hierarchy depth (0 = auto)")
+		theta    = flag.Float64("theta", 0.6, "Barnes-Hut opening angle")
+		nodes    = flag.Int("nodes", 16, "simulated nodes for -solver dp")
+		strategy = flag.String("strategy", "linearized-aliased",
+			"dp ghost strategy: direct-unaliased|linearized-unaliased|direct-aliased|linearized-aliased")
+		super = flag.Bool("supernodes", false, "enable supernodes (anderson)")
+		check = flag.Bool("check", false, "compare against the O(N^2) direct sum")
+	)
+	flag.Parse()
+
+	var sys *nbody.System
+	switch *dist {
+	case "uniform":
+		sys = nbody.NewUniformSystem(*n, *seed)
+	case "plummer":
+		sys = nbody.NewPlummerSystem(*n, *seed)
+	case "neutral":
+		sys = nbody.NewNeutralSystem(*n, *seed)
+	default:
+		log.Fatalf("unknown distribution %q", *dist)
+	}
+	box := sys.BoundingBox()
+
+	var acc nbody.Accuracy
+	switch *accuracy {
+	case "fast":
+		acc = nbody.Fast
+	case "balanced":
+		acc = nbody.Balanced
+	case "accurate":
+		acc = nbody.Accurate
+	default:
+		log.Fatalf("unknown accuracy %q", *accuracy)
+	}
+	opts := nbody.Options{Accuracy: acc, Depth: *depth, Supernodes: *super}
+
+	var (
+		s   nbody.Solver
+		err error
+	)
+	switch *solver {
+	case "anderson":
+		s, err = nbody.NewAnderson(box, opts)
+	case "bh":
+		s = nbody.NewBarnesHut(box, *theta)
+	case "direct":
+		s = nbody.NewDirect()
+	case "dp":
+		if opts.Depth == 0 {
+			opts.Depth = 4
+		}
+		strat, ok := map[string]dpfmm.GhostStrategy{
+			"direct-unaliased":     dpfmm.DirectUnaliased,
+			"linearized-unaliased": dpfmm.LinearizedUnaliased,
+			"direct-aliased":       dpfmm.DirectAliased,
+			"linearized-aliased":   dpfmm.LinearizedAliased,
+		}[*strategy]
+		if !ok {
+			log.Fatalf("unknown strategy %q", *strategy)
+		}
+		s, err = nbody.NewDataParallel(*nodes, box, opts, strat)
+	default:
+		log.Fatalf("unknown solver %q", *solver)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	phi, err := s.Potentials(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("solver=%s N=%d dist=%s wall=%v\n", s.Name(), sys.Len(), *dist, wall.Round(time.Millisecond))
+
+	switch sv := s.(type) {
+	case *nbody.Anderson:
+		fmt.Printf("depth=%d\n%s", sv.Depth(), sv.Stats())
+	case *nbody.DataParallel:
+		r := sv.Report("dp", sys.Len())
+		fmt.Printf("model: eff=%.1f%% cycles/particle=%.0f comm=%.1f%% model-seconds=%.3f\n",
+			100*r.Efficiency(), r.CyclesPerParticle(), 100*r.CommFraction(), r.ModelSeconds())
+	case *nbody.BarnesHut:
+		fmt.Printf("cell interactions=%d particle interactions=%d\n",
+			sv.LastStats.CellInteractions, sv.LastStats.ParticleInteractions)
+	}
+
+	if *check {
+		want, _ := nbody.NewDirect().Potentials(sys)
+		var rms, mean float64
+		for i := range phi {
+			d := phi[i] - want[i]
+			rms += d * d
+			mean += math.Abs(want[i])
+		}
+		rms = math.Sqrt(rms / float64(len(phi)))
+		mean /= float64(len(phi))
+		fmt.Printf("error relative to mean |phi|: %.3e (%.1f digits)\n", rms/mean, -math.Log10(rms/mean))
+	}
+}

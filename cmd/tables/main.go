@@ -1,0 +1,104 @@
+// Command tables regenerates the data tables and figures of Hu & Johnsson
+// SC'96 on the simulated data-parallel machine, printing measured values
+// alongside the paper's reported ones. Run with no flags to regenerate
+// everything at laptop scale, or select individual artifacts:
+//
+//	tables -table 4            # one table (1-4)
+//	tables -figure 7           # one figure (7-9)
+//	tables -claim accuracy     # accuracy | scaling-n | scaling-p | depth |
+//	                           # supernodes | aggregation
+//	tables -nodes 64 -n 131072 # scale the machine / problem up
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nbody/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure = flag.Int("figure", 0, "regenerate one figure (7-9)")
+		claim  = flag.String("claim", "", "check one claim: accuracy|scaling-n|scaling-p|depth|supernodes|aggregation|memory|reshape|load-balance")
+		nodes  = flag.Int("nodes", 0, "simulated machine nodes (0 = per-experiment default)")
+		n      = flag.Int("n", 0, "particles (0 = per-experiment default)")
+		depth  = flag.Int("depth", 0, "hierarchy depth (0 = per-experiment default)")
+	)
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && *claim == ""
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		r, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(r.String())
+	}
+
+	if all || *table == 1 {
+		run("table 1", func() (fmt.Stringer, error) {
+			return experiments.Table1(experiments.Table1Config{N: *n, Nodes: *nodes, Depth: *depth})
+		})
+	}
+	if all || *table == 2 {
+		run("table 2", func() (fmt.Stringer, error) { return experiments.Table2(), nil })
+	}
+	if all || *table == 3 {
+		run("table 3", func() (fmt.Stringer, error) { return experiments.Table3(*nodes, *depth) })
+	}
+	if all || *table == 4 {
+		run("table 4", func() (fmt.Stringer, error) { return experiments.Table4(*nodes, *depth) })
+	}
+	if all || *figure == 7 {
+		run("figure 7", func() (fmt.Stringer, error) { return experiments.Figure7(*nodes, *depth) })
+	}
+	if all || *figure == 8 {
+		run("figure 8", func() (fmt.Stringer, error) { return experiments.Figure8(*nodes) })
+	}
+	if all || *figure == 9 {
+		run("figure 9", func() (fmt.Stringer, error) {
+			if *nodes != 0 {
+				return experiments.Figure9([]int{*nodes})
+			}
+			return experiments.Figure9(nil)
+		})
+	}
+	runClaim := func(name string) {
+		switch name {
+		case "accuracy":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimAccuracy(*n) })
+		case "scaling-n":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimScalingN(*nodes) })
+		case "scaling-p":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimScalingP(*n, *depth) })
+		case "depth":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimOptimalDepth(*n) })
+		case "supernodes":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimSupernodes(*n) })
+		case "aggregation":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimAggregation(*n) })
+		case "memory":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimMemory() })
+		case "reshape":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimReshape(*n) })
+		case "load-balance":
+			run(name, func() (fmt.Stringer, error) { return experiments.ClaimLoadBalance(*n) })
+		default:
+			fmt.Fprintf(os.Stderr, "unknown claim %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if all {
+		for _, c := range []string{"accuracy", "scaling-n", "scaling-p", "depth", "supernodes", "aggregation", "memory", "reshape", "load-balance"} {
+			runClaim(c)
+		}
+	} else if *claim != "" {
+		runClaim(*claim)
+	}
+}

@@ -1,0 +1,66 @@
+package nbody_test
+
+import (
+	"fmt"
+	"math"
+
+	"nbody"
+)
+
+// The basic workflow: generate a system, build a solver, compute
+// potentials.
+func ExampleNewAnderson() {
+	sys := nbody.NewUniformSystem(5000, 1)
+	solver, err := nbody.NewAnderson(sys.BoundingBox(), nbody.Options{Accuracy: nbody.Fast})
+	if err != nil {
+		panic(err)
+	}
+	phi, err := solver.Potentials(sys)
+	if err != nil {
+		panic(err)
+	}
+	// Compare one particle against the exact sum.
+	var exact float64
+	for j, p := range sys.Positions {
+		if j != 0 {
+			exact += sys.Charges[j] / p.Dist(sys.Positions[0])
+		}
+	}
+	fmt.Printf("relative error below 1%%: %v\n", math.Abs(phi[0]-exact)/exact < 0.01)
+	// Output:
+	// relative error below 1%: true
+}
+
+// Time integration with the symplectic leapfrog helper.
+func ExampleSimulation() {
+	sys := nbody.NewPlummerSystem(500, 2)
+	box := sys.BoundingBox()
+	box.Side *= 1.2
+	solver, err := nbody.NewAnderson(box, nbody.Options{Accuracy: nbody.Fast, Depth: 3})
+	if err != nil {
+		panic(err)
+	}
+	sim, err := nbody.NewSimulation(sys, nil, solver, 1e-5)
+	if err != nil {
+		panic(err)
+	}
+	_, _, e0 := sim.Energy()
+	if err := sim.Step(3); err != nil {
+		panic(err)
+	}
+	_, _, e1 := sim.Energy()
+	fmt.Printf("energy drift below 1e-4: %v\n", math.Abs(e1-e0) < 1e-4*math.Abs(e0))
+	// Output:
+	// energy drift below 1e-4: true
+}
+
+// Predicting a configuration's accuracy before solving.
+func ExampleEstimateAccuracy() {
+	est, err := nbody.EstimateAccuracy(nbody.Options{Accuracy: nbody.Fast})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("K=%d, at least 1.5 digits: %v\n", est.K, est.ExpectedDigits >= 1.5)
+	// Output:
+	// K=12, at least 1.5 digits: true
+}

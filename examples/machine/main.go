@@ -1,0 +1,55 @@
+// Machine: run the same problem on simulated CM-5E machines of growing
+// size and watch the paper's headline metrics — modeled time falling
+// linearly with nodes, efficiency, communication fraction — plus a
+// comparison of the four interactive-field communication strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nbody"
+	"nbody/internal/dpfmm"
+)
+
+func main() {
+	const n = 16384
+	sys := nbody.NewUniformSystem(n, 5)
+	box := sys.BoundingBox()
+	opts := nbody.Options{Accuracy: nbody.Fast, Depth: 4}
+
+	fmt.Printf("N=%d, depth 4, K=12; scaling the simulated machine\n\n", n)
+	fmt.Printf("%6s %14s %10s %10s %18s\n", "nodes", "model seconds", "eff", "comm", "host wall")
+	for _, nodes := range []int{4, 16, 64} {
+		dpSolver, err := nbody.NewDataParallel(nodes, box, opts, dpfmm.LinearizedAliased)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := dpSolver.Potentials(sys); err != nil {
+			log.Fatal(err)
+		}
+		r := dpSolver.Report("scale", n)
+		fmt.Printf("%6d %14.4f %9.1f%% %9.1f%% %18v\n",
+			nodes, r.ModelSeconds(), 100*r.Efficiency(), 100*r.CommFraction(),
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("\ninteractive-field strategies (16 nodes):\n")
+	fmt.Printf("%-24s %14s %10s\n", "strategy", "model seconds", "comm")
+	for _, strat := range []dpfmm.GhostStrategy{
+		dpfmm.DirectUnaliased, dpfmm.LinearizedUnaliased,
+		dpfmm.DirectAliased, dpfmm.LinearizedAliased,
+	} {
+		dpSolver, err := nbody.NewDataParallel(16, box, opts, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dpSolver.Potentials(sys); err != nil {
+			log.Fatal(err)
+		}
+		r := dpSolver.Report("strategy", n)
+		fmt.Printf("%-24s %14.4f %9.1f%%\n", strat, r.ModelSeconds(), 100*r.CommFraction())
+	}
+}

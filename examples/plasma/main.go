@@ -1,0 +1,68 @@
+// Plasma: a charge-neutral cube of +1/-1 charges (plasma-physics workload).
+// Sweeps the accuracy presets of Anderson's method against the direct sum,
+// showing the paper's accuracy/time trade-off (Table 2 in miniature), then
+// compares with Barnes-Hut.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"nbody"
+)
+
+func relError(got, want []float64) float64 {
+	var rms, mean float64
+	for i := range got {
+		d := got[i] - want[i]
+		rms += d * d
+		mean += math.Abs(want[i])
+	}
+	return math.Sqrt(rms/float64(len(got))) / (mean / float64(len(got)))
+}
+
+func main() {
+	const n = 8000
+	sys := nbody.NewNeutralSystem(n, 11)
+	box := sys.BoundingBox()
+
+	fmt.Printf("charge-neutral cube, N=%d, total charge %.0f\n\n", n, sys.TotalCharge())
+
+	start := time.Now()
+	exact, _ := nbody.NewDirect().Potentials(sys)
+	fmt.Printf("%-22s %10v %14s\n", "direct O(N^2)", time.Since(start).Round(time.Millisecond), "(reference)")
+
+	for _, cfg := range []struct {
+		name string
+		acc  nbody.Accuracy
+	}{
+		{"anderson fast (D=5)", nbody.Fast},
+		{"anderson balanced", nbody.Balanced},
+		{"anderson accurate", nbody.Accurate},
+	} {
+		solver, err := nbody.NewAnderson(box, nbody.Options{Accuracy: cfg.acc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		phi, err := solver.Potentials(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10v   err=%.2e (%.1f digits)\n",
+			cfg.name, time.Since(start).Round(time.Millisecond),
+			relError(phi, exact), -math.Log10(relError(phi, exact)))
+	}
+
+	bhSolver := nbody.NewBarnesHut(box, 0.5)
+	start = time.Now()
+	phi, err := bhSolver.Potentials(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10v   err=%.2e (%.1f digits)\n",
+		"barnes-hut theta=0.5", time.Since(start).Round(time.Millisecond),
+		relError(phi, exact), -math.Log10(relError(phi, exact)))
+}

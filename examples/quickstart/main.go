@@ -1,0 +1,53 @@
+// Quickstart: compute the potential of 20,000 uniformly distributed charges
+// with Anderson's O(N) method and verify a sample against the direct sum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"nbody"
+)
+
+func main() {
+	sys := nbody.NewUniformSystem(20000, 42)
+
+	solver, err := nbody.NewAnderson(sys.BoundingBox(), nbody.Options{Accuracy: nbody.Fast})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	phi, err := solver.Potentials(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Anderson O(N): %d potentials in %v (hierarchy depth %d)\n",
+		len(phi), time.Since(start).Round(time.Millisecond), solver.Depth())
+
+	// Spot-check ten particles against the exact sum.
+	var worst float64
+	for i := 0; i < 10; i++ {
+		j := i * len(phi) / 10
+		var exact float64
+		for k, p := range sys.Positions {
+			if k != j {
+				exact += sys.Charges[k] / p.Dist(sys.Positions[j])
+			}
+		}
+		rel := math.Abs(phi[j]-exact) / exact
+		if rel > worst {
+			worst = rel
+		}
+	}
+	fmt.Printf("worst spot-check relative error: %.2e\n", worst)
+
+	// Total electrostatic energy U = (1/2) sum q_i phi_i.
+	var u float64
+	for i := range phi {
+		u += sys.Charges[i] * phi[i]
+	}
+	fmt.Printf("potential energy: %.6g\n", u/2)
+}

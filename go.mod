@@ -1,0 +1,3 @@
+module nbody
+
+go 1.22

@@ -1,0 +1,103 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MultiGemm computes Cs[i] += A * Bs[i] for every instance i: the CMSSL
+// "multiple instance matrix-matrix multiplication" of Section 3.3.3, where
+// the same translation matrix acts on many aggregated potential blocks.
+// Instances run serially; use ParallelMultiGemm to spread them over cores.
+func MultiGemm(a Matrix, bs, cs []Matrix) {
+	if len(bs) != len(cs) {
+		panic("blas: MultiGemm instance count mismatch")
+	}
+	for i := range bs {
+		Dgemm(a, bs[i], cs[i])
+	}
+}
+
+// ParallelMultiGemm is MultiGemm with instances distributed over min(GOMAXPROCS,
+// len(bs)) goroutines. Instances must write disjoint C matrices, which the
+// aggregation schemes in this repository guarantee by construction.
+func ParallelMultiGemm(a Matrix, bs, cs []Matrix) {
+	if len(bs) != len(cs) {
+		panic("blas: ParallelMultiGemm instance count mismatch")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	if workers <= 1 {
+		MultiGemm(a, bs, cs)
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(bs) {
+					return
+				}
+				Dgemm(a, bs[i], cs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GemvBatch applies y[i] += A * x[i] over parallel slices-of-vectors. It is
+// the unaggregated (level-2) reference against which the aggregation
+// benchmarks compare.
+func GemvBatch(a Matrix, xs, ys [][]float64) {
+	if len(xs) != len(ys) {
+		panic("blas: GemvBatch length mismatch")
+	}
+	for i := range xs {
+		Dgemv(a, xs[i], ys[i])
+	}
+}
+
+// Parallel runs fn(i) for i in [0, n) over the available cores. It is the
+// generic work-sharing driver used by the shared-memory solvers. fn must be
+// safe to call concurrently for distinct i.
+func Parallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Contiguous chunking keeps each worker on a contiguous index range,
+	// which matters for the cache behaviour of box-array sweeps.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

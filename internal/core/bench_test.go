@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nbody/internal/geom"
+	"nbody/internal/sphere"
+	"nbody/internal/tree"
+)
+
+func BenchmarkEvalOuterK12(b *testing.B) { benchEvalOuter(b, sphere.Icosahedron(), 3) }
+func BenchmarkEvalOuterK72(b *testing.B) { benchEvalOuter(b, sphere.Product(6, 12), 6) }
+
+func benchEvalOuter(b *testing.B, rule *sphere.Rule, m int) {
+	rng := rand.New(rand.NewSource(1))
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	x := geom.Vec3{X: 3.1, Y: -2.2, Z: 1.7}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += EvalOuter(rule, m, geom.Vec3{}, 1.1, g, x)
+	}
+	_ = sink
+}
+
+func BenchmarkEvalInnerGradK12(b *testing.B) {
+	rule := sphere.Icosahedron()
+	rng := rand.New(rand.NewSource(2))
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	x := geom.Vec3{X: 0.3, Y: -0.2, Z: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalInnerGrad(rule, 3, geom.Vec3{}, 1.1, g, x)
+	}
+}
+
+func BenchmarkTranslationSetK12(b *testing.B) {
+	cfg, _ := Config{Degree: 5, Depth: 3}.Normalized()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewTranslationSet(cfg)
+	}
+}
+
+func BenchmarkSolveK12Depth4(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pos, q := uniformParticles(rng, 32768)
+	s, err := NewSolver(unitBox(), Config{Degree: 5, Depth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Potentials(pos, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(32768*b.N)/b.Elapsed().Seconds(), "particles/s")
+}
+
+func BenchmarkSolveSupernodesK32Depth4(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pos, q := uniformParticles(rng, 32768)
+	s, err := NewSolver(unitBox(), Config{Degree: 7, Depth: 4, Supernodes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Potentials(pos, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(32768*b.N)/b.Elapsed().Seconds(), "particles/s")
+}
+
+func BenchmarkPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pos, _ := uniformParticles(rng, 100000)
+	h, err := tree.NewHierarchy(unitBox(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPartition(h, pos)
+	}
+}

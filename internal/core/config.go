@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/sphere"
+)
+
+// Config selects the parameters of Anderson's method (the paper's Table 2
+// knobs plus the implementation toggles studied in Section 3).
+type Config struct {
+	// Degree is the integration order D. A sphere rule exact to this degree
+	// is chosen automatically unless Rule is set.
+	Degree int
+
+	// Rule overrides the integration rule (optional).
+	Rule *sphere.Rule
+
+	// M is the Legendre-series truncation of the Poisson kernels. Zero
+	// selects the calibrated default ceil(D/2): the probe experiments in
+	// the package tests show the error floor of a degree-D rule is reached
+	// near that truncation, matching Anderson's M ~ D/2 guidance.
+	M int
+
+	// RadiusRatio is the outer/inner sphere radius in units of the box
+	// side. Zero selects the calibrated default 1.1. The ratio must exceed
+	// sqrt(3)/2 (the circumscribed-sphere ratio 0.866) for the parent-child
+	// translations and interior evaluations to be geometrically valid.
+	RadiusRatio float64
+
+	// Depth is the hierarchy depth h (leaf level). Required, >= 2.
+	Depth int
+
+	// Separation is the near-field separation d; zero selects the paper's
+	// default of 2 ("two separation assumed unless otherwise stated").
+	Separation int
+
+	// Supernodes enables the supernode decomposition of the interactive
+	// field (875 -> 189 effective translations for d = 2, Section 2.3).
+	Supernodes bool
+
+	// DisableAggregation turns off the BLAS-3 aggregation of translations
+	// and applies them as per-box matrix-vector products instead; used by
+	// the ablation benchmarks of Section 3.3.3.
+	DisableAggregation bool
+}
+
+// DefaultRadiusRatio is the calibrated sphere-radius / box-side default.
+const DefaultRadiusRatio = 1.1
+
+// minRadiusRatio is the geometric validity bound sqrt(3)/2.
+const minRadiusRatio = Sqrt3Over2
+
+// Normalized fills defaults and validates, returning the effective
+// parameters. Exported for the packages (dpfmm, benchmarks) that build on
+// the same configuration.
+func (c Config) Normalized() (Config, error) { return c.normalize() }
+
+// normalize fills defaults and validates, returning the effective
+// parameters.
+func (c Config) normalize() (Config, error) {
+	if c.Rule == nil {
+		if c.Degree < 1 {
+			return c, fmt.Errorf("core: config needs Degree >= 1 or an explicit Rule")
+		}
+		c.Rule = sphere.ForDegree(c.Degree)
+	}
+	if c.Degree == 0 {
+		c.Degree = c.Rule.Degree
+	}
+	if c.M == 0 {
+		c.M = (c.Degree + 1) / 2
+	}
+	if c.M < 1 {
+		return c, fmt.Errorf("core: M = %d < 1", c.M)
+	}
+	if c.RadiusRatio == 0 {
+		c.RadiusRatio = DefaultRadiusRatio
+	}
+	if c.RadiusRatio <= minRadiusRatio {
+		return c, fmt.Errorf("core: RadiusRatio %g <= sqrt(3)/2; spheres would not enclose their boxes",
+			c.RadiusRatio)
+	}
+	if c.Separation == 0 {
+		c.Separation = 2
+	}
+	if c.Separation < 1 {
+		return c, fmt.Errorf("core: Separation %d < 1", c.Separation)
+	}
+	if c.Supernodes && c.Separation != 2 {
+		return c, fmt.Errorf("core: supernodes implemented for separation 2 only (got %d)", c.Separation)
+	}
+	if c.Depth < 2 {
+		return c, fmt.Errorf("core: Depth %d < 2", c.Depth)
+	}
+	// The outer kernel must converge in the worst T1 geometry:
+	// parent point distance >= 2*ratio - sqrt(3)/2 child radii.
+	if 2*c.RadiusRatio-minRadiusRatio <= c.RadiusRatio {
+		return c, fmt.Errorf("core: RadiusRatio %g too small for parent-child translations", c.RadiusRatio)
+	}
+	// And in the worst T2 geometry: nearest interactive box center at
+	// (Separation+1) sides, target inner point at ratio sides inward.
+	if float64(c.Separation+1)-c.RadiusRatio <= c.RadiusRatio {
+		return c, fmt.Errorf("core: RadiusRatio %g too large for separation %d", c.RadiusRatio, c.Separation)
+	}
+	return c, nil
+}
+
+// OptimalDepth returns the hierarchy depth that balances tree traversal
+// against near-field direct evaluation for n uniform particles (Section
+// 2.3: the number of leaf boxes should be proportional to N). The constant
+// targets roughly q particles per leaf box.
+func OptimalDepth(n int, perBox float64) int {
+	if n < 1 {
+		return 2
+	}
+	if perBox <= 0 {
+		perBox = 32
+	}
+	d := int(math.Round(math.Log(float64(n)/perBox) / math.Log(8)))
+	if d < 2 {
+		d = 2
+	}
+	return d
+}

@@ -1,0 +1,155 @@
+// Package core implements Anderson's hierarchical O(N) N-body method — the
+// "fast multipole method without multipoles" (Anderson, SIAM J. Sci. Comput.
+// 1992) — as described in Section 2 of Hu & Johnsson SC'96. The
+// computational elements are outer and inner *sphere approximations*: a
+// harmonic field is represented by its values g_i at the K integration
+// points of a sphere rule, and evaluated elsewhere by a discretized Poisson
+// integral whose kernel is a truncated Legendre series:
+//
+//	outer (field exterior to the sphere, eq. (2) of the paper):
+//	    Psi(x) ~ sum_i w_i g_i sum_{n=0..M} (2n+1) (a/r)^(n+1) P_n(s_i . x^)
+//	inner (field interior to the sphere, eq. (3), interior Poisson form):
+//	    Psi(x) ~ sum_i w_i g_i sum_{n=0..M} (2n+1) (r/a)^n     P_n(s_i . x^)
+//
+// where r = |x - center| and x^ is the unit vector toward x. All three
+// translation operators (T1: child outer -> parent outer; T2: outer ->
+// inner; T3: parent inner -> child inner) are evaluations of these kernels
+// at the destination sphere's integration points, which is what makes them
+// representable as K x K matrices (Section 3.3.3).
+package core
+
+import (
+	"nbody/internal/geom"
+	"nbody/internal/sphere"
+)
+
+// outerKernel returns sum_{n=0..M} (2n+1) (a/r)^(n+1) P_n(u) with u the
+// cosine between the integration direction and the evaluation direction.
+// It requires r > 0; the caller guarantees evaluation strictly outside the
+// sphere for the truncated series to be a convergent approximation.
+func outerKernel(m int, a, r, u float64) float64 {
+	rho := a / r
+	pm1, p := 1.0, u
+	// n = 0 term: 1 * rho * P_0.
+	s := rho
+	pow := rho
+	for n := 1; n <= m; n++ {
+		pow *= rho
+		s += float64(2*n+1) * pow * p
+		pm1, p = p, (float64(2*n+1)*u*p-float64(n)*pm1)/float64(n+1)
+	}
+	return s
+}
+
+// innerKernel returns sum_{n=0..M} (2n+1) (r/a)^n P_n(u).
+func innerKernel(m int, a, r, u float64) float64 {
+	rho := r / a
+	pm1, p := 1.0, u
+	s := 1.0
+	pow := 1.0
+	for n := 1; n <= m; n++ {
+		pow *= rho
+		s += float64(2*n+1) * pow * p
+		pm1, p = p, (float64(2*n+1)*u*p-float64(n)*pm1)/float64(n+1)
+	}
+	return s
+}
+
+// EvalOuter evaluates an outer sphere approximation (center, radius a,
+// values g at the points of rule, truncation m) at the point x, which must
+// lie strictly outside the sphere.
+func EvalOuter(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float64, x geom.Vec3) float64 {
+	d := x.Sub(center)
+	r := d.Norm()
+	xh := d.Scale(1 / r)
+	var s float64
+	for i, si := range rule.Points {
+		s += rule.W[i] * g[i] * outerKernel(m, a, r, si.Dot(xh))
+	}
+	return s
+}
+
+// EvalInner evaluates an inner sphere approximation at a point x inside the
+// sphere. At the exact center only the n = 0 term survives (the mean of g).
+func EvalInner(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float64, x geom.Vec3) float64 {
+	d := x.Sub(center)
+	r := d.Norm()
+	if r == 0 {
+		var s float64
+		for i := range rule.Points {
+			s += rule.W[i] * g[i]
+		}
+		return s
+	}
+	xh := d.Scale(1 / r)
+	var s float64
+	for i, si := range rule.Points {
+		s += rule.W[i] * g[i] * innerKernel(m, a, r, si.Dot(xh))
+	}
+	return s
+}
+
+// EvalInnerGrad evaluates an inner approximation and its gradient at x.
+// The gradient is what force (acceleration) evaluation uses:
+//
+//	grad Psi = sum_i w_i g_i sum_n (2n+1)/a^n *
+//	           [ n r^(n-1) P_n(u) x^ + r^(n-1) P'_n(u) (s_i - u x^) ]
+//
+// with u = s_i . x^. Both bracketed terms carry r^(n-1), so the n >= 1
+// series is finite as r -> 0; at r = 0 only n = 1 survives, giving
+// grad Psi = (3/a) sum_i w_i g_i s_i.
+func EvalInnerGrad(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float64, x geom.Vec3) (float64, geom.Vec3) {
+	d := x.Sub(center)
+	r := d.Norm()
+	if r < 1e-300 {
+		var val float64
+		var grad geom.Vec3
+		for i, si := range rule.Points {
+			wg := rule.W[i] * g[i]
+			val += wg
+			if m >= 1 {
+				grad = grad.Add(si.Scale(3 * wg / a))
+			}
+		}
+		return val, grad
+	}
+	xh := d.Scale(1 / r)
+	p := make([]float64, m+1)
+	dp := make([]float64, m+1)
+	var val float64
+	var grad geom.Vec3
+	for i, si := range rule.Points {
+		u := si.Dot(xh)
+		if u > 1 {
+			u = 1
+		} else if u < -1 {
+			u = -1
+		}
+		sphere.LegendreAllDeriv(u, p, dp)
+		wg := rule.W[i] * g[i]
+		// n = 0 term contributes only to the value.
+		val += wg
+		radial := 0.0   // sum_n (2n+1) n (r/a)^n P_n(u) / r
+		angular := 0.0  // sum_n (2n+1) (r/a)^n P'_n(u) / r
+		powOverA := 1.0 // (r/a)^n
+		for n := 1; n <= m; n++ {
+			powOverA *= r / a
+			c := float64(2*n+1) * powOverA
+			val += wg * c * p[n]
+			radial += c * float64(n) * p[n] / r
+			angular += c * dp[n] / r
+		}
+		grad = grad.Add(xh.Scale(wg * radial))
+		grad = grad.Add(si.Sub(xh.Scale(u)).Scale(wg * angular))
+	}
+	return val, grad
+}
+
+// FlopsKernel is the nominal floating-point cost charged per kernel term,
+// used by the analytic flop accounting (one multiply-add for the power, one
+// for the recurrence step, one for the accumulate — the same 6-flop/term
+// convention either way).
+const FlopsKernel = 6
+
+// Sqrt3Over2 is the circumscribed-sphere radius of a unit cube (side 1).
+const Sqrt3Over2 = 0.8660254037844386

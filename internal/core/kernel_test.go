@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nbody/internal/geom"
+	"nbody/internal/sphere"
+)
+
+// makeOuter builds the outer approximation of a set of charges inside the
+// sphere by directly sampling their potential at the sphere points — the
+// leaf-level construction of the method (step 1).
+func makeOuter(rule *sphere.Rule, center geom.Vec3, a float64, pos []geom.Vec3, q []float64) []float64 {
+	g := make([]float64, rule.K())
+	for i, s := range rule.Points {
+		p := center.Add(s.Scale(a))
+		var v float64
+		for j := range pos {
+			v += q[j] / p.Dist(pos[j])
+		}
+		g[i] = v
+	}
+	return g
+}
+
+func truePotential(x geom.Vec3, pos []geom.Vec3, q []float64) float64 {
+	var v float64
+	for j := range pos {
+		v += q[j] / x.Dist(pos[j])
+	}
+	return v
+}
+
+func TestOuterKernelReproducesPointChargeFarField(t *testing.T) {
+	// Charges in a unit box at the origin, outer sphere of radius ~ box
+	// circumradius, evaluation at two-separation distance (3 box sides).
+	rng := rand.New(rand.NewSource(41))
+	var pos []geom.Vec3
+	var q []float64
+	for i := 0; i < 20; i++ {
+		pos = append(pos, geom.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5})
+		q = append(q, rng.Float64())
+	}
+	cases := []struct {
+		rule *sphere.Rule
+		m    int
+		tol  float64
+	}{
+		{sphere.Icosahedron(), 2, 2e-2},
+		{sphere.Product(4, 8), 3, 4e-3},
+		{sphere.Product(6, 12), 5, 1e-3},
+		{sphere.Product(8, 15), 7, 2e-4},
+	}
+	for _, c := range cases {
+		a := 1.0 // sphere of radius 1 encloses the unit box (circumradius 0.866)
+		g := makeOuter(c.rule, geom.Vec3{}, a, pos, q)
+		worst := 0.0
+		for trial := 0; trial < 50; trial++ {
+			dir := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Normalize()
+			x := dir.Scale(2.2 + rng.Float64()) // between 2.2 and 3.2 away
+			got := EvalOuter(c.rule, c.m, geom.Vec3{}, a, g, x)
+			want := truePotential(x, pos, q)
+			rel := math.Abs(got-want) / math.Abs(want)
+			if rel > worst {
+				worst = rel
+			}
+		}
+		if worst > c.tol {
+			t.Errorf("%v M=%d: worst relative error %.2e > %.2e", c.rule, c.m, worst, c.tol)
+		}
+	}
+}
+
+func TestOuterErrorDecreasesWithOrder(t *testing.T) {
+	// The paper's Table 2 shape: higher integration order D gives faster
+	// error decay. Measure the error of the outer approximation at a fixed
+	// two-separation distance as D grows; it must be monotone decreasing
+	// (up to a generous factor).
+	rng := rand.New(rand.NewSource(42))
+	var pos []geom.Vec3
+	var q []float64
+	for i := 0; i < 30; i++ {
+		pos = append(pos, geom.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5})
+		q = append(q, rng.Float64())
+	}
+	x := geom.Vec3{X: 2.1, Y: 1.3, Z: -1.7}
+	want := truePotential(x, pos, q)
+	var errs []float64
+	for _, d := range []int{3, 5, 9, 13} {
+		rule := sphere.ForDegree(d)
+		m := rule.DefaultM()
+		g := makeOuter(rule, geom.Vec3{}, 1.0, pos, q)
+		got := EvalOuter(rule, m, geom.Vec3{}, 1.0, g, x)
+		errs = append(errs, math.Abs(got-want)/math.Abs(want))
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1]*1.5 {
+			t.Errorf("error not decreasing with order: %v", errs)
+		}
+	}
+	if errs[len(errs)-1] > 5e-4 {
+		t.Errorf("highest-order error %.2e too large", errs[len(errs)-1])
+	}
+}
+
+func TestInnerKernelReproducesFarSourceField(t *testing.T) {
+	// Build an inner approximation of the field due to far charges by
+	// sampling their true potential at the sphere points, then evaluate
+	// inside: this is what T2+T3 ultimately deliver at the leaves.
+	rng := rand.New(rand.NewSource(43))
+	var pos []geom.Vec3
+	var q []float64
+	for i := 0; i < 20; i++ {
+		dir := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Normalize()
+		pos = append(pos, dir.Scale(3+2*rng.Float64()))
+		q = append(q, rng.Float64()*2-1)
+	}
+	rule := sphere.Product(6, 12)
+	m := 5
+	a := 1.0
+	g := make([]float64, rule.K())
+	for i, s := range rule.Points {
+		g[i] = truePotential(s.Scale(a), pos, q)
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := geom.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}.Scale(1.0)
+		got := EvalInner(rule, m, geom.Vec3{}, a, g, x)
+		want := truePotential(x, pos, q)
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 2e-3 {
+			t.Errorf("inner eval at %v: rel error %.2e", x, rel)
+		}
+	}
+}
+
+func TestEvalInnerAtCenterIsMean(t *testing.T) {
+	rule := sphere.Icosahedron()
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = float64(i)
+	}
+	got := EvalInner(rule, 2, geom.Vec3{X: 1, Y: 2, Z: 3}, 0.5, g, geom.Vec3{X: 1, Y: 2, Z: 3})
+	want := 0.0
+	for i := range g {
+		want += rule.W[i] * g[i]
+	}
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("center value %g, want %g", got, want)
+	}
+}
+
+func TestEvalInnerGradMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	rule := sphere.Product(5, 10)
+	m := 4
+	a := 1.3
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	c := geom.Vec3{X: 0.2, Y: -0.1, Z: 0.05}
+	h := 1e-6
+	for trial := 0; trial < 20; trial++ {
+		x := c.Add(geom.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}.Scale(1.2))
+		val, grad := EvalInnerGrad(rule, m, c, a, g, x)
+		if want := EvalInner(rule, m, c, a, g, x); math.Abs(val-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("value mismatch: %g vs %g", val, want)
+		}
+		fd := geom.Vec3{
+			X: (EvalInner(rule, m, c, a, g, x.Add(geom.Vec3{X: h})) - EvalInner(rule, m, c, a, g, x.Sub(geom.Vec3{X: h}))) / (2 * h),
+			Y: (EvalInner(rule, m, c, a, g, x.Add(geom.Vec3{Y: h})) - EvalInner(rule, m, c, a, g, x.Sub(geom.Vec3{Y: h}))) / (2 * h),
+			Z: (EvalInner(rule, m, c, a, g, x.Add(geom.Vec3{Z: h})) - EvalInner(rule, m, c, a, g, x.Sub(geom.Vec3{Z: h}))) / (2 * h),
+		}
+		if grad.Sub(fd).Norm() > 1e-5*(1+fd.Norm()) {
+			t.Errorf("grad %v vs FD %v at %v", grad, fd, x)
+		}
+	}
+}
+
+func TestEvalInnerGradAtCenter(t *testing.T) {
+	rule := sphere.Icosahedron()
+	rng := rand.New(rand.NewSource(45))
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	a := 0.7
+	c := geom.Vec3{}
+	_, grad := EvalInnerGrad(rule, 2, c, a, g, c)
+	// Compare with the limit from a tiny offset.
+	_, gradEps := EvalInnerGrad(rule, 2, c, a, g, geom.Vec3{X: 1e-9})
+	if grad.Sub(gradEps).Norm() > 1e-6*(1+grad.Norm()) {
+		t.Errorf("center grad %v vs limit %v", grad, gradEps)
+	}
+}
+
+func TestKernelHarmonicity(t *testing.T) {
+	// An outer approximation must be (numerically) harmonic outside the
+	// sphere: its Laplacian, by 6-point finite difference, should vanish to
+	// discretization accuracy.
+	rng := rand.New(rand.NewSource(46))
+	rule := sphere.Product(4, 8)
+	m := 3
+	g := make([]float64, rule.K())
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	a := 1.0
+	x := geom.Vec3{X: 2, Y: 0.5, Z: -1}
+	h := 1e-3
+	f := func(p geom.Vec3) float64 { return EvalOuter(rule, m, geom.Vec3{}, a, g, p) }
+	lap := (f(x.Add(geom.Vec3{X: h})) + f(x.Sub(geom.Vec3{X: h})) +
+		f(x.Add(geom.Vec3{Y: h})) + f(x.Sub(geom.Vec3{Y: h})) +
+		f(x.Add(geom.Vec3{Z: h})) + f(x.Sub(geom.Vec3{Z: h})) - 6*f(x)) / (h * h)
+	if math.Abs(lap) > 1e-4 {
+		t.Errorf("Laplacian of outer approx = %g, want ~0", lap)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nbody/internal/direct"
+	"nbody/internal/geom"
+)
+
+func TestPotentialsAtMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	pos, q := uniformParticles(rng, 1500)
+	s, err := NewSolver(unitBox(), Config{Degree: 9, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]geom.Vec3, 200)
+	for i := range targets {
+		targets[i] = geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	phi, err := s.PotentialsAt(pos, q, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rms, mean float64
+	for i, x := range targets {
+		want := direct.PotentialAt(x, pos, q)
+		d := phi[i] - want
+		rms += d * d
+		mean += math.Abs(want)
+	}
+	rms = math.Sqrt(rms / float64(len(targets)))
+	mean /= float64(len(targets))
+	if rms/mean > 1e-4 {
+		t.Errorf("probe error %.2e", rms/mean)
+	}
+}
+
+func TestPotentialsAtValidation(t *testing.T) {
+	s, err := NewSolver(unitBox(), Config{Degree: 5, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PotentialsAt(make([]geom.Vec3, 2), make([]float64, 1), nil); err == nil {
+		t.Error("mismatched sources accepted")
+	}
+	ok := []geom.Vec3{{X: 0.5, Y: 0.5, Z: 0.5}}
+	if _, err := s.PotentialsAt([]geom.Vec3{{X: 7, Y: 0, Z: 0}}, []float64{1}, ok); err == nil {
+		t.Error("out-of-domain source accepted")
+	}
+	if _, err := s.PotentialsAt(ok, []float64{1}, []geom.Vec3{{X: -3, Y: 0, Z: 0}}); err == nil {
+		t.Error("out-of-domain target accepted")
+	}
+}
+
+func TestPotentialsAtEmptyTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	pos, q := uniformParticles(rng, 100)
+	s, err := NewSolver(unitBox(), Config{Degree: 5, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := s.PotentialsAt(pos, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phi) != 0 {
+		t.Errorf("expected empty result, got %d", len(phi))
+	}
+}

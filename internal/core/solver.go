@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+
+	"nbody/internal/blas"
+	"nbody/internal/direct"
+	"nbody/internal/geom"
+	"nbody/internal/tree"
+)
+
+// Solver runs Anderson's method on a fixed hierarchy with precomputed
+// translation matrices. It is the shared-memory reference implementation of
+// the paper's algorithm (Section 2.2); the data-parallel machine expression
+// lives in internal/dpfmm and is validated against this one.
+type Solver struct {
+	cfg  Config
+	hier tree.Hierarchy
+	ts   *TranslationSet
+
+	interactive [8][]geom.Coord3
+	supers      [8]tree.Supernodes
+	nearOff     []geom.Coord3
+
+	stats Stats
+}
+
+// NewSolver builds a solver for the domain root with the given
+// configuration. Translation-matrix precomputation happens here (the
+// paper's setup phase) and is charged to PhaseSetup.
+func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
+	ncfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	h, err := tree.NewHierarchy(root, ncfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{cfg: ncfg, hier: h}
+	s.stats.timePhase(PhaseSetup, func() {
+		s.ts = NewTranslationSet(ncfg)
+	})
+	nmat := int64(2*8) + int64(len(tree.UnionInteractiveOffsets(ncfg.Separation)))
+	s.stats.Flops[PhaseSetup] = nmat * TranslationMatrixFlops(s.ts.K, ncfg.M)
+	for oct := 0; oct < 8; oct++ {
+		s.interactive[oct] = tree.InteractiveOffsets(ncfg.Separation, oct)
+		if ncfg.Supernodes {
+			s.supers[oct] = tree.SupernodeDecomposition(ncfg.Separation, oct)
+		}
+	}
+	s.nearOff = tree.NearOffsets(ncfg.Separation)
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Hierarchy returns the solver's spatial hierarchy.
+func (s *Solver) Hierarchy() tree.Hierarchy { return s.hier }
+
+// Translations exposes the precomputed matrices (used by the data-parallel
+// layer and by benchmarks).
+func (s *Solver) Translations() *TranslationSet { return s.ts }
+
+// Stats returns the accumulated instrumentation of all solves so far.
+func (s *Solver) Stats() *Stats { return &s.stats }
+
+// Potentials computes the potential phi_i = sum_{j != i} q_j / |x_i - x_j|
+// at every particle.
+func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
+	phi, _, err := s.run(pos, q, false)
+	return phi, err
+}
+
+// Accelerations computes both potentials and the field a_i = +grad phi
+// (the (y-x)/r^3 convention of package direct).
+func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.Vec3, error) {
+	return s.run(pos, q, true)
+}
+
+func (s *Solver) run(pos []geom.Vec3, q []float64, wantForce bool) ([]float64, []geom.Vec3, error) {
+	if len(pos) != len(q) {
+		return nil, nil, fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
+	}
+	for _, p := range pos {
+		if !s.hier.Root.Contains(p) && !inClosedBox(s.hier.Root, p) {
+			return nil, nil, fmt.Errorf("core: particle %v outside domain %v", p, s.hier.Root)
+		}
+	}
+	st := &s.stats
+	st.Particles = len(pos)
+	st.Depth = s.cfg.Depth
+	st.K = s.ts.K
+
+	var part *Partition
+	st.timePhase(PhaseSetup, func() { part = NewPartition(s.hier, pos) })
+
+	depth := s.cfg.Depth
+	k := s.ts.K
+	far := make([][]float64, depth+1)
+	loc := make([][]float64, depth+1)
+	for l := 2; l <= depth; l++ {
+		far[l] = make([]float64, s.hier.NumBoxes(l)*k)
+		loc[l] = make([]float64, s.hier.NumBoxes(l)*k)
+	}
+
+	st.timePhase(PhaseLeafOuter, func() { s.leafOuter(part, pos, q, far[depth]) })
+	st.timePhase(PhaseUpward, func() { s.upward(far) })
+	st.timePhase(PhaseDownward, func() { s.downward(far, loc) })
+
+	phi := make([]float64, len(pos))
+	var acc []geom.Vec3
+	if wantForce {
+		acc = make([]geom.Vec3, len(pos))
+	}
+	st.timePhase(PhaseEvalLocal, func() { s.evalLocal(part, pos, loc[depth], phi, acc) })
+	st.timePhase(PhaseNear, func() { s.nearField(part, pos, q, phi, acc) })
+	return phi, acc, nil
+}
+
+// inClosedBox reports whether p lies in the CLOSED root box. Points exactly
+// on the upper faces are accepted (BoxOf3 clamps them into the boundary
+// leaf).
+func inClosedBox(b geom.Box3, p geom.Vec3) bool {
+	h := b.Side / 2
+	inRange := func(v, c float64) bool { return v >= c-h && v <= c+h }
+	return inRange(p.X, b.Center.X) && inRange(p.Y, b.Center.Y) && inRange(p.Z, b.Center.Z)
+}
+
+// leafOuter is step 1: sample the potential of each leaf box's particles at
+// its outer-sphere integration points.
+func (s *Solver) leafOuter(part *Partition, pos []geom.Vec3, q []float64, g []float64) {
+	n := part.Grid
+	k := s.ts.K
+	rule := s.cfg.Rule
+	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
+	var pairs int64
+	blas.Parallel(n*n*n, func(b int) {
+		c := geom.CoordFromIndex(b, n)
+		idx := part.Box(c)
+		if len(idx) == 0 {
+			return
+		}
+		center := s.hier.Box(s.cfg.Depth, c).Center
+		out := g[b*k : (b+1)*k]
+		for i, si := range rule.Points {
+			p := center.Add(si.Scale(a))
+			var v float64
+			for _, j := range idx {
+				v += q[j] / p.Dist(pos[j])
+			}
+			out[i] = v
+		}
+	})
+	for b := 0; b+1 < len(part.Start); b++ {
+		pairs += int64(part.Start[b+1]-part.Start[b]) * int64(k)
+	}
+	s.stats.Flops[PhaseLeafOuter] += pairs * direct.FlopsPerPair
+}
+
+// upward is step 2: combine child outer approximations into parents with T1,
+// from level depth-1 down to level 2.
+func (s *Solver) upward(far [][]float64) {
+	k := s.ts.K
+	for l := s.cfg.Depth - 1; l >= 2; l-- {
+		np := s.hier.GridSize(l)
+		nc := s.hier.GridSize(l + 1)
+		src, dst := far[l+1], far[l]
+		for oct := 0; oct < 8; oct++ {
+			t := s.ts.T1[oct]
+			if s.cfg.DisableAggregation {
+				blas.Parallel(np*np*np, func(pb int) {
+					pc := geom.CoordFromIndex(pb, np)
+					cb := pc.Child(oct).Index(nc)
+					blas.Dgemv(t, src[cb*k:(cb+1)*k], dst[pb*k:(pb+1)*k])
+				})
+			} else {
+				srcIdx := make([]int32, np*np*np)
+				dstIdx := make([]int32, np*np*np)
+				for pb := 0; pb < np*np*np; pb++ {
+					pc := geom.CoordFromIndex(pb, np)
+					srcIdx[pb] = int32(pc.Child(oct).Index(nc))
+					dstIdx[pb] = int32(pb)
+				}
+				aggregatedApply(t, src, dst, srcIdx, dstIdx, k)
+			}
+			s.stats.Flops[PhaseUpward] += blas.DgemmFlops(k, k, np*np*np)
+		}
+	}
+}
+
+// downward is step 3: for each level l = 2..depth, shift the parent's local
+// field in with T3 and convert the interactive field with T2 (optionally
+// through supernodes).
+func (s *Solver) downward(far, loc [][]float64) {
+	for l := 2; l <= s.cfg.Depth; l++ {
+		if l > 2 {
+			s.applyT3(loc[l-1], loc[l], l)
+		}
+		if s.cfg.Supernodes && l > 2 {
+			s.applyT2Supernodes(far[l-1], far[l], loc[l], l)
+		} else {
+			s.applyT2(far[l], loc[l], l)
+		}
+	}
+}
+
+// applyT3 shifts parent inner approximations to children.
+func (s *Solver) applyT3(parentLoc, childLoc []float64, l int) {
+	k := s.ts.K
+	np := s.hier.GridSize(l - 1)
+	nc := s.hier.GridSize(l)
+	for oct := 0; oct < 8; oct++ {
+		t := s.ts.T3[oct]
+		if s.cfg.DisableAggregation {
+			blas.Parallel(np*np*np, func(pb int) {
+				pc := geom.CoordFromIndex(pb, np)
+				cb := pc.Child(oct).Index(nc)
+				blas.Dgemv(t, parentLoc[pb*k:(pb+1)*k], childLoc[cb*k:(cb+1)*k])
+			})
+		} else {
+			srcIdx := make([]int32, np*np*np)
+			dstIdx := make([]int32, np*np*np)
+			for pb := 0; pb < np*np*np; pb++ {
+				pc := geom.CoordFromIndex(pb, np)
+				srcIdx[pb] = int32(pb)
+				dstIdx[pb] = int32(pc.Child(oct).Index(nc))
+			}
+			aggregatedApply(t, parentLoc, childLoc, srcIdx, dstIdx, k)
+		}
+		s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, np*np*np)
+	}
+}
+
+// applyT2 converts interactive-field outer approximations to local fields
+// at one level, without supernodes.
+func (s *Solver) applyT2(far, loc []float64, l int) {
+	k := s.ts.K
+	n := s.hier.GridSize(l)
+	if s.cfg.DisableAggregation {
+		var count int64
+		blas.Parallel(n*n*n, func(b int) {
+			c := geom.CoordFromIndex(b, n)
+			dst := loc[b*k : (b+1)*k]
+			var local int64
+			for _, o := range s.interactive[c.Octant()] {
+				sc := c.Add(o)
+				if !sc.In(n) {
+					continue
+				}
+				sb := sc.Index(n)
+				blas.Dgemv(s.ts.T2For(o), far[sb*k:(sb+1)*k], dst)
+				local++
+			}
+			atomicAdd64(&count, local)
+		})
+		s.stats.T2Count += count
+		s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
+		return
+	}
+	// Aggregated: one gemm per (octant, offset) over all in-range targets.
+	for oct := 0; oct < 8; oct++ {
+		for _, o := range s.interactive[oct] {
+			srcIdx, dstIdx := offsetPairs(n, oct, o)
+			if len(srcIdx) == 0 {
+				continue
+			}
+			aggregatedApply(s.ts.T2For(o), far, loc, srcIdx, dstIdx, k)
+			s.stats.T2Count += int64(len(srcIdx))
+			s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, len(srcIdx))
+		}
+	}
+}
+
+// applyT2Supernodes converts the interactive field using the supernode
+// decomposition: parent-granularity conversions for fully-covered parents,
+// child-granularity for the remainder.
+func (s *Solver) applyT2Supernodes(parentFar, far, loc []float64, l int) {
+	k := s.ts.K
+	n := s.hier.GridSize(l)
+	np := s.hier.GridSize(l - 1)
+	var count int64
+	blas.Parallel(n*n*n, func(b int) {
+		c := geom.CoordFromIndex(b, n)
+		oct := c.Octant()
+		sn := s.supers[oct]
+		dst := loc[b*k : (b+1)*k]
+		pc := c.Parent()
+		var local int64
+		for _, t := range sn.ParentOffsets {
+			sp := pc.Add(t)
+			if !sp.In(np) {
+				continue
+			}
+			sb := sp.Index(np)
+			blas.Dgemv(s.ts.T2Super[oct][t], parentFar[sb*k:(sb+1)*k], dst)
+			local++
+		}
+		for _, o := range sn.ChildOffsets {
+			sc := c.Add(o)
+			if !sc.In(n) {
+				continue
+			}
+			sb := sc.Index(n)
+			blas.Dgemv(s.ts.T2For(o), far[sb*k:(sb+1)*k], dst)
+			local++
+		}
+		atomicAdd64(&count, local)
+	})
+	s.stats.T2Count += count
+	s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
+}
+
+// evalLocal is step 4: evaluate each leaf's inner approximation at its
+// particles.
+func (s *Solver) evalLocal(part *Partition, pos []geom.Vec3, loc []float64, phi []float64, acc []geom.Vec3) {
+	n := part.Grid
+	k := s.ts.K
+	rule := s.cfg.Rule
+	m := s.cfg.M
+	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
+	blas.Parallel(n*n*n, func(b int) {
+		c := geom.CoordFromIndex(b, n)
+		idx := part.Box(c)
+		if len(idx) == 0 {
+			return
+		}
+		center := s.hier.Box(s.cfg.Depth, c).Center
+		g := loc[b*k : (b+1)*k]
+		for _, j := range idx {
+			if acc != nil {
+				v, gr := EvalInnerGrad(rule, m, center, a, g, pos[j])
+				phi[j] = v
+				acc[j] = acc[j].Add(gr)
+			} else {
+				phi[j] = EvalInner(rule, m, center, a, g, pos[j])
+			}
+		}
+	})
+	s.stats.Flops[PhaseEvalLocal] += int64(len(pos)) * int64(k) * int64(m+1) * FlopsKernel
+}
+
+// nearField is step 5: direct evaluation against the d-separation near
+// field, one-sided per target box so boxes parallelize without races.
+func (s *Solver) nearField(part *Partition, pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) {
+	n := part.Grid
+	var pairs int64
+	blas.Parallel(n*n*n, func(b int) {
+		c := geom.CoordFromIndex(b, n)
+		tIdx := part.Box(c)
+		if len(tIdx) == 0 {
+			return
+		}
+		tPos := make([]geom.Vec3, len(tIdx))
+		tPhi := make([]float64, len(tIdx))
+		tAcc := make([]geom.Vec3, len(tIdx))
+		tQ := make([]float64, len(tIdx))
+		for i, j := range tIdx {
+			tPos[i] = pos[j]
+			tQ[i] = q[j]
+		}
+		var local int64
+		for _, o := range s.nearOff {
+			sc := c.Add(o)
+			if !sc.In(n) {
+				continue
+			}
+			sIdx := part.Box(sc)
+			if len(sIdx) == 0 {
+				continue
+			}
+			sPos := make([]geom.Vec3, len(sIdx))
+			sQ := make([]float64, len(sIdx))
+			for i, j := range sIdx {
+				sPos[i] = pos[j]
+				sQ[i] = q[j]
+			}
+			direct.Accumulate(tPos, tPhi, sPos, sQ)
+			if acc != nil {
+				direct.AccumulateForce(tPos, tAcc, sPos, sQ)
+			}
+			local += int64(len(tIdx)) * int64(len(sIdx))
+		}
+		// Intra-box interactions (symmetric, race-free: own box only).
+		withinPhi(tPos, tQ, tPhi)
+		if acc != nil {
+			direct.WithinForce(tPos, tQ, tAcc)
+		}
+		local += int64(len(tIdx)) * int64(len(tIdx)-1) / 2
+		for i, j := range tIdx {
+			phi[j] += tPhi[i]
+			if acc != nil {
+				acc[j] = acc[j].Add(tAcc[i])
+			}
+		}
+		atomicAdd64(&pairs, local)
+	})
+	s.stats.NearPairs += pairs
+	s.stats.Flops[PhaseNear] += pairs * direct.FlopsPerPair
+}
+
+func withinPhi(pos []geom.Vec3, q, phi []float64) {
+	direct.Within(pos, q, phi)
+}
+
+// offsetPairs enumerates (source, target) box index pairs for targets of a
+// given octant and a fixed interactive offset, clipped to the grid.
+func offsetPairs(n, oct int, o geom.Coord3) (srcIdx, dstIdx []int32) {
+	// Target coordinates have fixed parity: x ≡ oct&1 (mod 2), etc.
+	lox, hix := clipRange(n, o.X)
+	loy, hiy := clipRange(n, o.Y)
+	loz, hiz := clipRange(n, o.Z)
+	alignUp := func(lo, parity int) int {
+		if lo%2 != parity {
+			lo++
+		}
+		return lo
+	}
+	lox = alignUp(lox, oct&1)
+	loy = alignUp(loy, oct>>1&1)
+	loz = alignUp(loz, oct>>2&1)
+	for z := loz; z <= hiz; z += 2 {
+		for y := loy; y <= hiy; y += 2 {
+			for x := lox; x <= hix; x += 2 {
+				t := geom.Coord3{X: x, Y: y, Z: z}
+				srcIdx = append(srcIdx, int32(t.Add(o).Index(n)))
+				dstIdx = append(dstIdx, int32(t.Index(n)))
+			}
+		}
+	}
+	return srcIdx, dstIdx
+}
+
+// clipRange returns the target-coordinate range for which target+offset
+// stays inside [0, n).
+func clipRange(n, off int) (lo, hi int) {
+	lo, hi = 0, n-1
+	if off < 0 {
+		lo = -off
+	} else {
+		hi = n - 1 - off
+	}
+	return lo, hi
+}

@@ -1,0 +1,54 @@
+package direct
+
+import (
+	"math"
+
+	"nbody/internal/geom"
+)
+
+// Accumulate adds to phiA the potentials induced at posA by the source set
+// (posB, qB) without touching the sources: the one-sided box-box kernel
+// used when target boxes are processed in parallel and Newton's-third-law
+// write-back would race.
+func Accumulate(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) {
+	for i := range posA {
+		pi := posA[i]
+		var s float64
+		for j := range posB {
+			s += qB[j] / pi.Dist(posB[j])
+		}
+		phiA[i] += s
+	}
+}
+
+// AccumulateForce adds to accA the field induced at posA by the source set,
+// with the (y-x)/r^3 convention of Accelerations.
+func AccumulateForce(posA []geom.Vec3, accA []geom.Vec3, posB []geom.Vec3, qB []float64) {
+	for i := range posA {
+		pi := posA[i]
+		a := accA[i]
+		for j := range posB {
+			d := posB[j].Sub(pi)
+			r2 := d.Norm2()
+			inv := 1 / (r2 * math.Sqrt(r2))
+			a = a.Add(d.Scale(qB[j] * inv))
+		}
+		accA[i] = a
+	}
+}
+
+// WithinForce accumulates the intra-set accelerations (self-interactions
+// excluded) into acc.
+func WithinForce(pos []geom.Vec3, q []float64, acc []geom.Vec3) {
+	for i := range pos {
+		pi := pos[i]
+		for j := i + 1; j < len(pos); j++ {
+			d := pos[j].Sub(pi)
+			r2 := d.Norm2()
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := d.Scale(inv)
+			acc[i] = acc[i].Add(f.Scale(q[j]))
+			acc[j] = acc[j].Sub(f.Scale(q[i]))
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package dp
+
+import "sync/atomic"
+
+// CostModel converts counted events into machine cycles. The defaults are
+// calibrated to the CM-5E figures reported in the paper: 40 MHz VUs with one
+// (multiply-add pipelined) flop per cycle — 160 Mflops/s peak per 4-VU node;
+// matrix-multiplication efficiency rising with K the way the measured
+// 119 Mflops/s/PN (K = 12) and 136 Mflops/s/PN (K = 72) figures do; local
+// copies at 2 cycles per word (the paper charges a K-vector copy 2K cycles);
+// a fat-tree network whose per-word cost dominates large transfers and whose
+// per-operation overhead dominates small ones; and a general send whose
+// address-computation overhead is linear in the array size with a large
+// constant (Section 3.3.2).
+type CostModel struct {
+	ClockMHz      float64 // VU clock; CM-5E: 40
+	FlopsPerCycle float64 // per VU; CM-5E VU: 1
+
+	CopyCyclesPerWord float64 // local memory copy/mask cost
+
+	ShiftLatencyCycles  float64 // per CSHIFT call (software + network startup)
+	ShiftCyclesPerWord  float64 // per word crossing a VU boundary
+	SendOverheadPerWord float64 // general-send address computation, per word of the array
+	SendCyclesPerWord   float64 // per word actually moved between VUs
+	SendLatencyCycles   float64 // per send call
+
+	// Broadcast runs on the CM-5's dedicated control network: a flat
+	// startup, a small per-hop term, and a per-word cost that grows weakly
+	// with the group size. Calibrated so that replicating a K x K matrix
+	// is ~3x (K=12) to ~12x (K=72) faster than computing it, the paper's
+	// measurement, and so that grouped replication saves the factors of
+	// Figure 8.
+	BcastLatencyCycles float64 // flat startup
+	BcastHopCycles     float64 // per log2(group) hop
+	BcastCyclesPerWord float64 // per word
+	BcastWordHopFactor float64 // fractional per-word growth per hop
+
+	// DirectEfficiency is the fraction of peak attained by the near-field
+	// particle-particle kernel (distance + reciprocal square root), and
+	// KernelEfficiency that of the scalar Poisson-kernel evaluations
+	// (particle-box interactions). Both are well below the gemm
+	// efficiencies, as on the CM-5E.
+	DirectEfficiency float64
+	KernelEfficiency float64
+}
+
+// DefaultCostModel returns the CM-5E-calibrated model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ClockMHz:            40,
+		FlopsPerCycle:       1,
+		CopyCyclesPerWord:   2,
+		ShiftLatencyCycles:  3000,
+		ShiftCyclesPerWord:  10,
+		SendOverheadPerWord: 60,
+		SendCyclesPerWord:   12,
+		SendLatencyCycles:   20000,
+		BcastLatencyCycles:  140,
+		BcastHopCycles:      100,
+		BcastCyclesPerWord:  10,
+		BcastWordHopFactor:  0.07,
+		DirectEfficiency:    0.45,
+		KernelEfficiency:    0.35,
+	}
+}
+
+func (c CostModel) normalize() CostModel {
+	if c.ClockMHz == 0 {
+		return DefaultCostModel()
+	}
+	return c
+}
+
+// GemmEfficiency models the fraction of VU peak attained by a K x K by
+// K x n matrix multiplication. Calibrated so K = 12 lands near the paper's
+// 0.74 peak fraction and K = 72 near 0.85.
+func (c CostModel) GemmEfficiency(k int) float64 {
+	return 0.9 * float64(k) / (float64(k) + 4)
+}
+
+// Seconds converts modeled cycles to seconds at the machine clock.
+func (c CostModel) Seconds(cycles float64) float64 { return cycles / (c.ClockMHz * 1e6) }
+
+// Counters accumulates the data-motion events of all primitives. All counts
+// are in 8-byte words (one float64 potential value = one word) except where
+// named otherwise.
+type Counters struct {
+	CShifts       int64 // number of CSHIFT operations issued
+	OffVUWords    int64 // words moved between VUs by shifts
+	LocalWords    int64 // words copied within a VU by shifts and sections
+	SendCalls     int64
+	SendWords     int64 // words routed between VUs by general sends
+	SendLocal     int64 // send words that stayed on-VU
+	BcastCalls    int64
+	BcastWords    int64 // words broadcast (per destination)
+	Flops         int64
+	commCycleBits uint64 // float64 bits, updated atomically
+	copyCycleBits uint64
+}
+
+func (c *Counters) addFlops(f int64) { atomic.AddInt64(&c.Flops, f) }
+
+func (c *Counters) addCommCycles(v float64) { atomicAddFloat(&c.commCycleBits, v) }
+func (c *Counters) addCopyCycles(v float64) { atomicAddFloat(&c.copyCycleBits, v) }
+
+// CommCycles returns the modeled inter-VU communication cycles.
+func (c Counters) CommCycles() float64 { return floatFromBits(c.commCycleBits) }
+
+// CopyCycles returns the modeled local copy cycles.
+func (c Counters) CopyCycles() float64 { return floatFromBits(c.copyCycleBits) }
+
+func (c *Counters) snapshot() Counters {
+	return Counters{
+		CShifts:       atomic.LoadInt64(&c.CShifts),
+		OffVUWords:    atomic.LoadInt64(&c.OffVUWords),
+		LocalWords:    atomic.LoadInt64(&c.LocalWords),
+		SendCalls:     atomic.LoadInt64(&c.SendCalls),
+		SendWords:     atomic.LoadInt64(&c.SendWords),
+		SendLocal:     atomic.LoadInt64(&c.SendLocal),
+		BcastCalls:    atomic.LoadInt64(&c.BcastCalls),
+		BcastWords:    atomic.LoadInt64(&c.BcastWords),
+		Flops:         atomic.LoadInt64(&c.Flops),
+		commCycleBits: atomic.LoadUint64(&c.commCycleBits),
+		copyCycleBits: atomic.LoadUint64(&c.copyCycleBits),
+	}
+}
+
+// Sub returns the difference of two snapshots (after - before).
+func (c Counters) Sub(before Counters) Counters {
+	return Counters{
+		CShifts:       c.CShifts - before.CShifts,
+		OffVUWords:    c.OffVUWords - before.OffVUWords,
+		LocalWords:    c.LocalWords - before.LocalWords,
+		SendCalls:     c.SendCalls - before.SendCalls,
+		SendWords:     c.SendWords - before.SendWords,
+		SendLocal:     c.SendLocal - before.SendLocal,
+		BcastCalls:    c.BcastCalls - before.BcastCalls,
+		BcastWords:    c.BcastWords - before.BcastWords,
+		Flops:         c.Flops - before.Flops,
+		commCycleBits: bitsFromFloat(c.CommCycles() - before.CommCycles()),
+		copyCycleBits: bitsFromFloat(c.CopyCycles() - before.CopyCycles()),
+	}
+}
+
+func atomicAddFloat(bits *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		nw := bitsFromFloat(floatFromBits(old) + v)
+		if atomic.CompareAndSwapUint64(bits, old, nw) {
+			return
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package dp
+
+import "nbody/internal/geom"
+
+// RemapKind selects the mechanism (and therefore the cost) used to move
+// boxes between differently-shaped grids — the subject of Section 3.3.2 and
+// Figure 7.
+type RemapKind int
+
+// The mechanisms.
+const (
+	// RemapSend models the CMF compiler's general run-time send: correct
+	// for any pair of layouts, but its address-computation overhead is
+	// linear in the array size with a large constant, even when no
+	// inter-node data movement occurs.
+	RemapSend RemapKind = iota
+	// RemapAliased models array-aliasing + array-sectioning copies: local
+	// words cost a plain copy; only words whose source and destination VUs
+	// differ pay network cost (no per-word addressing overhead).
+	RemapAliased
+)
+
+// Remap copies nBoxes box vectors from src to dst, with dstOf giving the
+// destination coordinate of each source coordinate produced by the iterator
+// iterate. It returns the number of words that crossed VU boundaries.
+func Remap(kind RemapKind, dst, src *Grid3, iterate func(yield func(sc, dc geom.Coord3))) int64 {
+	var off, local int64
+	iterate(func(sc, dc geom.Coord3) {
+		copy(dst.At(dc), src.At(sc))
+		if src.Layout.VUOf(sc) == dst.Layout.VUOf(dc) && src.NumVUsUsed() == dst.NumVUsUsed() {
+			local += int64(src.Vlen)
+		} else {
+			off += int64(src.Vlen)
+		}
+	})
+	m := src.m
+	c := &m.counters
+	nvu := float64(maxInt(dst.NumVUsUsed(), 1))
+	switch kind {
+	case RemapSend:
+		atomicAdd64(&c.SendCalls, 1)
+		atomicAdd64(&c.SendWords, off)
+		atomicAdd64(&c.SendLocal, local)
+		// The run-time system's send-address computation is linear in the
+		// (destination) ARRAY size, not in the number of elements actually
+		// selected — the overhead Section 3.3.2 and Figure 7 are about.
+		arrayWords := float64(dst.N) * float64(dst.N) * float64(dst.N) * float64(dst.Vlen)
+		c.addCommCycles(m.Cost.SendLatencyCycles + arrayWords*m.Cost.SendOverheadPerWord/nvu +
+			float64(off)*m.Cost.SendCyclesPerWord/nvu)
+		c.addCopyCycles(float64(local) * m.Cost.CopyCyclesPerWord / nvu)
+	default:
+		atomicAdd64(&c.OffVUWords, off)
+		atomicAdd64(&c.LocalWords, local)
+		c.addCommCycles(float64(off) * m.Cost.SendCyclesPerWord / nvu)
+		if off > 0 {
+			c.addCommCycles(m.Cost.ShiftLatencyCycles)
+		}
+		c.addCopyCycles(float64(local) * m.Cost.CopyCyclesPerWord / nvu)
+	}
+	return off
+}
+
+// OctantGather fills dst (a parent-level grid of extent n) with the child
+// vectors of one octant from src (extent 2n): dst[p] = src[child(p, oct)].
+// The embedding of the hierarchy preserves locality, so with at least one
+// parent box per VU this is a pure local copy (the property Section 3.1's
+// embedding is designed for); near the root it degenerates to sends.
+func OctantGather(kind RemapKind, dst, src *Grid3, oct int) int64 {
+	if src.N != 2*dst.N || src.Vlen != dst.Vlen {
+		panic("dp: OctantGather shape mismatch")
+	}
+	return Remap(kind, dst, src, func(yield func(sc, dc geom.Coord3)) {
+		n := dst.N
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					p := geom.Coord3{X: x, Y: y, Z: z}
+					yield(p.Child(oct), p)
+				}
+			}
+		}
+	})
+}
+
+// OctantScatterAdd accumulates src (parent-level extent n) into one octant
+// of dst (extent 2n): dst[child(p, oct)] += src[p]. The movement cost
+// mirrors OctantGather; the addition itself is local arithmetic.
+func OctantScatterAdd(kind RemapKind, dst, src *Grid3, oct int) int64 {
+	if dst.N != 2*src.N || src.Vlen != dst.Vlen {
+		panic("dp: OctantScatterAdd shape mismatch")
+	}
+	tmp := dst.m.NewGrid3(dst.N, dst.Vlen)
+	off := Remap(kind, tmp, src, func(yield func(sc, dc geom.Coord3)) {
+		n := src.N
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					p := geom.Coord3{X: x, Y: y, Z: z}
+					yield(p, p.Child(oct))
+				}
+			}
+		}
+	})
+	// Accumulate only the scattered octant.
+	n := src.N
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				c := geom.Coord3{X: x, Y: y, Z: z}.Child(oct)
+				d := dst.At(c)
+				s := tmp.At(c)
+				for i := range d {
+					d[i] += s[i]
+				}
+			}
+		}
+	}
+	return off
+}

@@ -1,0 +1,100 @@
+package dp
+
+import (
+	"sync/atomic"
+
+	"nbody/internal/geom"
+)
+
+func atomicAdd64(p *int64, v int64) { atomic.AddInt64(p, v) }
+
+// Axis identifies a spatial axis of a Grid3.
+type Axis int
+
+// The three axes. X is the fastest-varying (rightmost) axis, which on the
+// CM addressing uses the lowest-order VU address bits — the axis the paper
+// prefers to shift along (Section 3.3.1).
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// CShift returns a new grid with dst[c] = src[c + s along axis] (circular),
+// the CMF CSHIFT. The returned grid shares the source's layout. Cost: every
+// word is either moved between VUs (those whose source lies in another VU's
+// subgrid) or copied locally; one shift latency is charged per call,
+// regardless of offset, matching the run-time system behavior the paper
+// describes (multi-axis CSHIFTs are sequences of single-axis shifts).
+func (g *Grid3) CShift(axis Axis, s int) *Grid3 {
+	dst := g.m.NewGrid3(g.N, g.Vlen)
+	g.CShiftInto(dst, axis, s)
+	return dst
+}
+
+// CShiftInto is CShift writing into an existing grid of identical shape.
+func (g *Grid3) CShiftInto(dst *Grid3, axis Axis, s int) {
+	if dst.N != g.N || dst.Vlen != g.Vlen {
+		panic("dp: CShiftInto shape mismatch")
+	}
+	n := g.N
+	s = ((s % n) + n) % n
+	sx, sy, sz := g.Layout.Subgrid()
+	// Count boundary crossings per subgrid row along the shifted axis
+	// (translation-invariant across VUs; see the addressing argument in the
+	// package tests).
+	var axisExtent int
+	switch axis {
+	case AxisX:
+		axisExtent = sx
+	case AxisY:
+		axisExtent = sy
+	default:
+		axisExtent = sz
+	}
+	px := n / axisExtent // VU count along this axis
+	cross := 0
+	for l := 0; l < axisExtent; l++ {
+		if q := (l + s) / axisExtent; q%px != 0 {
+			cross++
+		}
+	}
+	totalBoxes := int64(n) * int64(n) * int64(n)
+	offBoxes := totalBoxes * int64(cross) / int64(axisExtent)
+	offWords := offBoxes * int64(g.Vlen)
+	localWords := (totalBoxes - offBoxes) * int64(g.Vlen)
+
+	c := &g.m.counters
+	atomicAdd64(&c.CShifts, 1)
+	g.chargeOffVU(offWords)
+	g.chargeLocal(localWords)
+	c.addCommCycles(g.m.Cost.ShiftLatencyCycles)
+
+	// Move the data: parallel over destination VUs.
+	dst.ForEachBox(func(cd geom.Coord3, v []float64) {
+		sc := cd
+		switch axis {
+		case AxisX:
+			sc.X = (cd.X + s) % n
+		case AxisY:
+			sc.Y = (cd.Y + s) % n
+		default:
+			sc.Z = (cd.Z + s) % n
+		}
+		copy(v, g.At(sc))
+	})
+}
+
+// Add accumulates src into g elementwise (no communication; both grids must
+// share shape and layout).
+func (g *Grid3) Add(src *Grid3) {
+	if src.N != g.N || src.Vlen != g.Vlen {
+		panic("dp: Add shape mismatch")
+	}
+	g.ForEachVU(func(vu int, slab []float64) {
+		s := src.slabs[vu]
+		for i := range slab {
+			slab[i] += s[i]
+		}
+	})
+}

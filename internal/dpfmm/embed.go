@@ -1,0 +1,137 @@
+package dpfmm
+
+import (
+	"fmt"
+
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+// Multigrid is the paper's embedding of the whole hierarchy of far-field
+// potentials into two layers of a 4-D array (Section 3.1, Figure 3): the
+// leaf level fills one layer, and every non-leaf level l = h-i is embedded
+// in the other layer on the strided subgrid with offset 2^(i-1)-1 and
+// stride 2^i along each spatial axis. The embedding preserves locality
+// between a box and its descendants: with at least one box per VU at some
+// level, all the descendants of that box land on the same VU.
+type Multigrid struct {
+	M       *dp.Machine
+	Depth   int
+	Leaf    *dp.Grid3
+	Nonleaf *dp.Grid3
+}
+
+// NewMultigrid allocates the two layers for a hierarchy of the given depth
+// with vlen words per box.
+func NewMultigrid(m *dp.Machine, depth, vlen int) *Multigrid {
+	n := 1 << depth
+	return &Multigrid{
+		M:       m,
+		Depth:   depth,
+		Leaf:    m.NewGrid3(n, vlen),
+		Nonleaf: m.NewGrid3(n, vlen),
+	}
+}
+
+// Slot returns the non-leaf layer position of box c at the given level.
+func (mg *Multigrid) Slot(level int, c geom.Coord3) geom.Coord3 {
+	i := mg.Depth - level
+	if i < 1 {
+		panic("dpfmm: leaf level is stored in the leaf layer")
+	}
+	stride := 1 << i
+	off := stride/2 - 1
+	return geom.Coord3{X: c.X*stride + off, Y: c.Y*stride + off, Z: c.Z*stride + off}
+}
+
+// pivotLevel returns the shallowest level with at least one box per VU —
+// the intermediate level of the paper's two-step scheme.
+func (mg *Multigrid) pivotLevel() int {
+	for l := 0; l <= mg.Depth; l++ {
+		if (1 << (3 * l)) >= mg.M.NumVUs() {
+			return l
+		}
+	}
+	return mg.Depth
+}
+
+// Embed copies a level-sized temporary array into its strided slots of the
+// non-leaf layer. With useTwoStep and a level smaller than the machine, the
+// copy is routed via an intermediate pivot-level array (a small send
+// followed by a local strided copy); otherwise the kind selects between the
+// general send and direct aliased sectioning. Figure 7 compares these.
+func (mg *Multigrid) Embed(kind dp.RemapKind, tmp *dp.Grid3, level int, useTwoStep bool) {
+	mg.remapLevel(kind, tmp, level, useTwoStep, true)
+}
+
+// Extract is the inverse of Embed: fill a level-sized temporary from the
+// non-leaf layer.
+func (mg *Multigrid) Extract(kind dp.RemapKind, tmp *dp.Grid3, level int, useTwoStep bool) {
+	mg.remapLevel(kind, tmp, level, useTwoStep, false)
+}
+
+func (mg *Multigrid) remapLevel(kind dp.RemapKind, tmp *dp.Grid3, level int, useTwoStep, embed bool) {
+	nl := 1 << level
+	if tmp.N != nl {
+		panic(fmt.Sprintf("dpfmm: temporary extent %d != level extent %d", tmp.N, nl))
+	}
+	levelBoxes := func(yield func(sc, dc geom.Coord3)) {
+		for z := 0; z < nl; z++ {
+			for y := 0; y < nl; y++ {
+				for x := 0; x < nl; x++ {
+					c := geom.Coord3{X: x, Y: y, Z: z}
+					s := mg.Slot(level, c)
+					if embed {
+						yield(c, s)
+					} else {
+						yield(s, c)
+					}
+				}
+			}
+		}
+	}
+	lp := mg.pivotLevel()
+	if !useTwoStep || level >= lp {
+		if embed {
+			dp.Remap(kind, mg.Nonleaf, tmp, levelBoxes)
+		} else {
+			dp.Remap(kind, tmp, mg.Nonleaf, levelBoxes)
+		}
+		return
+	}
+	// Two-step: route through a pivot-level array. The pivot coordinate of
+	// a level box is its big-array slot divided by the pivot stride, which
+	// puts it on the same VU as the final slot, making step two local.
+	npv := 1 << lp
+	pivotStride := mg.Nonleaf.N / npv
+	pivotOf := func(c geom.Coord3) geom.Coord3 {
+		s := mg.Slot(level, c)
+		return geom.Coord3{X: s.X / pivotStride, Y: s.Y / pivotStride, Z: s.Z / pivotStride}
+	}
+	mid := mg.M.NewGrid3(npv, tmp.Vlen)
+	if embed {
+		dp.Remap(dp.RemapSend, mid, tmp, func(yield func(sc, dc geom.Coord3)) {
+			forLevel(nl, func(c geom.Coord3) { yield(c, pivotOf(c)) })
+		})
+		dp.Remap(dp.RemapAliased, mg.Nonleaf, mid, func(yield func(sc, dc geom.Coord3)) {
+			forLevel(nl, func(c geom.Coord3) { yield(pivotOf(c), mg.Slot(level, c)) })
+		})
+	} else {
+		dp.Remap(dp.RemapAliased, mid, mg.Nonleaf, func(yield func(sc, dc geom.Coord3)) {
+			forLevel(nl, func(c geom.Coord3) { yield(mg.Slot(level, c), pivotOf(c)) })
+		})
+		dp.Remap(dp.RemapSend, tmp, mid, func(yield func(sc, dc geom.Coord3)) {
+			forLevel(nl, func(c geom.Coord3) { yield(pivotOf(c), c) })
+		})
+	}
+}
+
+func forLevel(n int, fn func(c geom.Coord3)) {
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				fn(geom.Coord3{X: x, Y: y, Z: z})
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package dpfmm
+
+import (
+	"testing"
+
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+func TestMultigridSlotsDisjointAcrossLevels(t *testing.T) {
+	m := newTestMachine(t, 2)
+	mg := NewMultigrid(m, 4, 1)
+	seen := make(map[geom.Coord3]int)
+	for level := 0; level < 4; level++ {
+		n := 1 << level
+		forLevel(n, func(c geom.Coord3) {
+			s := mg.Slot(level, c)
+			if !s.In(mg.Nonleaf.N) {
+				t.Fatalf("level %d box %v slot %v out of range", level, c, s)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("slot %v used by levels %d and %d", s, prev, level)
+			}
+			seen[s] = level
+		})
+	}
+	// Total nonleaf boxes: 1 + 8 + 64 + 512 = 585 of 4096 slots.
+	if len(seen) != 585 {
+		t.Errorf("nonleaf slots used = %d, want 585", len(seen))
+	}
+}
+
+func TestMultigridSlotPanicsOnLeaf(t *testing.T) {
+	m := newTestMachine(t, 2)
+	mg := NewMultigrid(m, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Slot(leaf) should panic")
+		}
+	}()
+	mg.Slot(3, geom.Coord3{})
+}
+
+func TestEmbedExtractRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 2)
+	mg := NewMultigrid(m, 4, 2)
+	for _, twoStep := range []bool{false, true} {
+		for level := 0; level <= 3; level++ {
+			n := 1 << level
+			tmp := m.NewGrid3(n, 2)
+			tmp.ForEachBox(func(c geom.Coord3, v []float64) {
+				v[0] = float64(c.X + 10*c.Y + 100*c.Z + 1000*level)
+				v[1] = -v[0]
+			})
+			mg.Embed(dp.RemapAliased, tmp, level, twoStep)
+			out := m.NewGrid3(n, 2)
+			mg.Extract(dp.RemapAliased, out, level, twoStep)
+			out.ForEachBox(func(c geom.Coord3, v []float64) {
+				want := float64(c.X + 10*c.Y + 100*c.Z + 1000*level)
+				if v[0] != want || v[1] != -want {
+					t.Fatalf("twoStep=%v level %d box %v: %v, want %g", twoStep, level, c, v, want)
+				}
+			})
+		}
+	}
+}
+
+func TestEmbedLocalityAtDeepLevels(t *testing.T) {
+	// With at least one box per VU, the aliased embed must be a pure local
+	// copy (the property the embedding is designed for).
+	m := newTestMachine(t, 2) // 8 VUs
+	mg := NewMultigrid(m, 4, 2)
+	tmp := m.NewGrid3(8, 2) // level 3: 512 boxes over 8 VUs
+	before := m.Counters()
+	mg.Embed(dp.RemapAliased, tmp, 3, false)
+	d := m.Counters().Sub(before)
+	if d.OffVUWords != 0 {
+		t.Errorf("deep-level embed moved %d words off-VU", d.OffVUWords)
+	}
+	if d.LocalWords == 0 {
+		t.Error("deep-level embed recorded no local copies")
+	}
+}
+
+func TestEmbedSendVsTwoStepCost(t *testing.T) {
+	// Figure 7's content: for small levels (fewer boxes than VUs) the
+	// general send is far slower than the two-step scheme.
+	m, err := dp.NewMachine(64, 4, dp.CostModel{}) // 256 VUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := NewMultigrid(m, 5, 4)
+	tmp := m.NewGrid3(2, 4) // level 1: 8 boxes << 256 VUs
+
+	before := m.Counters()
+	mg.Embed(dp.RemapSend, tmp, 1, false)
+	send := m.Counters().Sub(before).CommCycles()
+
+	before = m.Counters()
+	mg.Embed(dp.RemapAliased, tmp, 1, true)
+	c := m.Counters().Sub(before)
+	twoStep := c.CommCycles() + c.CopyCycles()
+	if send <= twoStep {
+		t.Errorf("send cycles %.0f not above two-step cycles %.0f", send, twoStep)
+	}
+}
+
+func TestPivotLevel(t *testing.T) {
+	m, err := dp.NewMachine(64, 4, dp.CostModel{}) // 256 VUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := NewMultigrid(m, 5, 1)
+	// 8^l >= 256 first at l = 3 (512 boxes).
+	if lp := mg.pivotLevel(); lp != 3 {
+		t.Errorf("pivotLevel = %d, want 3", lp)
+	}
+}

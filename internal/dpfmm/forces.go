@@ -1,0 +1,189 @@
+package dpfmm
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/core"
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+// Accelerations computes potentials and the field +grad phi at every
+// particle on the simulated machine (the (y-x)/r^3 convention of package
+// direct). The far field differentiates the leaf inner approximations; the
+// near field accumulates pairwise fields along the same traveling walk as
+// the potentials.
+func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.Vec3, error) {
+	if len(pos) != len(q) {
+		return nil, nil, fmt.Errorf("dpfmm: %d positions but %d charges", len(pos), len(q))
+	}
+	k := s.TS.K
+	depth := s.Cfg.Depth
+
+	pg, err := s.partitionParticles(pos, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Acceleration accumulators, same 4-D layout as phi.
+	ax := s.M.NewGrid3(pg.count.N, pg.cap)
+	ay := s.M.NewGrid3(pg.count.N, pg.cap)
+	az := s.M.NewGrid3(pg.count.N, pg.cap)
+
+	far := make([]*dp.Grid3, depth+1)
+	loc := make([]*dp.Grid3, depth+1)
+	for l := 2; l <= depth; l++ {
+		far[l] = s.M.NewGrid3(1<<l, k)
+		loc[l] = s.M.NewGrid3(1<<l, k)
+	}
+	s.leafOuter(pg, far[depth])
+	for l := depth - 1; l >= 2; l-- {
+		s.upwardLevel(far[l+1], far[l])
+	}
+	for l := 2; l <= depth; l++ {
+		if l > 2 {
+			s.t3Level(loc[l-1], loc[l])
+		}
+		s.t2Level(far[l], loc[l])
+	}
+	s.evalLocalGrad(pg, loc[depth], ax, ay, az)
+	s.nearFieldForces(pg, ax, ay, az)
+	pg.gatherPhi()
+
+	phi := make([]float64, len(pos))
+	acc := make([]geom.Vec3, len(pos))
+	for i := range pg.index {
+		phi[pg.index[i]] = pg.phiOut[i]
+		c, sl := pg.boxOf[i], pg.slot[i]
+		acc[pg.index[i]] = geom.Vec3{X: ax.At(c)[sl], Y: ay.At(c)[sl], Z: az.At(c)[sl]}
+	}
+	return phi, acc, nil
+}
+
+// evalLocalGrad is step 4 with gradients.
+func (s *Solver) evalLocalGrad(pg *particleGrid, loc, ax, ay, az *dp.Grid3) {
+	rule := s.Cfg.Rule
+	m := s.Cfg.M
+	a := s.Cfg.RadiusRatio * s.Hier.BoxSide(s.Cfg.Depth)
+	layout := loc.Layout
+	eff := s.M.Cost.KernelEfficiency
+	loc.ForEachBox(func(c geom.Coord3, g []float64) {
+		cnt := int(pg.count.At(c)[0])
+		if cnt == 0 {
+			return
+		}
+		center := s.Hier.Box(s.Cfg.Depth, c).Center
+		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+		phi := pg.phi.At(c)
+		gx, gy, gz := ax.At(c), ay.At(c), az.At(c)
+		for j := 0; j < cnt; j++ {
+			x := geom.Vec3{X: xs[j], Y: ys[j], Z: zs[j]}
+			v, grad := core.EvalInnerGrad(rule, m, center, a, g, x)
+			phi[j] += v
+			gx[j] += grad.X
+			gy[j] += grad.Y
+			gz[j] += grad.Z
+		}
+		s.M.ChargeCompute(layout.VUOf(c), 2*int64(cnt)*int64(rule.K())*int64(m+1)*6, eff)
+	})
+}
+
+// nearFieldForces is the one-sided near-field walk accumulating both
+// potentials and fields.
+func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
+	n := pg.count.N
+	d := s.Cfg.Separation
+	eff := s.M.Cost.DirectEfficiency
+	layout := pg.count.Layout
+
+	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+		cnt := int(cv[0])
+		if cnt < 2 {
+			return
+		}
+		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+		qs, phi := pg.pq.At(c), pg.phi.At(c)
+		gx, gy, gz := ax.At(c), ay.At(c), az.At(c)
+		for i := 0; i < cnt; i++ {
+			for j := i + 1; j < cnt; j++ {
+				dx, dy, dz := xs[j]-xs[i], ys[j]-ys[i], zs[j]-zs[i]
+				r2 := dx*dx + dy*dy + dz*dz
+				inv := 1 / math.Sqrt(r2)
+				inv3 := inv / r2
+				phi[i] += qs[j] * inv
+				phi[j] += qs[i] * inv
+				gx[i] += qs[j] * dx * inv3
+				gy[i] += qs[j] * dy * inv3
+				gz[i] += qs[j] * dz * inv3
+				gx[j] -= qs[i] * dx * inv3
+				gy[j] -= qs[i] * dy * inv3
+				gz[j] -= qs[i] * dz * inv3
+			}
+		}
+		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)*direct.FlopsPerPair, eff)
+	})
+
+	tx, ty, tz := pg.px.Clone(), pg.py.Clone(), pg.pz.Clone()
+	tq, tc := pg.pq.Clone(), pg.count.Clone()
+	cur := geom.Coord3{}
+	for _, cell := range snakeCells(d) {
+		for cur != cell {
+			var axis dp.Axis
+			var step int
+			switch {
+			case cur.X != cell.X:
+				axis, step = dp.AxisX, sign(cell.X-cur.X)
+				cur.X += step
+			case cur.Y != cell.Y:
+				axis, step = dp.AxisY, sign(cell.Y-cur.Y)
+				cur.Y += step
+			default:
+				axis, step = dp.AxisZ, sign(cell.Z-cur.Z)
+				cur.Z += step
+			}
+			tx = tx.CShift(axis, step)
+			ty = ty.CShift(axis, step)
+			tz = tz.CShift(axis, step)
+			tq = tq.CShift(axis, step)
+			tc = tc.CShift(axis, step)
+		}
+		if cur == (geom.Coord3{}) {
+			continue
+		}
+		v := cur
+		pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+			cnt := int(cv[0])
+			if cnt == 0 || !c.Add(v).In(n) {
+				return
+			}
+			scnt := int(tc.At(c)[0])
+			if scnt == 0 {
+				return
+			}
+			xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+			phi := pg.phi.At(c)
+			gx, gy, gz := ax.At(c), ay.At(c), az.At(c)
+			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
+			sq := tq.At(c)
+			for i := 0; i < cnt; i++ {
+				var p, fx, fy, fz float64
+				for j := 0; j < scnt; j++ {
+					dx, dy, dz := sx[j]-xs[i], sy[j]-ys[i], sz[j]-zs[i]
+					r2 := dx*dx + dy*dy + dz*dz
+					inv := 1 / math.Sqrt(r2)
+					inv3 := inv / r2
+					p += sq[j] * inv
+					fx += sq[j] * dx * inv3
+					fy += sq[j] * dy * inv3
+					fz += sq[j] * dz * inv3
+				}
+				phi[i] += p
+				gx[i] += fx
+				gy[i] += fy
+				gz[i] += fz
+			}
+			s.M.ChargeCompute(layout.VUOf(c), 2*int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+		})
+	}
+}

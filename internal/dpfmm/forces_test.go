@@ -1,0 +1,91 @@
+package dpfmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nbody/internal/core"
+	"nbody/internal/direct"
+	"nbody/internal/geom"
+)
+
+func TestDataParallelAccelerations(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	pos, q := uniformParticles(rng, 900)
+	m := newTestMachine(t, 4)
+	s, err := NewSolver(m, unitBox(), core.Config{Degree: 9, Depth: 3}, DirectAliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, acc, err := s.Accelerations(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantPhi := direct.PotentialsParallel(pos, q)
+	var rms, mean float64
+	for i := range phi {
+		d := phi[i] - wantPhi[i]
+		rms += d * d
+		mean += math.Abs(wantPhi[i])
+	}
+	rms = math.Sqrt(rms / float64(len(phi)))
+	mean /= float64(len(phi))
+	if rms/mean > 1e-4 {
+		t.Errorf("potential error %.2e", rms/mean)
+	}
+
+	wantAcc := direct.Accelerations(pos, q)
+	var arms, amean float64
+	for i := range acc {
+		arms += acc[i].Sub(wantAcc[i]).Norm2()
+		amean += wantAcc[i].Norm()
+	}
+	arms = math.Sqrt(arms / float64(len(acc)))
+	amean /= float64(len(acc))
+	if arms/amean > 2e-3 {
+		t.Errorf("acceleration error %.2e relative to mean", arms/amean)
+	}
+}
+
+func TestDataParallelAccelerationsMatchSharedMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	pos, q := uniformParticles(rng, 600)
+	cfg := core.Config{Degree: 5, Depth: 3}
+
+	ref, err := core.NewSolver(unitBox(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantAcc, err := ref.Accelerations(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := newTestMachine(t, 2)
+	s, err := NewSolver(m, unitBox(), cfg, LinearizedAliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, acc, err := s.Accelerations(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range acc {
+		if acc[i].Sub(wantAcc[i]).Norm() > 1e-9*(1+wantAcc[i].Norm()) {
+			t.Fatalf("acceleration mismatch at %d: %v vs %v", i, acc[i], wantAcc[i])
+		}
+	}
+}
+
+func TestAccelerationsRejectBadInput(t *testing.T) {
+	m := newTestMachine(t, 2)
+	s, err := NewSolver(m, unitBox(), core.Config{Degree: 5, Depth: 2}, DirectAliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Accelerations(make([]geom.Vec3, 2), make([]float64, 1)); err == nil {
+		t.Error("mismatched input accepted")
+	}
+}

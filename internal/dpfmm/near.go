@@ -1,0 +1,105 @@
+package dpfmm
+
+import (
+	"math"
+
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+// nearField evaluates the d-separation near field (step 5) by the paper's
+// linear-ordering scheme (Section 3.4), dispatching between the symmetric
+// (Figure 10, default) and one-sided walks.
+func (s *Solver) nearField(pg *particleGrid) {
+	if s.OneSidedNear {
+		s.nearFieldOneSided(pg)
+		return
+	}
+	s.nearFieldSymmetric(pg)
+}
+
+// nearFieldOneSided walks the full near-field offset cube (124 alignments
+// for two-separation) with single-step CSHIFTs; at every alignment each box
+// accumulates the interactions of its own particles with the traveling
+// box's, writing only its own potentials. Twice the arithmetic of the
+// symmetric walk, but no accumulator array to carry.
+func (s *Solver) nearFieldOneSided(pg *particleGrid) {
+	n := pg.count.N
+	d := s.Cfg.Separation
+	eff := s.M.Cost.DirectEfficiency
+
+	// Intra-box interactions first: symmetric and local.
+	layout := pg.count.Layout
+	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+		cnt := int(cv[0])
+		if cnt < 2 {
+			return
+		}
+		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+		qs, phi := pg.pq.At(c), pg.phi.At(c)
+		for i := 0; i < cnt; i++ {
+			for j := i + 1; j < cnt; j++ {
+				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				phi[i] += qs[j] * inv
+				phi[j] += qs[i] * inv
+			}
+		}
+		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
+	})
+
+	// Traveling copies of the particle arrays.
+	tx, ty, tz := pg.px.Clone(), pg.py.Clone(), pg.pz.Clone()
+	tq, tc := pg.pq.Clone(), pg.count.Clone()
+	cur := geom.Coord3{}
+	for _, cell := range snakeCells(d) {
+		for cur != cell {
+			var axis dp.Axis
+			var step int
+			switch {
+			case cur.X != cell.X:
+				axis, step = dp.AxisX, sign(cell.X-cur.X)
+				cur.X += step
+			case cur.Y != cell.Y:
+				axis, step = dp.AxisY, sign(cell.Y-cur.Y)
+				cur.Y += step
+			default:
+				axis, step = dp.AxisZ, sign(cell.Z-cur.Z)
+				cur.Z += step
+			}
+			tx = tx.CShift(axis, step)
+			ty = ty.CShift(axis, step)
+			tz = tz.CShift(axis, step)
+			tq = tq.CShift(axis, step)
+			tc = tc.CShift(axis, step)
+		}
+		if cur == (geom.Coord3{}) {
+			continue
+		}
+		v := cur
+		pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+			cnt := int(cv[0])
+			if cnt == 0 || !c.Add(v).In(n) {
+				return // empty target or wrapped (masked) source
+			}
+			scnt := int(tc.At(c)[0])
+			if scnt == 0 {
+				return
+			}
+			xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+			phi := pg.phi.At(c)
+			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
+			sq := tq.At(c)
+			for i := 0; i < cnt; i++ {
+				var acc float64
+				for j := 0; j < scnt; j++ {
+					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
+					acc += sq[j] / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				}
+				phi[i] += acc
+			}
+			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+		})
+	}
+}

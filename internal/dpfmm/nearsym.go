@@ -1,0 +1,157 @@
+package dpfmm
+
+import (
+	"math"
+
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+// nearFieldSymmetric evaluates the near field with Newton's third law, the
+// paper's Figure 10 scheme: the 4-D particle arrays travel through HALF the
+// near-field offsets (62 for two-separation) together with an accumulator
+// array; at each alignment each box adds the traveling box's contribution
+// to its own potentials AND deposits the reciprocal contribution into the
+// traveling accumulator, which is finally shifted home and folded in. This
+// halves the pairwise arithmetic at the cost of shifting one extra array.
+func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
+	n := pg.count.N
+	d := s.Cfg.Separation
+	eff := s.M.Cost.DirectEfficiency
+	layout := pg.count.Layout
+
+	// Intra-box interactions (same as the one-sided path).
+	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+		cnt := int(cv[0])
+		if cnt < 2 {
+			return
+		}
+		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+		qs, phi := pg.pq.At(c), pg.phi.At(c)
+		for i := 0; i < cnt; i++ {
+			for j := i + 1; j < cnt; j++ {
+				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				phi[i] += qs[j] * inv
+				phi[j] += qs[i] * inv
+			}
+		}
+		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
+	})
+
+	// Traveling copies: particle attributes plus the reciprocal-potential
+	// accumulator (zeroed; same shape as phi).
+	tx, ty, tz := pg.px.Clone(), pg.py.Clone(), pg.pz.Clone()
+	tq, tc := pg.pq.Clone(), pg.count.Clone()
+	tphi := s.M.NewGrid3(n, pg.cap)
+
+	shiftAll := func(axis dp.Axis, step int) {
+		tx = tx.CShift(axis, step)
+		ty = ty.CShift(axis, step)
+		tz = tz.CShift(axis, step)
+		tq = tq.CShift(axis, step)
+		tc = tc.CShift(axis, step)
+		tphi = tphi.CShift(axis, step)
+	}
+
+	cur := geom.Coord3{}
+	for _, cell := range halfSnakeCells(d) {
+		for cur != cell {
+			var axis dp.Axis
+			var step int
+			switch {
+			case cur.X != cell.X:
+				axis, step = dp.AxisX, sign(cell.X-cur.X)
+				cur.X += step
+			case cur.Y != cell.Y:
+				axis, step = dp.AxisY, sign(cell.Y-cur.Y)
+				cur.Y += step
+			default:
+				axis, step = dp.AxisZ, sign(cell.Z-cur.Z)
+				cur.Z += step
+			}
+			shiftAll(axis, step)
+		}
+		v := cur
+		pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
+			cnt := int(cv[0])
+			if cnt == 0 || !c.Add(v).In(n) {
+				return
+			}
+			scnt := int(tc.At(c)[0])
+			if scnt == 0 {
+				return
+			}
+			xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
+			qs, phi := pg.pq.At(c), pg.phi.At(c)
+			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
+			sq, sphi := tq.At(c), tphi.At(c)
+			for i := 0; i < cnt; i++ {
+				var acc float64
+				qi := qs[i]
+				for j := 0; j < scnt; j++ {
+					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
+					inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+					acc += sq[j] * inv
+					sphi[j] += qi * inv // reciprocal contribution (Newton's third law)
+				}
+				phi[i] += acc
+			}
+			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+		})
+	}
+
+	// Bring the accumulator home: the traveling arrays are aligned at
+	// offset cur, so tphi[c] holds contributions for the particles of box
+	// c+cur; shift by -cur (one CSHIFT per axis) and fold in.
+	if cur.X != 0 {
+		tphi = tphi.CShift(dp.AxisX, -cur.X)
+	}
+	if cur.Y != 0 {
+		tphi = tphi.CShift(dp.AxisY, -cur.Y)
+	}
+	if cur.Z != 0 {
+		tphi = tphi.CShift(dp.AxisZ, -cur.Z)
+	}
+	pg.phi.Add(tphi)
+}
+
+// halfSnakeCells enumerates one offset of every +/- pair of the near-field
+// cube [-d, d]^3 \ {0} — the lexicographically positive half (z > 0, or
+// z = 0 and y > 0, or z = y = 0 and x > 0) — in a unit-step order. The
+// region is a stack of full slabs above a half slab, so a boustrophedon
+// walk covers it with unit steps.
+func halfSnakeCells(d int) []geom.Coord3 {
+	var cells []geom.Coord3
+	// z = 0 half-slab: the x > 0 ray of y = 0, then full rows y = 1..d.
+	for x := 1; x <= d; x++ {
+		cells = append(cells, geom.Coord3{X: x, Y: 0, Z: 0})
+	}
+	for y := 1; y <= d; y++ {
+		for i := 0; i <= 2*d; i++ {
+			x := -d + i
+			if y%2 == 1 {
+				x = d - i
+			}
+			cells = append(cells, geom.Coord3{X: x, Y: y, Z: 0})
+		}
+	}
+	// Full slabs z = 1..d.
+	for z := 1; z <= d; z++ {
+		for iy := 0; iy <= 2*d; iy++ {
+			y := -d + iy
+			if z%2 == 0 {
+				y = d - iy
+			}
+			for ix := 0; ix <= 2*d; ix++ {
+				x := -d + ix
+				if (z+iy)%2 == 0 {
+					x = d - ix
+				}
+				cells = append(cells, geom.Coord3{X: x, Y: y, Z: z})
+			}
+		}
+	}
+	return cells
+}

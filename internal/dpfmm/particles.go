@@ -1,0 +1,195 @@
+package dpfmm
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/core"
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+)
+
+// particleGrid is the simulator's version of the paper's 4-D particle
+// arrays (Section 3.2): per-leaf-box particle attribute storage padded to
+// the maximum box population, aligned with the potential grids so that
+// particle-box interactions are VU-local.
+type particleGrid struct {
+	cap   int
+	count *dp.Grid3 // particles per box (Vlen 1)
+	px    *dp.Grid3 // x coordinates (Vlen cap)
+	py    *dp.Grid3
+	pz    *dp.Grid3
+	pq    *dp.Grid3 // charges
+	phi   *dp.Grid3 // per-particle accumulated potential
+
+	// index maps sorted position -> original particle index; phiOut is the
+	// result in sorted order, gathered from phi at the end.
+	index  []int
+	phiOut []float64
+	boxOf  []geom.Coord3 // leaf box of each sorted particle
+	slot   []int         // slot of each sorted particle within its box
+}
+
+// ReshapeStats reports the communication behaviour of the coordinate sort +
+// reshape: the paper's claim is that after the coordinate sort, the 1-D to
+// 4-D reshape needs no inter-VU communication for uniform distributions
+// with at least one box per VU.
+type ReshapeStats struct {
+	MovedOffVU int64 // particles whose 1-D VU differed from their box's VU
+	Local      int64
+}
+
+var lastReshape ReshapeStats
+
+// LastReshapeStats returns the reshape statistics of the most recent
+// partitionParticles call (test/bench instrumentation).
+func LastReshapeStats() ReshapeStats { return lastReshape }
+
+// partitionParticles performs the coordinate sort of Section 3.2 and builds
+// the particle grids.
+func (s *Solver) partitionParticles(pos []geom.Vec3, q []float64) (*particleGrid, error) {
+	n := s.Hier.GridSize(s.Cfg.Depth)
+	root := s.Hier.Root
+	h := root.Side / 2
+	for _, p := range pos {
+		// The negated form rejects NaN coordinates as well (every
+		// comparison with NaN is false).
+		ok := math.Abs(p.X-root.Center.X) <= h && math.Abs(p.Y-root.Center.Y) <= h &&
+			math.Abs(p.Z-root.Center.Z) <= h
+		if !ok {
+			return nil, fmt.Errorf("dpfmm: particle %v outside domain %v", p, root)
+		}
+	}
+	// Keys built from the potential-grid layout: VU address bits above
+	// local memory address bits (Figure 5).
+	probe := s.M.NewGrid3(n, 1)
+	layout := probe.Layout
+	keys := make([]uint64, len(pos))
+	for i, p := range pos {
+		keys[i] = layout.SortKey(s.Hier.LeafOf(p))
+	}
+	xs := make([]float64, len(pos))
+	ys := make([]float64, len(pos))
+	zs := make([]float64, len(pos))
+	qs := make([]float64, len(pos))
+	for i, p := range pos {
+		xs[i], ys[i], zs[i], qs[i] = p.X, p.Y, p.Z, q[i]
+	}
+	ax := s.M.NewArray1D(xs)
+	ay := s.M.NewArray1D(ys)
+	az := s.M.NewArray1D(zs)
+	aq := s.M.NewArray1D(qs)
+	perm := dp.SortByKeys(s.M, keys, ax, ay, az, aq)
+
+	pg := &particleGrid{
+		index:  perm,
+		phiOut: make([]float64, len(pos)),
+		boxOf:  make([]geom.Coord3, len(pos)),
+		slot:   make([]int, len(pos)),
+	}
+	// Box of each sorted particle, box populations, capacity.
+	counts := make(map[geom.Coord3]int)
+	for i := range perm {
+		c := s.Hier.LeafOf(geom.Vec3{X: ax.Data[i], Y: ay.Data[i], Z: az.Data[i]})
+		pg.boxOf[i] = c
+		pg.slot[i] = counts[c]
+		counts[c]++
+		if counts[c] > pg.cap {
+			pg.cap = counts[c]
+		}
+	}
+	if pg.cap == 0 {
+		pg.cap = 1
+	}
+	pg.count = s.M.NewGrid3(n, 1)
+	pg.px = s.M.NewGrid3(n, pg.cap)
+	pg.py = s.M.NewGrid3(n, pg.cap)
+	pg.pz = s.M.NewGrid3(n, pg.cap)
+	pg.pq = s.M.NewGrid3(n, pg.cap)
+	pg.phi = s.M.NewGrid3(n, pg.cap)
+
+	// Reshape 1-D sorted -> 4-D box arrays, counting the VU alignment the
+	// coordinate sort is designed to deliver.
+	var off, local int64
+	for i := range perm {
+		c := pg.boxOf[i]
+		sl := pg.slot[i]
+		pg.px.At(c)[sl] = ax.Data[i]
+		pg.py.At(c)[sl] = ay.Data[i]
+		pg.pz.At(c)[sl] = az.Data[i]
+		pg.pq.At(c)[sl] = aq.Data[i]
+		pg.count.At(c)[0]++
+		if ax.VUOf(i) == layout.VUOf(c) {
+			local += 4
+		} else {
+			off += 4
+		}
+	}
+	s.M.AccountSend(off, local)
+	lastReshape = ReshapeStats{MovedOffVU: off / 4, Local: local / 4}
+	return pg, nil
+}
+
+// leafOuter samples each leaf box's particle potential at its outer sphere
+// points (step 1) — entirely VU-local given the aligned particle grids.
+func (s *Solver) leafOuter(pg *particleGrid, far *dp.Grid3) {
+	rule := s.Cfg.Rule
+	k := rule.K()
+	a := s.Cfg.RadiusRatio * s.Hier.BoxSide(s.Cfg.Depth)
+	layout := far.Layout
+	eff := s.M.Cost.KernelEfficiency
+	far.ForEachBox(func(c geom.Coord3, g []float64) {
+		cnt := int(pg.count.At(c)[0])
+		if cnt == 0 {
+			return
+		}
+		center := s.Hier.Box(s.Cfg.Depth, c).Center
+		xs := pg.px.At(c)
+		ys := pg.py.At(c)
+		zs := pg.pz.At(c)
+		qs := pg.pq.At(c)
+		for i, si := range rule.Points {
+			p := center.Add(si.Scale(a))
+			var v float64
+			for j := 0; j < cnt; j++ {
+				v += qs[j] / p.Dist(geom.Vec3{X: xs[j], Y: ys[j], Z: zs[j]})
+			}
+			g[i] = v
+		}
+		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(k)*direct.FlopsPerPair, eff)
+	})
+}
+
+// evalLocal evaluates leaf inner approximations at the particles (step 4).
+func (s *Solver) evalLocal(pg *particleGrid, loc *dp.Grid3) {
+	rule := s.Cfg.Rule
+	m := s.Cfg.M
+	a := s.Cfg.RadiusRatio * s.Hier.BoxSide(s.Cfg.Depth)
+	layout := loc.Layout
+	eff := s.M.Cost.KernelEfficiency
+	loc.ForEachBox(func(c geom.Coord3, g []float64) {
+		cnt := int(pg.count.At(c)[0])
+		if cnt == 0 {
+			return
+		}
+		center := s.Hier.Box(s.Cfg.Depth, c).Center
+		xs := pg.px.At(c)
+		ys := pg.py.At(c)
+		zs := pg.pz.At(c)
+		phi := pg.phi.At(c)
+		for j := 0; j < cnt; j++ {
+			x := geom.Vec3{X: xs[j], Y: ys[j], Z: zs[j]}
+			phi[j] += core.EvalInner(rule, m, center, a, g, x)
+		}
+		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(rule.K())*int64(m+1)*6, eff)
+	})
+}
+
+// gatherPhi copies the per-box accumulated potentials back into sorted
+// order; called once after all phases have deposited into the phi grid.
+func (pg *particleGrid) gatherPhi() {
+	for i := range pg.phiOut {
+		pg.phiOut[i] = pg.phi.At(pg.boxOf[i])[pg.slot[i]]
+	}
+}

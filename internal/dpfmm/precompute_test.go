@@ -1,0 +1,114 @@
+package dpfmm
+
+import (
+	"testing"
+
+	"nbody/internal/core"
+	"nbody/internal/dp"
+)
+
+func TestPrecomputeStrategiesOrdering(t *testing.T) {
+	// Figures 8 and 9: computing in parallel followed by replication beats
+	// computing everything on every VU, and grouping reduces the
+	// replication cost further.
+	m, err := dp.NewMachine(64, 4, dp.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Degree: 5, Depth: 3}
+
+	all, err := PrecomputeInteractive(m, cfg, ComputeEverywhere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := PrecomputeInteractive(m, cfg, ComputeAndReplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Matrices != 1331 || rep.Matrices != 1331 {
+		t.Fatalf("matrix counts: %d, %d", all.Matrices, rep.Matrices)
+	}
+	if rep.TotalCycles() >= all.TotalCycles() {
+		t.Errorf("replicate (%.3g cycles) not cheaper than compute-everywhere (%.3g)",
+			rep.TotalCycles(), all.TotalCycles())
+	}
+	if rep.CommCycles == 0 || all.CommCycles != 0 {
+		t.Errorf("comm cycles: replicate %.3g, all %.3g", rep.CommCycles, all.CommCycles)
+	}
+}
+
+func TestPrecomputeGroupedReducesReplication(t *testing.T) {
+	m, err := dp.NewMachine(64, 4, dp.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Degree: 5, Depth: 3}
+	rep, err := PrecomputeParentChild(m, cfg, ComputeAndReplicate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := PrecomputeParentChild(m, cfg, ComputeAndReplicateGrouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.CommCycles >= rep.CommCycles {
+		t.Errorf("grouped replication (%.3g) not cheaper than full (%.3g)",
+			grp.CommCycles, rep.CommCycles)
+	}
+	// Same compute either way (one matrix per VU in the group).
+	if grp.ComputeCycles != rep.ComputeCycles {
+		t.Errorf("compute differs: %.3g vs %.3g", grp.ComputeCycles, rep.ComputeCycles)
+	}
+}
+
+func TestPrecomputeReplicationScalesWithMachine(t *testing.T) {
+	// Figure 9(b): the parallel compute time falls with machine size while
+	// the replication time grows slowly.
+	cfg := core.Config{Degree: 7, Depth: 3}
+	var prevCompute, prevComm float64
+	for i, nodes := range []int{8, 32, 128} {
+		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := PrecomputeInteractive(m, cfg, ComputeAndReplicate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if r.ComputeCycles >= prevCompute {
+				t.Errorf("nodes=%d: compute %.3g did not fall (prev %.3g)",
+					nodes, r.ComputeCycles, prevCompute)
+			}
+			if r.CommCycles < prevComm {
+				t.Errorf("nodes=%d: replication %.3g fell (prev %.3g)", nodes, r.CommCycles, prevComm)
+			}
+			if r.CommCycles > prevComm*2 {
+				t.Errorf("nodes=%d: replication %.3g grew too fast (prev %.3g)",
+					nodes, r.CommCycles, prevComm)
+			}
+		}
+		prevCompute, prevComm = r.ComputeCycles, r.CommCycles
+	}
+}
+
+func TestPrecomputeBadConfig(t *testing.T) {
+	m, _ := dp.NewMachine(4, 4, dp.CostModel{})
+	if _, err := PrecomputeInteractive(m, core.Config{}, ComputeEverywhere); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := PrecomputeParentChild(m, core.Config{}, ComputeEverywhere); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPrecomputeStrategyStrings(t *testing.T) {
+	if ComputeEverywhere.String() != "compute-everywhere" ||
+		ComputeAndReplicate.String() != "compute+replicate" ||
+		ComputeAndReplicateGrouped.String() != "compute+replicate-grouped" {
+		t.Error("strategy names wrong")
+	}
+	if PrecomputeStrategy(99).String() != "unknown" {
+		t.Error("unknown strategy name wrong")
+	}
+}

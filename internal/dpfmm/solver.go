@@ -1,0 +1,230 @@
+// Package dpfmm expresses Anderson's method in the data-parallel primitive
+// set of the simulated CM-5/5E machine (package dp), following Section 3 of
+// Hu & Johnsson SC'96: block-distributed potential grids, coordinate-sorted
+// particles reshaped into per-box (4-D) arrays without communication,
+// parent-child interactions through locality-preserving gathers/scatters,
+// interactive-field conversion through one of the four ghost-fetch
+// strategies of Table 4, and near-field evaluation by shifting particle
+// boxes along a linear order.
+//
+// The package is validated box-for-box against the shared-memory reference
+// (internal/core); its purpose is to make the paper's communication and
+// efficiency results measurable.
+package dpfmm
+
+import (
+	"fmt"
+
+	"nbody/internal/blas"
+	"nbody/internal/core"
+	"nbody/internal/dp"
+	"nbody/internal/geom"
+	"nbody/internal/tree"
+)
+
+// GhostStrategy selects the interactive-field communication scheme of
+// Section 3.3.1 / Table 4.
+type GhostStrategy int
+
+// The four strategies, in the order of Table 4.
+const (
+	// DirectUnaliased: one multi-axis CSHIFT of the whole potential array
+	// per interactive-field offset.
+	DirectUnaliased GhostStrategy = iota
+	// LinearizedUnaliased: a snake of unit-offset CSHIFTs through the
+	// offset cube, shifting the whole array at every step.
+	LinearizedUnaliased
+	// DirectAliased: explicit per-VU ghost regions (4 deep on every face),
+	// fetched region by region through array aliasing and sectioning.
+	DirectAliased
+	// LinearizedAliased: whole neighboring subgrids moved along a linear
+	// order through the 26 adjacent VUs, then sectioned locally.
+	LinearizedAliased
+)
+
+// String implements fmt.Stringer.
+func (s GhostStrategy) String() string {
+	switch s {
+	case DirectUnaliased:
+		return "direct-unaliased"
+	case LinearizedUnaliased:
+		return "linearized-unaliased"
+	case DirectAliased:
+		return "direct-aliased"
+	case LinearizedAliased:
+		return "linearized-aliased"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Solver runs Anderson's method on a dp.Machine.
+type Solver struct {
+	M        *dp.Machine
+	Cfg      core.Config // normalized
+	Hier     tree.Hierarchy
+	TS       *core.TranslationSet
+	Strategy GhostStrategy
+
+	// OneSidedNear selects the one-sided near-field walk instead of the
+	// default Newton's-third-law scheme of Figure 10 (an ablation knob:
+	// twice the near-field arithmetic, one fewer traveling array).
+	OneSidedNear bool
+
+	// MultigridStorage stores the far- and local-field hierarchies in the
+	// paper's two-layer embedded arrays (Section 3.1, Figure 3), moving
+	// level data through Multigrid-embed/extract around every traversal
+	// phase — the memory-efficient data flow of the CMF implementation.
+	// Off, each level gets its own grid (same arithmetic, simpler motion).
+	MultigridStorage bool
+
+	interactive [8][]geom.Coord3
+}
+
+// NewSolver builds the data-parallel solver. The root box and configuration
+// mirror core.NewSolver.
+func NewSolver(m *dp.Machine, root geom.Box3, cfg core.Config, strategy GhostStrategy) (*Solver, error) {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if ncfg.Supernodes {
+		return nil, fmt.Errorf("dpfmm: supernodes are exercised in the shared-memory solver only")
+	}
+	h, err := tree.NewHierarchy(root, ncfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{M: m, Cfg: ncfg, Hier: h, TS: core.NewTranslationSet(ncfg), Strategy: strategy}
+	for oct := 0; oct < 8; oct++ {
+		s.interactive[oct] = tree.InteractiveOffsets(ncfg.Separation, oct)
+	}
+	return s, nil
+}
+
+// Potentials computes the potential at every particle on the simulated
+// machine.
+func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
+	if len(pos) != len(q) {
+		return nil, fmt.Errorf("dpfmm: %d positions but %d charges", len(pos), len(q))
+	}
+	k := s.TS.K
+	depth := s.Cfg.Depth
+
+	// Particle handling: coordinate sort + communication-free reshape.
+	pg, err := s.partitionParticles(pos, q)
+	if err != nil {
+		return nil, err
+	}
+
+	locLeaf := s.hierarchyPasses(pg, k, depth)
+	s.evalLocal(pg, locLeaf)
+	s.nearField(pg)
+	pg.gatherPhi()
+
+	// Un-reshape: scatter per-box potentials back to particle order.
+	phi := make([]float64, len(pos))
+	for i := range pg.index {
+		phi[pg.index[i]] = pg.phiOut[i]
+	}
+	return phi, nil
+}
+
+// hierarchyPasses runs steps 1-3 (leaf outer, upward, downward) and returns
+// the leaf-level local-field grid, using either per-level grids or the
+// paper's two-layer multigrid storage.
+func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
+	if !s.MultigridStorage {
+		far := make([]*dp.Grid3, depth+1)
+		loc := make([]*dp.Grid3, depth+1)
+		for l := 2; l <= depth; l++ {
+			far[l] = s.M.NewGrid3(1<<l, k)
+			loc[l] = s.M.NewGrid3(1<<l, k)
+		}
+		s.leafOuter(pg, far[depth])
+		for l := depth - 1; l >= 2; l-- {
+			s.upwardLevel(far[l+1], far[l])
+		}
+		for l := 2; l <= depth; l++ {
+			if l > 2 {
+				s.t3Level(loc[l-1], loc[l])
+			}
+			s.t2Level(far[l], loc[l])
+		}
+		return loc[depth]
+	}
+
+	// Two-layer storage: leaf levels live in the Leaf layer, all coarser
+	// levels embedded in the Nonleaf layer; traversal phases work on
+	// level-sized temporaries moved by Multigrid-embed/extract (the
+	// Multigrid-reduce / Multigrid-distribute operators of Section 3.3.2).
+	farMG := NewMultigrid(s.M, depth, k)
+	locMG := NewMultigrid(s.M, depth, k)
+	s.leafOuter(pg, farMG.Leaf)
+	cur := farMG.Leaf
+	for l := depth - 1; l >= 2; l-- {
+		parent := s.M.NewGrid3(1<<l, k)
+		s.upwardLevel(cur, parent)
+		farMG.Embed(dp.RemapAliased, parent, l, true)
+		cur = parent
+	}
+	for l := 2; l <= depth; l++ {
+		var farL *dp.Grid3
+		if l == depth {
+			farL = farMG.Leaf
+		} else {
+			farL = s.M.NewGrid3(1<<l, k)
+			farMG.Extract(dp.RemapAliased, farL, l, true)
+		}
+		locL := s.M.NewGrid3(1<<l, k)
+		if l > 2 {
+			locParent := s.M.NewGrid3(1<<(l-1), k)
+			locMG.Extract(dp.RemapAliased, locParent, l-1, true)
+			s.t3Level(locParent, locL)
+		}
+		s.t2Level(farL, locL)
+		if l == depth {
+			return locL
+		}
+		locMG.Embed(dp.RemapAliased, locL, l, true)
+	}
+	return nil // unreachable: depth >= 2 always returns inside the loop
+}
+
+// upwardLevel applies T1 from the child grid into the parent grid.
+func (s *Solver) upwardLevel(child, parent *dp.Grid3) {
+	k := s.TS.K
+	eff := s.M.Cost.GemmEfficiency(k)
+	for oct := 0; oct < 8; oct++ {
+		tmp := s.M.NewGrid3(parent.N, k)
+		dp.OctantGather(dp.RemapAliased, tmp, child, oct)
+		t := s.TS.T1[oct]
+		tmp.ForEachVU(func(vu int, slab []float64) {
+			boxes := len(slab) / k
+			dstSlab := parent.Slab(vu)
+			for b := 0; b < boxes; b++ {
+				blas.Dgemv(t, slab[b*k:(b+1)*k], dstSlab[b*k:(b+1)*k])
+			}
+			s.M.ChargeCompute(vu, blas.DgemmFlops(k, k, boxes), eff)
+		})
+	}
+}
+
+// t3Level shifts parent local fields into children.
+func (s *Solver) t3Level(parent, child *dp.Grid3) {
+	k := s.TS.K
+	eff := s.M.Cost.GemmEfficiency(k)
+	for oct := 0; oct < 8; oct++ {
+		t := s.TS.T3[oct]
+		tmp := s.M.NewGrid3(parent.N, k)
+		parent.ForEachVU(func(vu int, slab []float64) {
+			boxes := len(slab) / k
+			dstSlab := tmp.Slab(vu)
+			for b := 0; b < boxes; b++ {
+				blas.Dgemv(t, slab[b*k:(b+1)*k], dstSlab[b*k:(b+1)*k])
+			}
+			s.M.ChargeCompute(vu, blas.DgemmFlops(k, k, boxes), eff)
+		})
+		dp.OctantScatterAdd(dp.RemapAliased, child, tmp, oct)
+	}
+}

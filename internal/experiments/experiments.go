@@ -1,0 +1,44 @@
+// Package experiments regenerates every data table and figure of Hu &
+// Johnsson SC'96 on the simulated machine, plus the quantitative claims of
+// the abstract and Section 4. Each experiment returns a structured result
+// with a String() printer that shows the measured values next to the
+// paper's reported values, and is driven both by cmd/tables and by the
+// repository benchmarks. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// section formats a titled block.
+func section(title string, body string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// row formats aligned columns.
+func row(cols ...interface{}) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case string:
+			parts[i] = fmt.Sprintf("%-22s", v)
+		case int:
+			parts[i] = fmt.Sprintf("%10d", v)
+		case int64:
+			parts[i] = fmt.Sprintf("%12d", v)
+		case float64:
+			parts[i] = fmt.Sprintf("%12.4g", v)
+		default:
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return strings.Join(parts, " ")
+}

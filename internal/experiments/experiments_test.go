@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run each generator at reduced scale and assert the
+// qualitative shapes the paper reports — who wins, in which direction the
+// series move — not absolute numbers.
+
+func TestTable1Shapes(t *testing.T) {
+	r, err := Table1(Table1Config{N: 4096, Nodes: 4, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	low, high := r.Rows[0], r.Rows[1]
+	// Higher K costs more cycles/particle even at its shallower optimal
+	// depth (the paper: 37K vs 183K).
+	if high.Report.CyclesPerParticle() <= low.Report.CyclesPerParticle() {
+		t.Error("K=72 should cost more cycles/particle")
+	}
+	// Efficiencies in a plausible band (paper: 27% and 35%).
+	for _, row := range r.Rows[:2] {
+		e := row.Report.Efficiency()
+		if e < 0.05 || e > 0.95 {
+			t.Errorf("%s: efficiency %.3f out of band", row.Method, e)
+		}
+	}
+	// The direct baseline's flops/particle is exactly 9(N-1) and grows with
+	// N, while Anderson's stays in the paper's 1,000-10,000x constant band;
+	// at this small N they are comparable, so only check the direct count.
+	if want := float64((r.Cfg.N - 1) * 9); r.Rows[3].FlopsPerParticle != want {
+		t.Errorf("direct flops/particle = %g, want %g", r.Rows[3].FlopsPerParticle, want)
+	}
+	if !strings.Contains(r.String(), "Table 1") {
+		t.Error("missing title")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r := Table2()
+	if len(r.Rows) < 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Error decreases monotonically with order (allowing small plateaus).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].WorstErr > r.Rows[i-1].WorstErr*1.5 {
+			t.Errorf("error rose from D=%d (%.2e) to D=%d (%.2e)",
+				r.Rows[i-1].D, r.Rows[i-1].WorstErr, r.Rows[i].D, r.Rows[i].WorstErr)
+		}
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.WorstErr > first.WorstErr/100 {
+		t.Errorf("error should fall by >100x from D=%d to D=%d: %.2e -> %.2e",
+			first.D, last.D, first.WorstErr, last.WorstErr)
+	}
+	// K=12 at D=5 (the paper-exact configuration).
+	for _, row := range r.Rows {
+		if row.D == 5 && row.K != 12 {
+			t.Errorf("D=5 uses K=%d, want 12", row.K)
+		}
+	}
+	if !strings.Contains(r.String(), "decay") {
+		t.Error("missing decay column")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	r, err := Table3(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	k12, k72 := r.Rows[0], r.Rows[1]
+	if k12.K != 12 || k72.K != 72 {
+		t.Fatalf("K values %d, %d", k12.K, k72.K)
+	}
+	// Larger K: higher efficiency everywhere; copies hurt small K more.
+	if k72.T2Arithmetic <= k12.T2Arithmetic || k72.InclCopy <= k12.InclCopy {
+		t.Error("K=72 efficiencies should exceed K=12")
+	}
+	dropSmall := k12.T2Arithmetic - k12.InclCopy
+	dropLarge := k72.T2Arithmetic - k72.InclCopy
+	if dropSmall <= dropLarge {
+		t.Errorf("copy overhead should hurt K=12 more: drops %.3f vs %.3f", dropSmall, dropLarge)
+	}
+	for _, row := range r.Rows {
+		if row.InclCopyAndMask >= row.InclCopy || row.InclCopy >= row.T2Arithmetic {
+			t.Errorf("K=%d: efficiency ordering violated: %+v", row.K, row)
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	r, err := Table4(8, 4) // 32 VUs, 16^3 grid, subgrid 8x8x4-ish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, row := range r.Rows {
+		byName[row.Strategy.String()] = row
+	}
+	du := byName["direct-unaliased"]
+	lu := byName["linearized-unaliased"]
+	da := byName["direct-aliased"]
+	la := byName["linearized-aliased"]
+	// Aliased strategies fetch far fewer non-local boxes.
+	if da.NonLocalBoxes*4 > lu.NonLocalBoxes || da.NonLocalBoxes*4 > du.NonLocalBoxes {
+		t.Errorf("aliased fetches not small: da=%d lu=%d du=%d",
+			da.NonLocalBoxes, lu.NonLocalBoxes, du.NonLocalBoxes)
+	}
+	// Linearized-unaliased beats direct-unaliased (the 7.4x effect).
+	if lu.ModelMillis >= du.ModelMillis {
+		t.Error("linearized-unaliased should beat direct-unaliased")
+	}
+	// Linearized-aliased is the fastest overall (fewest shift startups).
+	if la.RelativeTime > da.RelativeTime || la.RelativeTime > lu.RelativeTime {
+		t.Errorf("linearized-aliased not fastest: %+v", r.Rows)
+	}
+	if du.RelativeTime != 1.0 {
+		t.Errorf("slowest should normalize to 1.0, got %v", du.RelativeTime)
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	r, err := Figure7(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Speedup <= 1 {
+			t.Errorf("level %d: send (%.3e) not slower than two-step (%.3e)",
+				p.Level, p.SendSeconds, p.FastSeconds)
+		}
+	}
+	// The largest speedups occur somewhere in the sweep and exceed 10x.
+	best := 0.0
+	for _, p := range r.Points {
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	if best < 10 {
+		t.Errorf("best speedup %.1fx, want >10x (paper: up to two orders of magnitude)", best)
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	r, err := Figure8(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		if p.Replicate >= p.ComputeAll {
+			t.Errorf("K=%d: replicate (%.3e) not below compute-all (%.3e)",
+				p.K, p.Replicate, p.ComputeAll)
+		}
+		if p.ReplicatePortionGrouped >= p.ReplicatePortionUngrouped {
+			t.Errorf("K=%d: grouping did not reduce replication", p.K)
+		}
+	}
+	// The advantage grows with K (paper: 66% -> 24% of compute-all).
+	first := r.Points[0].Replicate / r.Points[0].ComputeAll
+	last := r.Points[len(r.Points)-1].Replicate / r.Points[len(r.Points)-1].ComputeAll
+	if last >= first {
+		t.Errorf("relative cost should fall with K: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	r, err := Figure9([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each K, compute+replicate wins, and its parallel-compute portion
+	// falls with machine size.
+	byK := map[int][]Figure9Point{}
+	for _, p := range r.Points {
+		byK[p.K] = append(byK[p.K], p)
+		if p.Replicate >= p.ComputeAll {
+			t.Errorf("nodes=%d K=%d: replicate not faster", p.Nodes, p.K)
+		}
+	}
+	for k, pts := range byK {
+		if len(pts) == 2 && pts[1].ParallelComputePortion >= pts[0].ParallelComputePortion {
+			t.Errorf("K=%d: parallel compute did not fall with machine size", k)
+		}
+	}
+}
+
+func TestClaimAccuracy(t *testing.T) {
+	r, err := ClaimAccuracy(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LowErr > 1e-3 {
+		t.Errorf("D=5 error %.2e, want ~1e-4 band", r.LowErr)
+	}
+	if r.HighErr > 1e-5 {
+		t.Errorf("D=13 error %.2e, want ~1e-6 band", r.HighErr)
+	}
+	if r.HighErr >= r.LowErr {
+		t.Error("high order must beat low order")
+	}
+	if !strings.Contains(r.String(), "digits") {
+		t.Error("missing digits output")
+	}
+}
+
+func TestClaimScaling(t *testing.T) {
+	rn, err := ClaimScalingN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles/particle roughly constant across a 64x N range.
+	first := rn.Points[0].Report.CyclesPerParticle()
+	last := rn.Points[len(rn.Points)-1].Report.CyclesPerParticle()
+	if ratio := last / first; ratio > 2.5 || ratio < 0.4 {
+		t.Errorf("cycles/particle varied %0.2fx across N sweep", ratio)
+	}
+
+	rp, err := ClaimScalingP(8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model time falls with machine size.
+	for i := 1; i < len(rp.Points); i++ {
+		if rp.Points[i].Report.ModelSeconds() >= rp.Points[i-1].Report.ModelSeconds() {
+			t.Errorf("model time did not fall from %d to %d nodes",
+				rp.Points[i-1].Nodes, rp.Points[i].Nodes)
+		}
+	}
+	if rn.String() == "" || rp.String() == "" {
+		t.Error("empty scaling output")
+	}
+}
+
+func TestClaimOptimalDepth(t *testing.T) {
+	r, err := ClaimOptimalDepth(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-field flops fall with depth; traversal flops rise.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Near >= r.Points[i-1].Near {
+			t.Error("near-field flops should fall with depth")
+		}
+		if r.Points[i].Traversal <= r.Points[i-1].Traversal {
+			t.Error("traversal flops should rise with depth")
+		}
+	}
+}
+
+func TestClaimSupernodes(t *testing.T) {
+	r, err := ClaimSupernodes(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) < 2 {
+		t.Fatal("missing lines")
+	}
+	if !strings.Contains(r.String(), "supernodes") {
+		t.Error("missing title")
+	}
+}
+
+func TestClaimAggregation(t *testing.T) {
+	r, err := ClaimAggregation(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 3 {
+		t.Fatalf("lines = %d", len(r.Lines))
+	}
+}
+
+func TestClaimMemory(t *testing.T) {
+	r, err := ClaimMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Paper figures: 1.53 MB at K=12, 53.9 MB at K=72.
+	if r.Rows[0].K != 12 || r.Rows[0].MatrixMB < 1.4 || r.Rows[0].MatrixMB > 1.7 {
+		t.Errorf("K=12 row: %+v, want ~1.53 MB", r.Rows[0])
+	}
+	if r.Rows[1].K != 72 || r.Rows[1].MatrixMB < 50 || r.Rows[1].MatrixMB > 58 {
+		t.Errorf("K=72 row: %+v, want ~53.9 MB", r.Rows[1])
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestClaimReshape(t *testing.T) {
+	r, err := ClaimReshape(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	uniform, clustered := r.Rows[0], r.Rows[1]
+	if uniform.LocalPct < 80 {
+		t.Errorf("uniform locality %.1f%%, want > 80%%", uniform.LocalPct)
+	}
+	if clustered.LocalPct > uniform.LocalPct {
+		t.Errorf("clustered locality (%.1f%%) should not beat uniform (%.1f%%)",
+			clustered.LocalPct, uniform.LocalPct)
+	}
+}
+
+func TestClaimLoadBalance(t *testing.T) {
+	r, err := ClaimLoadBalance(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, clustered := r.Rows[0], r.Rows[1]
+	if uniform.MaxOverMean > 2.0 {
+		t.Errorf("uniform imbalance %.2f, want near 1", uniform.MaxOverMean)
+	}
+	if clustered.MaxOverMean <= uniform.MaxOverMean {
+		t.Errorf("clustering (%.2f) should worsen the balance (uniform %.2f)",
+			clustered.MaxOverMean, uniform.MaxOverMean)
+	}
+}

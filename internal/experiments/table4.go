@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nbody/internal/core"
+	"nbody/internal/dp"
+	"nbody/internal/dpfmm"
+	"nbody/internal/geom"
+)
+
+// Table4Row is one interactive-field communication strategy's data motion,
+// per VU and in box units (one box = K words), matching the paper's
+// presentation.
+type Table4Row struct {
+	Strategy      dpfmm.GhostStrategy
+	NonLocalBoxes int64 // boxes fetched from other VUs, per VU
+	LocalBoxMoves int64 // boxes copied locally, per VU
+	CShifts       int64
+	ModelMillis   float64 // modeled communication + copy time
+	RelativeTime  float64 // normalized to the slowest strategy
+}
+
+// Table4Result reproduces the data-motion comparison.
+type Table4Result struct {
+	Nodes, Subgrid, K int
+	Rows              []Table4Row
+}
+
+// Table4 measures the four interactive-field strategies on one leaf-level
+// conversion. The default geometry mirrors the paper's: subgrid extents 8
+// with ghost regions four deep (16^3 aliased subgrids), K = 12.
+func Table4(nodes, depth int) (*Table4Result, error) {
+	if nodes == 0 {
+		nodes = 16 // 64 VUs: 32^3 boxes -> 8^3 subgrids
+	}
+	if depth == 0 {
+		depth = 5
+	}
+	root := geom.Box3{Center: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1}
+	cfg := core.Config{Degree: 5, Depth: depth}
+	res := &Table4Result{Nodes: nodes}
+	for _, strat := range []dpfmm.GhostStrategy{
+		DirectUnaliasedStrategy, LinearizedUnaliasedStrategy, DirectAliasedStrategy, LinearizedAliasedStrategy,
+	} {
+		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
+		if err != nil {
+			return nil, err
+		}
+		s, err := dpfmm.NewSolver(m, root, cfg, strat)
+		if err != nil {
+			return nil, err
+		}
+		k := s.TS.K
+		res.K = k
+		n := 1 << depth
+		far := m.NewGrid3(n, k)
+		loc := m.NewGrid3(n, k)
+		sx, _, _ := far.SubgridDims()
+		res.Subgrid = sx
+		far.ForEachBox(func(c geom.Coord3, v []float64) {
+			for i := range v {
+				v[i] = float64(c.X*7 + c.Y + i)
+			}
+		})
+		m.ResetCounters()
+		s.T2Level(far, loc)
+		c := m.Counters()
+		nvu := int64(m.NumVUs())
+		res.Rows = append(res.Rows, Table4Row{
+			Strategy:      strat,
+			NonLocalBoxes: c.OffVUWords / int64(k) / nvu,
+			LocalBoxMoves: c.LocalWords / int64(k) / nvu,
+			CShifts:       c.CShifts,
+			ModelMillis:   (c.CommCycles() + c.CopyCycles()) / (m.Cost.ClockMHz * 1e3),
+		})
+	}
+	// Normalize relative time to the slowest.
+	slowest := 0.0
+	for _, r := range res.Rows {
+		if r.ModelMillis > slowest {
+			slowest = r.ModelMillis
+		}
+	}
+	for i := range res.Rows {
+		res.Rows[i].RelativeTime = res.Rows[i].ModelMillis / slowest
+	}
+	return res, nil
+}
+
+// Strategy aliases so callers need not import dpfmm.
+const (
+	DirectUnaliasedStrategy     = dpfmm.DirectUnaliased
+	LinearizedUnaliasedStrategy = dpfmm.LinearizedUnaliased
+	DirectAliasedStrategy       = dpfmm.DirectAliased
+	LinearizedAliasedStrategy   = dpfmm.LinearizedAliased
+)
+
+// String prints the table.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes, %d^3 local subgrid, K=%d (paper: 32-node CM-5E, 8^3 subgrid, ghosts in 16^3)\n",
+		r.Nodes, r.Subgrid, r.K)
+	fmt.Fprintf(&b, "%-24s %16s %16s %10s %14s\n",
+		"method", "non-local boxes", "local box moves", "CSHIFTs", "relative time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %16d %16d %10d %14.3f\n",
+			row.Strategy, row.NonLocalBoxes, row.LocalBoxMoves, row.CShifts, row.RelativeTime)
+	}
+	b.WriteString("paper: direct unaliased worst; linearized unaliased ~7.4x faster than direct;\n")
+	b.WriteString("aliased strategies fetch only ~3,584 non-local boxes (per VU) and are fastest\n")
+	return section("Table 4: interactive-field data motion by strategy", b.String())
+}

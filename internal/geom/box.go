@@ -1,0 +1,94 @@
+package geom
+
+import "fmt"
+
+// Box3 is an axis-aligned cube identified by its center and side length.
+// Non-adaptive hierarchical methods only ever deal in cubes (the paper's
+// rectangular/parallelepipedic extension changes constants, not structure),
+// so a single side length suffices.
+type Box3 struct {
+	Center Vec3
+	Side   float64
+}
+
+// Contains reports whether p lies in the half-open cube [lo, lo+Side) in each
+// coordinate. Half-open boxes make the leaf-assignment of particles unique.
+func (b Box3) Contains(p Vec3) bool {
+	h := b.Side / 2
+	return p.X >= b.Center.X-h && p.X < b.Center.X+h &&
+		p.Y >= b.Center.Y-h && p.Y < b.Center.Y+h &&
+		p.Z >= b.Center.Z-h && p.Z < b.Center.Z+h
+}
+
+// Child returns the child cube with octant index oct in [0,8). Bit 0 of oct
+// selects the +X half, bit 1 the +Y half, bit 2 the +Z half.
+func (b Box3) Child(oct int) Box3 {
+	q := b.Side / 4
+	c := b.Center
+	if oct&1 != 0 {
+		c.X += q
+	} else {
+		c.X -= q
+	}
+	if oct&2 != 0 {
+		c.Y += q
+	} else {
+		c.Y -= q
+	}
+	if oct&4 != 0 {
+		c.Z += q
+	} else {
+		c.Z -= q
+	}
+	return Box3{Center: c, Side: b.Side / 2}
+}
+
+// CircumRadius returns the radius of the sphere circumscribing the cube,
+// sqrt(3)/2 * Side. Anderson's outer/inner sphere radii are expressed as a
+// multiple of this radius.
+func (b Box3) CircumRadius() float64 { return sqrt3over2 * b.Side }
+
+const sqrt3over2 = 0.8660254037844386467637231707529361834714026269051903140
+
+// String implements fmt.Stringer.
+func (b Box3) String() string { return fmt.Sprintf("Box3{c=%v s=%g}", b.Center, b.Side) }
+
+// Box2 is an axis-aligned square identified by its center and side length.
+type Box2 struct {
+	Center Vec2
+	Side   float64
+}
+
+// Contains reports whether p lies in the half-open square.
+func (b Box2) Contains(p Vec2) bool {
+	h := b.Side / 2
+	return p.X >= b.Center.X-h && p.X < b.Center.X+h &&
+		p.Y >= b.Center.Y-h && p.Y < b.Center.Y+h
+}
+
+// Child returns the child square with quadrant index q in [0,4). Bit 0 of q
+// selects the +X half, bit 1 the +Y half.
+func (b Box2) Child(q int) Box2 {
+	o := b.Side / 4
+	c := b.Center
+	if q&1 != 0 {
+		c.X += o
+	} else {
+		c.X -= o
+	}
+	if q&2 != 0 {
+		c.Y += o
+	} else {
+		c.Y -= o
+	}
+	return Box2{Center: c, Side: b.Side / 2}
+}
+
+// CircumRadius returns the radius of the circle circumscribing the square,
+// sqrt(2)/2 * Side.
+func (b Box2) CircumRadius() float64 { return sqrt2over2 * b.Side }
+
+const sqrt2over2 = 0.7071067811865475244008443621048490392848359376884740365
+
+// String implements fmt.Stringer.
+func (b Box2) String() string { return fmt.Sprintf("Box2{c=%v s=%g}", b.Center, b.Side) }

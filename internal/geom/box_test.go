@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBox3Contains(t *testing.T) {
+	b := Box3{Center: Vec3{0, 0, 0}, Side: 2}
+	cases := []struct {
+		p  Vec3
+		in bool
+	}{
+		{Vec3{0, 0, 0}, true},
+		{Vec3{-1, -1, -1}, true}, // lower corner included
+		{Vec3{1, 0, 0}, false},   // upper face excluded (half-open)
+		{Vec3{0.999, 0.999, 0.999}, true},
+		{Vec3{0, 0, 1.5}, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.in {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.in)
+		}
+	}
+}
+
+func TestBox3ChildrenTileParent(t *testing.T) {
+	b := Box3{Center: Vec3{1, 2, 3}, Side: 4}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		p := Vec3{
+			b.Center.X + (rng.Float64()-0.5)*b.Side,
+			b.Center.Y + (rng.Float64()-0.5)*b.Side,
+			b.Center.Z + (rng.Float64()-0.5)*b.Side,
+		}
+		n := 0
+		for oct := 0; oct < 8; oct++ {
+			if b.Child(oct).Contains(p) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("point %v contained in %d children, want exactly 1", p, n)
+		}
+	}
+}
+
+func TestBox3ChildGeometry(t *testing.T) {
+	b := Box3{Center: Vec3{0, 0, 0}, Side: 2}
+	c := b.Child(0) // -X, -Y, -Z octant
+	if c.Side != 1 {
+		t.Errorf("child side = %v, want 1", c.Side)
+	}
+	want := Vec3{-0.5, -0.5, -0.5}
+	if c.Center != want {
+		t.Errorf("child(0) center = %v, want %v", c.Center, want)
+	}
+	c7 := b.Child(7)
+	if c7.Center != (Vec3{0.5, 0.5, 0.5}) {
+		t.Errorf("child(7) center = %v", c7.Center)
+	}
+	// Octant bit semantics: bit0 -> +X, bit1 -> +Y, bit2 -> +Z.
+	c5 := b.Child(5)
+	if c5.Center != (Vec3{0.5, -0.5, 0.5}) {
+		t.Errorf("child(5) center = %v", c5.Center)
+	}
+}
+
+func TestBox3CircumRadius(t *testing.T) {
+	b := Box3{Side: 2}
+	want := math.Sqrt(3)
+	if !almostEq(b.CircumRadius(), want, 1e-15) {
+		t.Errorf("CircumRadius = %v, want %v", b.CircumRadius(), want)
+	}
+}
+
+func TestBox2ChildrenTileParent(t *testing.T) {
+	b := Box2{Center: Vec2{-1, 5}, Side: 8}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		p := Vec2{
+			b.Center.X + (rng.Float64()-0.5)*b.Side,
+			b.Center.Y + (rng.Float64()-0.5)*b.Side,
+		}
+		n := 0
+		for q := 0; q < 4; q++ {
+			if b.Child(q).Contains(p) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("point %v contained in %d children, want exactly 1", p, n)
+		}
+	}
+}
+
+func TestBox2CircumRadius(t *testing.T) {
+	b := Box2{Side: 2}
+	want := math.Sqrt(2)
+	if !almostEq(b.CircumRadius(), want, 1e-15) {
+		t.Errorf("CircumRadius = %v, want %v", b.CircumRadius(), want)
+	}
+}
+
+func TestBoxStrings(t *testing.T) {
+	if got := (Box3{Center: Vec3{0, 0, 0}, Side: 1}).String(); got == "" {
+		t.Error("empty Box3 string")
+	}
+	if got := (Box2{Center: Vec2{0, 0}, Side: 1}).String(); got == "" {
+		t.Error("empty Box2 string")
+	}
+}

@@ -1,0 +1,155 @@
+package geom
+
+import "fmt"
+
+// Coord3 is an integer box coordinate (ix, iy, iz) on a regular grid of
+// boxes, 0 <= ix < 2^level etc. for a hierarchy level.
+type Coord3 struct {
+	X, Y, Z int
+}
+
+// Add returns c + d.
+func (c Coord3) Add(d Coord3) Coord3 { return Coord3{c.X + d.X, c.Y + d.Y, c.Z + d.Z} }
+
+// In reports whether c lies in the grid [0,n)^3.
+func (c Coord3) In(n int) bool {
+	return c.X >= 0 && c.X < n && c.Y >= 0 && c.Y < n && c.Z >= 0 && c.Z < n
+}
+
+// ChebDist returns the Chebyshev (max-axis) distance between c and d. Two
+// boxes at the same level are in each other's d-separation near field iff
+// their Chebyshev distance is at most d.
+func (c Coord3) ChebDist(d Coord3) int {
+	return max3(abs(c.X-d.X), abs(c.Y-d.Y), abs(c.Z-d.Z))
+}
+
+// Parent returns the coordinate of the parent box one level up.
+func (c Coord3) Parent() Coord3 { return Coord3{c.X >> 1, c.Y >> 1, c.Z >> 1} }
+
+// Octant returns which child of its parent c is, matching Box3.Child.
+func (c Coord3) Octant() int { return (c.X & 1) | (c.Y&1)<<1 | (c.Z&1)<<2 }
+
+// Child returns the child coordinate at octant oct one level down.
+func (c Coord3) Child(oct int) Coord3 {
+	return Coord3{c.X<<1 | oct&1, c.Y<<1 | oct>>1&1, c.Z<<1 | oct>>2&1}
+}
+
+// Index returns the row-major flat index of c in an n x n x n grid
+// (z slowest, x fastest).
+func (c Coord3) Index(n int) int { return (c.Z*n+c.Y)*n + c.X }
+
+// CoordFromIndex inverts Coord3.Index.
+func CoordFromIndex(i, n int) Coord3 {
+	return Coord3{X: i % n, Y: i / n % n, Z: i / (n * n)}
+}
+
+// String implements fmt.Stringer.
+func (c Coord3) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// Coord2 is an integer box coordinate on a 2-D grid.
+type Coord2 struct {
+	X, Y int
+}
+
+// Add returns c + d.
+func (c Coord2) Add(d Coord2) Coord2 { return Coord2{c.X + d.X, c.Y + d.Y} }
+
+// In reports whether c lies in the grid [0,n)^2.
+func (c Coord2) In(n int) bool { return c.X >= 0 && c.X < n && c.Y >= 0 && c.Y < n }
+
+// ChebDist returns the Chebyshev distance between c and d.
+func (c Coord2) ChebDist(d Coord2) int { return max2(abs(c.X-d.X), abs(c.Y-d.Y)) }
+
+// Parent returns the coordinate of the parent box one level up.
+func (c Coord2) Parent() Coord2 { return Coord2{c.X >> 1, c.Y >> 1} }
+
+// Quadrant returns which child of its parent c is, matching Box2.Child.
+func (c Coord2) Quadrant() int { return (c.X & 1) | (c.Y&1)<<1 }
+
+// Child returns the child coordinate at quadrant q one level down.
+func (c Coord2) Child(q int) Coord2 { return Coord2{c.X<<1 | q&1, c.Y<<1 | q>>1&1} }
+
+// Index returns the row-major flat index of c in an n x n grid.
+func (c Coord2) Index(n int) int { return c.Y*n + c.X }
+
+// Coord2FromIndex inverts Coord2.Index.
+func Coord2FromIndex(i, n int) Coord2 { return Coord2{X: i % n, Y: i / n} }
+
+// String implements fmt.Stringer.
+func (c Coord2) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// BoxOf3 returns the coordinate of the leaf box containing point p in a
+// hierarchy whose root box is root refined level times (grid of side
+// 2^level). Points on or beyond the upper domain face are clamped into the
+// boundary box so that every particle in the closed root box is assigned.
+func BoxOf3(p Vec3, root Box3, level int) Coord3 {
+	n := 1 << level
+	h := root.Side / 2
+	inv := float64(n) / root.Side
+	c := Coord3{
+		X: clamp(int((p.X-(root.Center.X-h))*inv), n),
+		Y: clamp(int((p.Y-(root.Center.Y-h))*inv), n),
+		Z: clamp(int((p.Z-(root.Center.Z-h))*inv), n),
+	}
+	return c
+}
+
+// BoxOf2 is the 2-D analogue of BoxOf3.
+func BoxOf2(p Vec2, root Box2, level int) Coord2 {
+	n := 1 << level
+	h := root.Side / 2
+	inv := float64(n) / root.Side
+	return Coord2{
+		X: clamp(int((p.X-(root.Center.X-h))*inv), n),
+		Y: clamp(int((p.Y-(root.Center.Y-h))*inv), n),
+	}
+}
+
+// BoxCenter3 returns the cube of box c at the given level of the hierarchy
+// rooted at root.
+func BoxCenter3(c Coord3, root Box3, level int) Box3 {
+	n := 1 << level
+	s := root.Side / float64(n)
+	lo := root.Center.Sub(Vec3{root.Side / 2, root.Side / 2, root.Side / 2})
+	return Box3{
+		Center: lo.Add(Vec3{(float64(c.X) + 0.5) * s, (float64(c.Y) + 0.5) * s, (float64(c.Z) + 0.5) * s}),
+		Side:   s,
+	}
+}
+
+// BoxCenter2 is the 2-D analogue of BoxCenter3.
+func BoxCenter2(c Coord2, root Box2, level int) Box2 {
+	n := 1 << level
+	s := root.Side / float64(n)
+	lo := root.Center.Sub(Vec2{root.Side / 2, root.Side / 2})
+	return Box2{
+		Center: lo.Add(Vec2{(float64(c.X) + 0.5) * s, (float64(c.Y) + 0.5) * s}),
+		Side:   s,
+	}
+}
+
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c int) int { return max2(max2(a, b), c) }

@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoord3ParentChildRoundTrip(t *testing.T) {
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				c := Coord3{x, y, z}
+				p := c.Parent()
+				oct := c.Octant()
+				if got := p.Child(oct); got != c {
+					t.Fatalf("Parent/Child round trip failed for %v: parent=%v oct=%d got=%v", c, p, oct, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCoord3OctantMatchesBoxChild(t *testing.T) {
+	// The integer octant convention must agree with the geometric Box3.Child
+	// convention: refining the root box and locating child centers must give
+	// the coordinate produced by Coord3.Child.
+	root := Box3{Center: Vec3{0, 0, 0}, Side: 2}
+	for oct := 0; oct < 8; oct++ {
+		child := root.Child(oct)
+		c := BoxOf3(child.Center, root, 1)
+		want := Coord3{0, 0, 0}.Child(oct)
+		if c != want {
+			t.Errorf("oct %d: geometric coord %v, integer coord %v", oct, c, want)
+		}
+	}
+}
+
+func TestCoord3IndexRoundTrip(t *testing.T) {
+	n := 8
+	seen := make(map[int]bool)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				c := Coord3{x, y, z}
+				i := c.Index(n)
+				if i < 0 || i >= n*n*n {
+					t.Fatalf("index out of range: %v -> %d", c, i)
+				}
+				if seen[i] {
+					t.Fatalf("duplicate index %d", i)
+				}
+				seen[i] = true
+				if got := CoordFromIndex(i, n); got != c {
+					t.Fatalf("round trip %v -> %d -> %v", c, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCoord3ChebDist(t *testing.T) {
+	a := Coord3{1, 2, 3}
+	b := Coord3{4, 2, 1}
+	if got := a.ChebDist(b); got != 3 {
+		t.Errorf("ChebDist = %d, want 3", got)
+	}
+	if got := a.ChebDist(a); got != 0 {
+		t.Errorf("ChebDist self = %d", got)
+	}
+}
+
+func TestCoord3In(t *testing.T) {
+	if !(Coord3{0, 0, 0}).In(4) || !(Coord3{3, 3, 3}).In(4) {
+		t.Error("boundary coords should be in grid")
+	}
+	if (Coord3{-1, 0, 0}).In(4) || (Coord3{0, 4, 0}).In(4) {
+		t.Error("out-of-range coords reported in grid")
+	}
+}
+
+func TestBoxOf3AssignsAllPoints(t *testing.T) {
+	root := Box3{Center: Vec3{0.5, 0.5, 0.5}, Side: 1}
+	rng := rand.New(rand.NewSource(3))
+	level := 3
+	for i := 0; i < 2000; i++ {
+		p := Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		c := BoxOf3(p, root, level)
+		if !c.In(1 << level) {
+			t.Fatalf("BoxOf3(%v) = %v out of grid", p, c)
+		}
+		// The box geometrically contains the point.
+		b := BoxCenter3(c, root, level)
+		if !b.Contains(p) {
+			t.Fatalf("box %v (%v) does not contain %v", c, b, p)
+		}
+	}
+	// Upper boundary clamps into the last box.
+	c := BoxOf3(Vec3{1, 1, 1}, root, level)
+	if c != (Coord3{7, 7, 7}) {
+		t.Errorf("boundary point assigned to %v, want (7,7,7)", c)
+	}
+}
+
+func TestBoxCenter3MatchesRecursiveRefinement(t *testing.T) {
+	root := Box3{Center: Vec3{1, -2, 0.5}, Side: 4}
+	// Descend three levels by octants, compare against direct computation.
+	c := Coord3{0, 0, 0}
+	b := root
+	path := []int{5, 2, 7}
+	for _, oct := range path {
+		c = c.Child(oct)
+		b = b.Child(oct)
+	}
+	got := BoxCenter3(c, root, len(path))
+	if got.Center.Dist(b.Center) > 1e-12 || !almostEq(got.Side, b.Side, 1e-12) {
+		t.Errorf("BoxCenter3 = %v, want %v", got, b)
+	}
+}
+
+func TestCoord2ParentChildRoundTrip(t *testing.T) {
+	f := func(x, y uint8) bool {
+		c := Coord2{int(x), int(y)}
+		return c.Parent().Child(c.Quadrant()) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoord2IndexRoundTrip(t *testing.T) {
+	n := 16
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			c := Coord2{x, y}
+			if got := Coord2FromIndex(c.Index(n), n); got != c {
+				t.Fatalf("round trip failed for %v", c)
+			}
+		}
+	}
+}
+
+func TestBoxOf2AssignsAllPoints(t *testing.T) {
+	root := Box2{Center: Vec2{0, 0}, Side: 2}
+	rng := rand.New(rand.NewSource(4))
+	level := 4
+	for i := 0; i < 2000; i++ {
+		p := Vec2{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		c := BoxOf2(p, root, level)
+		if !c.In(1 << level) {
+			t.Fatalf("BoxOf2(%v) = %v out of grid", p, c)
+		}
+		b := BoxCenter2(c, root, level)
+		if !b.Contains(p) {
+			t.Fatalf("box %v does not contain %v", c, p)
+		}
+	}
+}
+
+func TestCoord2ChebDist(t *testing.T) {
+	if got := (Coord2{0, 0}).ChebDist(Coord2{-2, 1}); got != 2 {
+		t.Errorf("ChebDist = %d", got)
+	}
+}
+
+func TestCoordStrings(t *testing.T) {
+	if got := (Coord3{1, 2, 3}).String(); got != "(1,2,3)" {
+		t.Errorf("Coord3.String = %q", got)
+	}
+	if got := (Coord2{1, 2}).String(); got != "(1,2)" {
+		t.Errorf("Coord2.String = %q", got)
+	}
+}

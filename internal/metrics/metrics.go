@@ -1,0 +1,98 @@
+// Package metrics computes the two comparison measures the paper proposes
+// for N-body implementations (Section 1, Table 1): the efficiency of
+// floating-point operations (useful flops divided by machine peak) and
+// cycles per particle (machine cycles times nodes divided by particles),
+// which "incorporates machine size, clock rate, and arithmetic complexities
+// of different methods".
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"nbody/internal/dp"
+)
+
+// Report is one row of a Table 1-style comparison.
+type Report struct {
+	Name      string
+	Particles int
+	Nodes     int
+	ClockMHz  float64
+	// PeakFlopsPerNode is the per-node peak (VUs * flops/cycle * clock).
+	PeakFlopsPerNode float64
+
+	Flops         int64   // useful floating-point operations
+	ComputeCycles float64 // critical-path compute cycles (max over VUs)
+	CommCycles    float64 // modeled communication cycles
+	CopyCycles    float64 // modeled local copy/mask cycles
+
+	Wall time.Duration // measured host wall time (informational)
+}
+
+// FromMachine assembles a report from a dp machine run.
+func FromMachine(name string, m *dp.Machine, counters dp.Counters, particles int) Report {
+	maxC, _ := m.MaxComputeCycles()
+	return Report{
+		Name:             name,
+		Particles:        particles,
+		Nodes:            m.Nodes,
+		ClockMHz:         m.Cost.ClockMHz,
+		PeakFlopsPerNode: float64(m.VUsPerNode) * m.Cost.FlopsPerCycle * m.Cost.ClockMHz * 1e6,
+		Flops:            counters.Flops,
+		ComputeCycles:    maxC,
+		CommCycles:       counters.CommCycles(),
+		CopyCycles:       counters.CopyCycles(),
+	}
+}
+
+// ModelCycles returns the modeled critical-path cycles of the run: compute
+// plus communication plus copying (the data-parallel phases serialize).
+func (r Report) ModelCycles() float64 { return r.ComputeCycles + r.CommCycles + r.CopyCycles }
+
+// ModelSeconds converts ModelCycles to simulated seconds.
+func (r Report) ModelSeconds() float64 { return r.ModelCycles() / (r.ClockMHz * 1e6) }
+
+// Efficiency returns useful flops over peak machine flops for the modeled
+// duration: the paper's primary comparison measure.
+func (r Report) Efficiency() float64 {
+	peak := r.PeakFlopsPerNode * float64(r.Nodes)
+	if peak == 0 || r.ModelSeconds() == 0 {
+		return 0
+	}
+	return float64(r.Flops) / (peak * r.ModelSeconds())
+}
+
+// CyclesPerParticle returns machine cycles times nodes per particle, the
+// paper's machine-size-normalized cost measure.
+func (r Report) CyclesPerParticle() float64 {
+	if r.Particles == 0 {
+		return 0
+	}
+	return r.ModelCycles() * float64(r.Nodes) / float64(r.Particles)
+}
+
+// CommFraction returns the fraction of modeled time spent communicating
+// (the paper reports 10-25% for its configurations).
+func (r Report) CommFraction() float64 {
+	t := r.ModelCycles()
+	if t == 0 {
+		return 0
+	}
+	return r.CommCycles / t
+}
+
+// Mflops returns the modeled sustained Mflops/s of the whole machine.
+func (r Report) Mflops() float64 {
+	s := r.ModelSeconds()
+	if !(s > 0) {
+		return 0
+	}
+	return float64(r.Flops) / s / 1e6
+}
+
+// String formats the row in Table 1 style.
+func (r Report) String() string {
+	return fmt.Sprintf("%-28s N=%-9d P=%-4d eff=%5.1f%%  cycles/particle=%-9.0f comm=%4.1f%%",
+		r.Name, r.Particles, r.Nodes, 100*r.Efficiency(), r.CyclesPerParticle(), 100*r.CommFraction())
+}

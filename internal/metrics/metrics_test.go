@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nbody/internal/dp"
+)
+
+func TestReportArithmetic(t *testing.T) {
+	r := Report{
+		Name:             "test",
+		Particles:        1000,
+		Nodes:            4,
+		ClockMHz:         40,
+		PeakFlopsPerNode: 160e6,
+		Flops:            64e6,
+		ComputeCycles:    30e6,
+		CommCycles:       8e6,
+		CopyCycles:       2e6,
+	}
+	if got := r.ModelCycles(); got != 40e6 {
+		t.Errorf("ModelCycles = %g", got)
+	}
+	if got := r.ModelSeconds(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("ModelSeconds = %g", got)
+	}
+	// 64e6 flops over 1 s on 4x160e6 peak: 10%.
+	if got := r.Efficiency(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Efficiency = %g", got)
+	}
+	// 40e6 cycles * 4 nodes / 1000 particles.
+	if got := r.CyclesPerParticle(); math.Abs(got-160e3) > 1e-6 {
+		t.Errorf("CyclesPerParticle = %g", got)
+	}
+	if got := r.CommFraction(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("CommFraction = %g", got)
+	}
+	if got := r.Mflops(); math.Abs(got-64) > 1e-9 {
+		t.Errorf("Mflops = %g", got)
+	}
+	if !strings.Contains(r.String(), "test") {
+		t.Error("String missing name")
+	}
+}
+
+func TestReportZeroGuards(t *testing.T) {
+	var r Report
+	if r.Efficiency() != 0 || r.CyclesPerParticle() != 0 || r.CommFraction() != 0 || r.Mflops() != 0 {
+		t.Error("zero report should produce zeros, not NaN/Inf")
+	}
+}
+
+func TestFromMachine(t *testing.T) {
+	m, err := dp.NewMachine(4, 4, dp.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ChargeCompute(0, 1000, 1)
+	g := m.NewGrid3(4, 2)
+	g.CShift(dp.AxisX, 1)
+	r := FromMachine("run", m, m.Counters(), 500)
+	if r.Nodes != 4 || r.Particles != 500 {
+		t.Errorf("identity fields wrong: %+v", r)
+	}
+	if r.PeakFlopsPerNode != 4*1*40e6 {
+		t.Errorf("peak = %g", r.PeakFlopsPerNode)
+	}
+	if r.Flops != 1000 {
+		t.Errorf("flops = %d", r.Flops)
+	}
+	if r.ComputeCycles != 1000 {
+		t.Errorf("compute cycles = %g", r.ComputeCycles)
+	}
+	if r.CommCycles <= 0 {
+		t.Error("no comm cycles from shift")
+	}
+}

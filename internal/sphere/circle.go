@@ -1,0 +1,66 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/geom"
+)
+
+// CircleRule is an integration rule on the unit circle S^1 for the 2-D
+// variant of Anderson's method. K equally spaced points with equal weights
+// integrate trigonometric polynomials of degree <= K-1 exactly (and all even
+// symmetries beyond), which is spectrally accurate for the smooth boundary
+// potentials the method integrates.
+type CircleRule struct {
+	Points []geom.Vec2 // unit vectors s_i
+	Angles []float64   // their angles theta_i
+	W      []float64   // weights, summing to 1 (all equal to 1/K)
+	Degree int         // largest trig-polynomial degree integrated exactly
+}
+
+// Circle returns the K-point equally spaced rule.
+func Circle(k int) *CircleRule {
+	if k < 1 {
+		panic("sphere: Circle needs k >= 1")
+	}
+	r := &CircleRule{
+		Points: make([]geom.Vec2, k),
+		Angles: make([]float64, k),
+		W:      make([]float64, k),
+		Degree: k - 1,
+	}
+	for i := 0; i < k; i++ {
+		th := 2 * math.Pi * float64(i) / float64(k)
+		r.Angles[i] = th
+		r.Points[i] = geom.Vec2{X: math.Cos(th), Y: math.Sin(th)}
+		r.W[i] = 1 / float64(k)
+	}
+	return r
+}
+
+// K returns the number of integration points.
+func (r *CircleRule) K() int { return len(r.Points) }
+
+// DefaultM returns the default Fourier truncation for kernels built on this
+// rule: modes above K/2 alias on a K-point grid, so M = (K-1)/2 is the
+// largest safe truncation.
+func (r *CircleRule) DefaultM() int {
+	m := (r.K() - 1) / 2
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Mean integrates f over the circle with respect to the normalized measure.
+func (r *CircleRule) Mean(f func(geom.Vec2) float64) float64 {
+	var s float64
+	for i, p := range r.Points {
+		s += r.W[i] * f(p)
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (r *CircleRule) String() string { return fmt.Sprintf("circle(K=%d)", r.K()) }

@@ -1,0 +1,81 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"nbody/internal/geom"
+)
+
+func TestCircleBasics(t *testing.T) {
+	r := Circle(8)
+	if r.K() != 8 || r.Degree != 7 {
+		t.Fatalf("K=%d degree=%d", r.K(), r.Degree)
+	}
+	var sum float64
+	for i, p := range r.Points {
+		if math.Abs(p.Norm()-1) > 1e-14 {
+			t.Errorf("point %d off circle", i)
+		}
+		if math.Abs(p.X-math.Cos(r.Angles[i])) > 1e-14 {
+			t.Errorf("point %d inconsistent with angle", i)
+		}
+		sum += r.W[i]
+	}
+	if math.Abs(sum-1) > 1e-14 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestCircleTrigExactness(t *testing.T) {
+	// K equally spaced points integrate cos(n t) and sin(n t) exactly
+	// (to zero) for 1 <= n <= K-1, and the constant to 1.
+	for _, k := range []int{4, 7, 12, 16} {
+		r := Circle(k)
+		for n := 1; n < k; n++ {
+			c := r.Mean(func(p geom.Vec2) float64 { return math.Cos(float64(n) * p.Angle()) })
+			s := r.Mean(func(p geom.Vec2) float64 { return math.Sin(float64(n) * p.Angle()) })
+			if math.Abs(c) > 1e-13 || math.Abs(s) > 1e-13 {
+				t.Errorf("K=%d: mean cos/sin(%d t) = %g, %g", k, n, c, s)
+			}
+		}
+		if got := r.Mean(func(geom.Vec2) float64 { return 2 }); math.Abs(got-2) > 1e-14 {
+			t.Errorf("K=%d: mean const = %g", k, got)
+		}
+	}
+}
+
+func TestCircleAliasing(t *testing.T) {
+	// cos(K t) aliases to the constant 1 on a K-point grid: this is why
+	// DefaultM caps the Fourier truncation below K/2.
+	k := 8
+	r := Circle(k)
+	got := r.Mean(func(p geom.Vec2) float64 { return math.Cos(float64(k) * p.Angle()) })
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("mean cos(K t) = %g, want 1 (aliased)", got)
+	}
+}
+
+func TestCircleDefaultM(t *testing.T) {
+	if got := Circle(12).DefaultM(); got != 5 {
+		t.Errorf("DefaultM(12 pts) = %d, want 5", got)
+	}
+	if got := Circle(3).DefaultM(); got != 1 {
+		t.Errorf("DefaultM(3 pts) = %d, want 1", got)
+	}
+}
+
+func TestCircleBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Circle(0) should panic")
+		}
+	}()
+	Circle(0)
+}
+
+func TestCircleString(t *testing.T) {
+	if got := Circle(4).String(); got != "circle(K=4)" {
+		t.Errorf("String = %q", got)
+	}
+}

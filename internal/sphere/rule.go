@@ -1,0 +1,153 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/geom"
+)
+
+// Rule is an integration rule on the unit sphere S^2. Weights are
+// normalized so that Sum(W) = 1; a rule therefore computes the *mean* of a
+// function over the sphere, matching the 1/(4*pi) factor of Poisson's
+// formula (equations (1)-(3) of the paper).
+//
+// Degree is the largest polynomial degree the rule integrates exactly: the
+// paper's "order of integration D" (Table 2). M is the associated Legendre
+// series truncation used by Anderson's kernels, M = Degree/2 by default.
+type Rule struct {
+	Name   string
+	Points []geom.Vec3 // unit vectors s_i
+	W      []float64   // weights, summing to 1
+	Degree int
+}
+
+// K returns the number of integration points.
+func (r *Rule) K() int { return len(r.Points) }
+
+// DefaultM returns the default Legendre truncation for kernels built on this
+// rule. The discretized Poisson kernel can resolve spherical harmonics only
+// up to the rule's exactness; Anderson's parameter table uses M = D/2.
+func (r *Rule) DefaultM() int {
+	m := r.Degree / 2
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Mean integrates f over the sphere with respect to the normalized measure.
+func (r *Rule) Mean(f func(geom.Vec3) float64) float64 {
+	var s float64
+	for i, p := range r.Points {
+		s += r.W[i] * f(p)
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s(K=%d, degree %d)", r.Name, r.K(), r.Degree)
+}
+
+// Tetrahedron returns the 4-point spherical 2-design: the vertices of a
+// regular tetrahedron, equal weights.
+func Tetrahedron() *Rule {
+	c := 1 / math.Sqrt(3)
+	pts := []geom.Vec3{
+		{X: c, Y: c, Z: c},
+		{X: c, Y: -c, Z: -c},
+		{X: -c, Y: c, Z: -c},
+		{X: -c, Y: -c, Z: c},
+	}
+	return equalWeight("tetrahedron", pts, 2)
+}
+
+// Octahedron returns the 6-point spherical 3-design: the vertices of a
+// regular octahedron, equal weights.
+func Octahedron() *Rule {
+	pts := []geom.Vec3{
+		{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
+	}
+	return equalWeight("octahedron", pts, 3)
+}
+
+// Icosahedron returns the 12-point spherical 5-design: the vertices of a
+// regular icosahedron, equal weights. This is Anderson's K=12, D=5
+// configuration (the paper's headline low-accuracy runs).
+func Icosahedron() *Rule {
+	phi := (1 + math.Sqrt(5)) / 2
+	n := math.Sqrt(1 + phi*phi)
+	a, b := 1/n, phi/n
+	pts := []geom.Vec3{
+		{X: 0, Y: a, Z: b}, {X: 0, Y: a, Z: -b}, {X: 0, Y: -a, Z: b}, {X: 0, Y: -a, Z: -b},
+		{X: a, Y: b, Z: 0}, {X: a, Y: -b, Z: 0}, {X: -a, Y: b, Z: 0}, {X: -a, Y: -b, Z: 0},
+		{X: b, Y: 0, Z: a}, {X: -b, Y: 0, Z: a}, {X: b, Y: 0, Z: -a}, {X: -b, Y: 0, Z: -a},
+	}
+	return equalWeight("icosahedron", pts, 5)
+}
+
+func equalWeight(name string, pts []geom.Vec3, degree int) *Rule {
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = 1 / float64(len(pts))
+	}
+	return &Rule{Name: name, Points: pts, W: w, Degree: degree}
+}
+
+// Product returns the product Gauss-Legendre x trapezoidal rule with ntheta
+// Gauss nodes in cos(theta) and nphi equally spaced azimuthal nodes,
+// K = ntheta*nphi points. It integrates spherical polynomials exactly up to
+// degree min(2*ntheta-1, nphi-1).
+//
+// This is the substitute for the McLaren-style minimal formulas Anderson
+// selected from (see DESIGN.md): any integration order is reachable, at the
+// cost of ~1.7x more points than the minimal rule of the same degree.
+func Product(ntheta, nphi int) *Rule {
+	if ntheta < 1 || nphi < 1 {
+		panic("sphere: Product needs positive point counts")
+	}
+	nodes, wts := GaussLegendre(ntheta)
+	pts := make([]geom.Vec3, 0, ntheta*nphi)
+	w := make([]float64, 0, ntheta*nphi)
+	for i := 0; i < ntheta; i++ {
+		ct := nodes[i]
+		st := math.Sqrt(1 - ct*ct)
+		for j := 0; j < nphi; j++ {
+			// Offset the azimuthal grid by half a step per ring to avoid
+			// aligned meridians (slightly better conditioning, no effect on
+			// exactness).
+			phi := 2 * math.Pi * (float64(j) + 0.5*float64(i%2)) / float64(nphi)
+			pts = append(pts, geom.Vec3{X: st * math.Cos(phi), Y: st * math.Sin(phi), Z: ct})
+			w = append(w, wts[i]/2/float64(nphi))
+		}
+	}
+	deg := 2*ntheta - 1
+	if nphi-1 < deg {
+		deg = nphi - 1
+	}
+	return &Rule{
+		Name:   fmt.Sprintf("product%dx%d", ntheta, nphi),
+		Points: pts,
+		W:      w,
+		Degree: deg,
+	}
+}
+
+// ForDegree returns a rule of exactness at least d, choosing the exact
+// design when one is available at fewer points and the product rule
+// otherwise. This mirrors Anderson's guidance to pick the formula with the
+// fewest points for the chosen integration order.
+func ForDegree(d int) *Rule {
+	switch {
+	case d <= 2:
+		return Tetrahedron()
+	case d <= 3:
+		return Octahedron()
+	case d <= 5:
+		return Icosahedron()
+	default:
+		nt := (d + 2) / 2 // ceil((d+1)/2)
+		return Product(nt, d+1)
+	}
+}

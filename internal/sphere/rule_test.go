@@ -1,0 +1,150 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"nbody/internal/geom"
+)
+
+// sphereMonomialMean returns the exact mean of x^a y^b z^c over the unit
+// sphere: 0 if any exponent is odd, else (a-1)!!(b-1)!!(c-1)!!/(a+b+c+1)!!.
+func sphereMonomialMean(a, b, c int) float64 {
+	if a%2 == 1 || b%2 == 1 || c%2 == 1 {
+		return 0
+	}
+	return ddfact(a-1) * ddfact(b-1) * ddfact(c-1) / ddfact(a+b+c+1)
+}
+
+func ddfact(n int) float64 {
+	f := 1.0
+	for k := n; k > 1; k -= 2 {
+		f *= float64(k)
+	}
+	return f
+}
+
+func checkRuleExactness(t *testing.T, r *Rule) {
+	t.Helper()
+	for a := 0; a <= r.Degree; a++ {
+		for b := 0; a+b <= r.Degree; b++ {
+			for c := 0; a+b+c <= r.Degree; c++ {
+				got := r.Mean(func(p geom.Vec3) float64 {
+					return math.Pow(p.X, float64(a)) * math.Pow(p.Y, float64(b)) * math.Pow(p.Z, float64(c))
+				})
+				want := sphereMonomialMean(a, b, c)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("%v: mean x^%d y^%d z^%d = %g, want %g", r, a, b, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func checkRuleBasics(t *testing.T, r *Rule) {
+	t.Helper()
+	var sum float64
+	for i, p := range r.Points {
+		if math.Abs(p.Norm()-1) > 1e-13 {
+			t.Errorf("%v: point %d not on unit sphere (|p| = %g)", r, i, p.Norm())
+		}
+		if r.W[i] <= 0 {
+			t.Errorf("%v: weight %d nonpositive", r, i)
+		}
+		sum += r.W[i]
+	}
+	if math.Abs(sum-1) > 1e-13 {
+		t.Errorf("%v: weights sum to %g, want 1", r, sum)
+	}
+}
+
+func TestDesigns(t *testing.T) {
+	for _, r := range []*Rule{Tetrahedron(), Octahedron(), Icosahedron()} {
+		checkRuleBasics(t, r)
+		checkRuleExactness(t, r)
+	}
+}
+
+func TestIcosahedronHasTwelvePoints(t *testing.T) {
+	r := Icosahedron()
+	if r.K() != 12 || r.Degree != 5 {
+		t.Errorf("icosahedron K=%d degree=%d, want 12, 5", r.K(), r.Degree)
+	}
+	// All pairwise dot products of distinct vertices are ±1/sqrt(5) or -1.
+	for i := range r.Points {
+		for j := i + 1; j < len(r.Points); j++ {
+			d := r.Points[i].Dot(r.Points[j])
+			ok := math.Abs(math.Abs(d)-1/math.Sqrt(5)) < 1e-12 || math.Abs(d+1) < 1e-12
+			if !ok {
+				t.Errorf("vertices %d,%d dot = %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestProductRules(t *testing.T) {
+	for _, cfg := range []struct{ nt, np int }{{2, 4}, {3, 6}, {4, 8}, {6, 12}, {8, 15}} {
+		r := Product(cfg.nt, cfg.np)
+		checkRuleBasics(t, r)
+		checkRuleExactness(t, r)
+		if r.K() != cfg.nt*cfg.np {
+			t.Errorf("%v: K = %d, want %d", r, r.K(), cfg.nt*cfg.np)
+		}
+	}
+}
+
+func TestForDegree(t *testing.T) {
+	cases := []struct {
+		d        int
+		wantK    int
+		wantName string
+	}{
+		{1, 4, "tetrahedron"},
+		{2, 4, "tetrahedron"},
+		{3, 6, "octahedron"},
+		{5, 12, "icosahedron"},
+		{7, 4 * 8, "product4x8"},
+		{11, 6 * 12, "product6x12"},
+		{14, 8 * 15, "product8x15"},
+	}
+	for _, c := range cases {
+		r := ForDegree(c.d)
+		if r.Degree < c.d {
+			t.Errorf("ForDegree(%d) degree = %d", c.d, r.Degree)
+		}
+		if r.K() != c.wantK || r.Name != c.wantName {
+			t.Errorf("ForDegree(%d) = %v, want %s K=%d", c.d, r, c.wantName, c.wantK)
+		}
+		checkRuleExactness(t, r)
+	}
+}
+
+func TestDefaultM(t *testing.T) {
+	if got := Icosahedron().DefaultM(); got != 2 {
+		t.Errorf("icosahedron DefaultM = %d, want 2", got)
+	}
+	if got := Product(8, 15).DefaultM(); got != 7 {
+		t.Errorf("product8x15 DefaultM = %d, want 7", got)
+	}
+	if got := Tetrahedron().DefaultM(); got != 1 {
+		t.Errorf("tetrahedron DefaultM = %d, want 1", got)
+	}
+}
+
+func TestRuleMeanConstant(t *testing.T) {
+	for d := 1; d <= 16; d++ {
+		r := ForDegree(d)
+		if got := r.Mean(func(geom.Vec3) float64 { return 3.5 }); math.Abs(got-3.5) > 1e-12 {
+			t.Errorf("%v: mean of constant = %g", r, got)
+		}
+	}
+}
+
+func TestProductBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Product(0, 5) should panic")
+		}
+	}()
+	Product(0, 5)
+}

@@ -1,0 +1,148 @@
+// Package nbody is a Go implementation of O(N) hierarchical N-body methods,
+// reproducing Hu & Johnsson, "A Data-Parallel Implementation of O(N)
+// Hierarchical N-body Methods" (Supercomputing '96).
+//
+// The package provides:
+//
+//   - Anderson's O(N) method (the fast multipole method "without
+//     multipoles", built on Poisson-formula sphere approximations), in three
+//     and two dimensions, with the paper's optimizations: two-separation
+//     near fields, supernodes, BLAS-aggregated translations.
+//   - A Barnes-Hut O(N log N) baseline and an O(N^2) direct baseline.
+//   - A simulated CM-5-class data-parallel machine on which the paper's
+//     communication experiments (interactive-field strategies, multigrid
+//     embedding, translation-matrix replication) are reproduced with
+//     element-accurate counters and a calibrated cycle model.
+//
+// Quick start:
+//
+//	sys := nbody.NewUniformSystem(100000, 1)
+//	solver, _ := nbody.NewAnderson(sys.BoundingBox(), nbody.Options{Accuracy: nbody.Fast})
+//	phi, _ := solver.Potentials(sys)
+package nbody
+
+import (
+	"math"
+	"math/rand"
+
+	"nbody/internal/geom"
+)
+
+// Vec3 is a 3-D point or vector.
+type Vec3 = geom.Vec3
+
+// Vec2 is a 2-D point or vector.
+type Vec2 = geom.Vec2
+
+// Box is an axis-aligned cubic domain given by center and side.
+type Box = geom.Box3
+
+// Box2D is an axis-aligned square domain.
+type Box2D = geom.Box2
+
+// System is a set of charged (or massive) particles. For gravity, use
+// masses as charges; the potential convention is phi(x) = sum q_j / r and
+// the field returned by acceleration methods is +grad phi = sum q_j
+// (y-x)/r^3, i.e. attractive toward positive charges.
+type System struct {
+	Positions []Vec3
+	Charges   []float64
+}
+
+// Len returns the number of particles.
+func (s *System) Len() int { return len(s.Positions) }
+
+// BoundingBox returns the smallest cube centered on the particle centroid
+// that contains every particle, padded slightly so boundary particles stay
+// strictly inside after floating-point round-off.
+func (s *System) BoundingBox() Box {
+	if s.Len() == 0 {
+		return Box{Center: Vec3{}, Side: 1}
+	}
+	lo := s.Positions[0]
+	hi := s.Positions[0]
+	for _, p := range s.Positions {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	side := math.Max(hi.X-lo.X, math.Max(hi.Y-lo.Y, hi.Z-lo.Z))
+	if side == 0 {
+		side = 1
+	}
+	side *= 1 + 1e-12
+	return Box{Center: lo.Add(hi).Scale(0.5), Side: side}
+}
+
+// TotalCharge returns the sum of charges.
+func (s *System) TotalCharge() float64 {
+	var q float64
+	for _, v := range s.Charges {
+		q += v
+	}
+	return q
+}
+
+// NewUniformSystem returns n particles uniformly distributed in the unit
+// cube [0,1)^3 with uniform positive charges — the distribution of all the
+// paper's performance measurements.
+func NewUniformSystem(n int, seed int64) *System {
+	rng := rand.New(rand.NewSource(seed))
+	s := &System{Positions: make([]Vec3, n), Charges: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.Positions[i] = Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		s.Charges[i] = rng.Float64()
+	}
+	return s
+}
+
+// NewPlummerSystem returns an n-body Plummer sphere (the standard
+// astrophysical test distribution) with total mass 1, truncated at radius
+// maxR scale lengths and rescaled into a unit cube centered at (0.5, 0.5,
+// 0.5). The truncation keeps the non-adaptive hierarchy reasonable.
+func NewPlummerSystem(n int, seed int64) *System {
+	rng := rand.New(rand.NewSource(seed))
+	const maxR = 8.0
+	s := &System{Positions: make([]Vec3, n), Charges: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		var r float64
+		for {
+			// Inverse-CDF sampling of the Plummer cumulative mass profile.
+			x := rng.Float64()
+			r = 1 / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+			if r < maxR {
+				break
+			}
+		}
+		// Random direction.
+		z := 2*rng.Float64() - 1
+		phi := 2 * math.Pi * rng.Float64()
+		sxy := math.Sqrt(1 - z*z)
+		p := Vec3{X: r * sxy * math.Cos(phi), Y: r * sxy * math.Sin(phi), Z: r * z}
+		// Rescale [-maxR, maxR] -> [0, 1).
+		s.Positions[i] = Vec3{
+			X: (p.X + maxR) / (2 * maxR),
+			Y: (p.Y + maxR) / (2 * maxR),
+			Z: (p.Z + maxR) / (2 * maxR),
+		}
+		s.Charges[i] = 1.0 / float64(n)
+	}
+	return s
+}
+
+// NewNeutralSystem returns a charge-neutral plasma-like cube: n particles,
+// alternating +1/-1 charges, uniform positions.
+func NewNeutralSystem(n int, seed int64) *System {
+	s := NewUniformSystem(n, seed)
+	for i := range s.Charges {
+		if i%2 == 0 {
+			s.Charges[i] = 1
+		} else {
+			s.Charges[i] = -1
+		}
+	}
+	return s
+}

@@ -1,0 +1,243 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"nbody/internal/dpfmm"
+)
+
+func relErr(got, want []float64) float64 {
+	var rms, mean float64
+	for i := range got {
+		d := got[i] - want[i]
+		rms += d * d
+		mean += math.Abs(want[i])
+	}
+	return math.Sqrt(rms/float64(len(got))) / (mean/float64(len(got)) + 1e-300)
+}
+
+func TestSystemGenerators(t *testing.T) {
+	u := NewUniformSystem(1000, 1)
+	if u.Len() != 1000 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	bb := u.BoundingBox()
+	for _, p := range u.Positions {
+		if !bb.Contains(p) && p.Dist(bb.Center) > bb.Side {
+			t.Fatalf("particle %v outside bounding box %v", p, bb)
+		}
+	}
+	if u.TotalCharge() <= 0 {
+		t.Error("uniform system should have positive total charge")
+	}
+
+	p := NewPlummerSystem(2000, 2)
+	if math.Abs(p.TotalCharge()-1) > 1e-12 {
+		t.Errorf("Plummer total mass = %g, want 1", p.TotalCharge())
+	}
+	// Mass concentrates near the center: one Plummer scale length maps to
+	// 1/16 of the box and should hold ~35% of the mass (analytically
+	// (1+1)^(-3/2) complementary ~ 0.35).
+	c := Vec3{X: 0.5, Y: 0.5, Z: 0.5}
+	inner := 0
+	for _, q := range p.Positions {
+		if q.Dist(c) < 0.0625 {
+			inner++
+		}
+	}
+	frac := float64(inner) / float64(p.Len())
+	if frac < 0.25 || frac > 0.45 {
+		t.Errorf("Plummer concentration: %.2f within one scale length, want ~0.35", frac)
+	}
+
+	nsys := NewNeutralSystem(100, 3)
+	if nsys.TotalCharge() != 0 {
+		t.Errorf("neutral system charge = %g", nsys.TotalCharge())
+	}
+}
+
+func TestBoundingBoxDegenerate(t *testing.T) {
+	s := &System{Positions: []Vec3{{X: 1, Y: 2, Z: 3}}, Charges: []float64{1}}
+	bb := s.BoundingBox()
+	if bb.Side <= 0 {
+		t.Errorf("degenerate bounding box: %v", bb)
+	}
+	empty := &System{}
+	if empty.BoundingBox().Side <= 0 {
+		t.Error("empty bounding box side <= 0")
+	}
+}
+
+func TestAndersonAgainstDirect(t *testing.T) {
+	sys := NewUniformSystem(2000, 4)
+	a, err := NewAnderson(sys.BoundingBox(), Options{Accuracy: Balanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := a.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDirect().Potentials(sys)
+	if e := relErr(phi, want); e > 1e-4 {
+		t.Errorf("Balanced error %.2e", e)
+	}
+	if a.Depth() < 2 {
+		t.Errorf("auto depth = %d", a.Depth())
+	}
+	if a.Stats().TotalFlops() <= 0 {
+		t.Error("no stats recorded")
+	}
+}
+
+func TestAccuracyPresetsOrdering(t *testing.T) {
+	sys := NewUniformSystem(1500, 5)
+	want, _ := NewDirect().Potentials(sys)
+	var errs []float64
+	for _, acc := range []Accuracy{Fast, Balanced, Accurate} {
+		a, err := NewAnderson(sys.BoundingBox(), Options{Accuracy: acc, Depth: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := a.Potentials(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, relErr(phi, want))
+	}
+	t.Logf("preset errors: %v", errs)
+	if !(errs[0] > errs[1] && errs[1] > errs[2]) {
+		t.Errorf("presets not ordered: %v", errs)
+	}
+	// The paper's headline accuracies: ~4 digits Fast, ~6+ digits Accurate
+	// (relative to the mean).
+	if errs[0] > 1e-3 {
+		t.Errorf("Fast error %.2e, want ~1e-4 band", errs[0])
+	}
+	if errs[2] > 1e-5 {
+		t.Errorf("Accurate error %.2e, want ~1e-6 band", errs[2])
+	}
+}
+
+func TestBarnesHutSolver(t *testing.T) {
+	sys := NewUniformSystem(2000, 6)
+	b := NewBarnesHut(sys.BoundingBox(), 0.5)
+	phi, err := b.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDirect().Potentials(sys)
+	if e := relErr(phi, want); e > 5e-3 {
+		t.Errorf("BH error %.2e", e)
+	}
+	if b.LastStats.TotalFlops() <= 0 {
+		t.Error("no BH stats")
+	}
+	if b.Name() != "barnes-hut" || NewDirect().Name() != "direct" {
+		t.Error("names wrong")
+	}
+}
+
+func TestAndersonAccelerationsMatchDirect(t *testing.T) {
+	sys := NewPlummerSystem(1000, 7)
+	a, err := NewAnderson(sys.BoundingBox(), Options{Accuracy: Balanced, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, acc, err := a.Accelerations(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDirect().Accelerations(sys)
+	var rms, mean float64
+	for i := range acc {
+		rms += acc[i].Sub(want[i]).Norm2()
+		mean += want[i].Norm()
+	}
+	rms = math.Sqrt(rms / float64(len(acc)))
+	mean /= float64(len(acc))
+	if rms/mean > 5e-3 {
+		t.Errorf("acceleration error %.2e (Plummer is clustered; non-adaptive method)", rms/mean)
+	}
+}
+
+func TestDataParallelSolver(t *testing.T) {
+	sys := NewUniformSystem(1000, 8)
+	d, err := NewDataParallel(4, sys.BoundingBox(), Options{Accuracy: Fast, Depth: 3}, dpfmm.DirectAliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := d.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDirect().Potentials(sys)
+	if e := relErr(phi, want); e > 1e-3 {
+		t.Errorf("DP error %.2e", e)
+	}
+	r := d.Report("dp-run", sys.Len())
+	if r.Efficiency() <= 0 || r.Efficiency() > 1 {
+		t.Errorf("efficiency = %g", r.Efficiency())
+	}
+	if r.CyclesPerParticle() <= 0 {
+		t.Errorf("cycles/particle = %g", r.CyclesPerParticle())
+	}
+	d.ResetCounters()
+	if d.Report("x", 1).Flops != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if _, err := NewDataParallel(4, sys.BoundingBox(), Options{}, dpfmm.DirectAliased); err == nil {
+		t.Error("missing depth accepted")
+	}
+}
+
+func TestAnderson2DSolver(t *testing.T) {
+	pos := make([]Vec2, 800)
+	q := make([]float64, 800)
+	sys := NewUniformSystem(800, 9)
+	for i := range pos {
+		pos[i] = Vec2{X: sys.Positions[i].X, Y: sys.Positions[i].Y}
+		q[i] = sys.Charges[i]
+	}
+	box := Box2D{Center: Vec2{X: 0.5, Y: 0.5}, Side: 1.001}
+	a, err := NewAnderson2D(box, Options2D{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := a.Potentials(pos, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DirectPotentials2D(pos, q)
+	if e := relErr(phi, want); e > 1e-4 {
+		t.Errorf("2-D error %.2e", e)
+	}
+	if _, err := NewAnderson2D(box, Options2D{}); err == nil {
+		t.Error("missing depth accepted")
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	fast, err := EstimateAccuracy(Options{Accuracy: Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.K != 12 {
+		t.Errorf("Fast K = %d, want 12", fast.K)
+	}
+	acc, err := EstimateAccuracy(Options{Accuracy: Accurate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ExpectedDigits <= fast.ExpectedDigits {
+		t.Errorf("Accurate digits (%.1f) not above Fast (%.1f)",
+			acc.ExpectedDigits, fast.ExpectedDigits)
+	}
+	if fast.WorstPairError > 0.1 || acc.WorstPairError > 1e-3 {
+		t.Errorf("errors out of band: %.2e, %.2e", fast.WorstPairError, acc.WorstPairError)
+	}
+	if _, err := EstimateAccuracy(Options{Degree: 5, Separation: -3}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

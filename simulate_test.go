@@ -1,0 +1,104 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulationValidation(t *testing.T) {
+	sys := NewUniformSystem(10, 31)
+	if _, err := NewSimulation(sys, nil, DirectAccelerator{}, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := NewSimulation(sys, make([]Vec3, 3), DirectAccelerator{}, 1e-3); err == nil {
+		t.Error("mismatched velocities accepted")
+	}
+}
+
+func TestTwoBodyCircularOrbit(t *testing.T) {
+	// Two equal masses in a circular orbit about their barycenter: after
+	// integration, the separation must stay constant and energy conserved.
+	m := 0.5
+	r := 0.1 // separation
+	sys := &System{
+		Positions: []Vec3{{X: 0.5 - r/2, Y: 0.5, Z: 0.5}, {X: 0.5 + r/2, Y: 0.5, Z: 0.5}},
+		Charges:   []float64{m, m},
+	}
+	// Circular speed about the barycenter: v^2 = G m_other * (r/2) / r^2.
+	v := math.Sqrt(m / (2 * r))
+	vel := []Vec3{{Y: -v}, {Y: v}}
+	sim, err := NewSimulation(sys, vel, DirectAccelerator{}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, e0 := sim.Energy()
+	if err := sim.Step(200); err != nil {
+		t.Fatal(err)
+	}
+	_, _, e1 := sim.Energy()
+	if math.Abs(e1-e0) > 1e-6*math.Abs(e0) {
+		t.Errorf("energy drift %g -> %g", e0, e1)
+	}
+	sep := sys.Positions[0].Dist(sys.Positions[1])
+	if math.Abs(sep-r) > 0.01*r {
+		t.Errorf("separation %g, want %g", sep, r)
+	}
+	if sim.Steps() != 200 || math.Abs(sim.Time()-200e-4) > 1e-12 {
+		t.Errorf("bookkeeping: steps=%d time=%g", sim.Steps(), sim.Time())
+	}
+}
+
+func TestSimulationWithAndersonMatchesDirect(t *testing.T) {
+	mkSys := func() *System { return NewPlummerSystem(400, 33) }
+
+	box := mkSys().BoundingBox()
+	box.Side *= 1.2
+	a, err := NewAnderson(box, Options{Accuracy: Balanced, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(acc Accelerator, sys *System) *System {
+		sim, err := NewSimulation(sys, nil, acc, 5e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(3); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sa := run(a, mkSys())
+	sd := run(DirectAccelerator{}, mkSys())
+	var worst float64
+	for i := range sa.Positions {
+		d := sa.Positions[i].Dist(sd.Positions[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("trajectories diverged by %g after 3 steps", worst)
+	}
+	if sim := sa; sim == nil {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestSimulationEnergyAccessors(t *testing.T) {
+	sys := NewUniformSystem(50, 34)
+	sim, err := NewSimulation(sys, nil, DirectAccelerator{}, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, u, e := sim.Energy()
+	if k != 0 {
+		t.Errorf("cold start kinetic = %g", k)
+	}
+	if e != u {
+		t.Errorf("total %g != potential %g at cold start", e, u)
+	}
+	if len(sim.Accel()) != sys.Len() {
+		t.Error("Accel length mismatch")
+	}
+}

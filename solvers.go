@@ -1,0 +1,301 @@
+package nbody
+
+import (
+	"fmt"
+
+	"nbody/internal/bh"
+	"nbody/internal/core"
+	"nbody/internal/core2"
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/dpfmm"
+	"nbody/internal/metrics"
+)
+
+// Accuracy selects a calibrated parameter preset for Anderson's method,
+// mirroring the paper's two headline configurations.
+type Accuracy int
+
+// The presets.
+const (
+	// Fast is the paper's low-accuracy configuration: the 12-point
+	// icosahedral rule (integration order D = 5), about four digits
+	// relative to the mean field.
+	Fast Accuracy = iota
+	// Balanced is an intermediate configuration (D = 9).
+	Balanced
+	// Accurate approximates the paper's D = 14 configuration with the
+	// degree-13 product rule, about six to seven digits.
+	Accurate
+)
+
+func (a Accuracy) degree() int {
+	switch a {
+	case Fast:
+		return 5
+	case Balanced:
+		return 9
+	default:
+		return 13
+	}
+}
+
+// Options configures an Anderson solver. The zero value selects the Fast
+// preset with an automatically chosen hierarchy depth.
+type Options struct {
+	// Accuracy selects a preset; ignored when Degree is set explicitly.
+	Accuracy Accuracy
+	// Degree overrides the integration order D.
+	Degree int
+	// M overrides the Legendre truncation (default ceil(D/2)).
+	M int
+	// Depth fixes the hierarchy depth; 0 chooses the optimal depth for the
+	// first solved system (Section 2.3) and keeps it thereafter.
+	Depth int
+	// Separation overrides the near-field separation (default 2).
+	Separation int
+	// Supernodes enables the 875 -> 189 interactive-field reduction.
+	Supernodes bool
+	// RadiusRatio overrides the sphere radius in box-side units.
+	RadiusRatio float64
+	// DisableAggregation turns off BLAS-3 translation aggregation.
+	DisableAggregation bool
+}
+
+func (o Options) coreConfig(depth int) core.Config {
+	deg := o.Degree
+	if deg == 0 {
+		deg = o.Accuracy.degree()
+	}
+	return core.Config{
+		Degree:             deg,
+		M:                  o.M,
+		Depth:              depth,
+		Separation:         o.Separation,
+		Supernodes:         o.Supernodes,
+		RadiusRatio:        o.RadiusRatio,
+		DisableAggregation: o.DisableAggregation,
+	}
+}
+
+// Anderson is the shared-memory O(N) solver.
+type Anderson struct {
+	box    Box
+	opts   Options
+	solver *core.Solver
+}
+
+// NewAnderson builds an Anderson solver over the given domain.
+func NewAnderson(box Box, opts Options) (*Anderson, error) {
+	a := &Anderson{box: box, opts: opts}
+	if opts.Depth != 0 {
+		s, err := core.NewSolver(box, opts.coreConfig(opts.Depth))
+		if err != nil {
+			return nil, err
+		}
+		a.solver = s
+	}
+	return a, nil
+}
+
+func (a *Anderson) ensureSolver(n int) error {
+	if a.solver != nil {
+		return nil
+	}
+	depth := core.OptimalDepth(n, 32)
+	s, err := core.NewSolver(a.box, a.opts.coreConfig(depth))
+	if err != nil {
+		return err
+	}
+	a.solver = s
+	return nil
+}
+
+// Name identifies the solver in comparison tables.
+func (a *Anderson) Name() string { return "anderson" }
+
+// Potentials computes the potential at every particle of the system.
+func (a *Anderson) Potentials(s *System) ([]float64, error) {
+	if err := a.ensureSolver(s.Len()); err != nil {
+		return nil, err
+	}
+	return a.solver.Potentials(s.Positions, s.Charges)
+}
+
+// Accelerations computes potentials and the field +grad phi.
+func (a *Anderson) Accelerations(s *System) ([]float64, []Vec3, error) {
+	if err := a.ensureSolver(s.Len()); err != nil {
+		return nil, nil, err
+	}
+	return a.solver.Accelerations(s.Positions, s.Charges)
+}
+
+// PotentialsAt evaluates the field of the system's charges at arbitrary
+// probe points inside the domain (no self-exclusion).
+func (a *Anderson) PotentialsAt(s *System, targets []Vec3) ([]float64, error) {
+	if err := a.ensureSolver(s.Len()); err != nil {
+		return nil, err
+	}
+	return a.solver.PotentialsAt(s.Positions, s.Charges, targets)
+}
+
+// Stats exposes the per-phase instrumentation of all solves so far.
+func (a *Anderson) Stats() *core.Stats {
+	if a.solver == nil {
+		return &core.Stats{}
+	}
+	return a.solver.Stats()
+}
+
+// Depth returns the hierarchy depth in use (0 before the first solve when
+// auto-selected).
+func (a *Anderson) Depth() int {
+	if a.solver == nil {
+		return 0
+	}
+	return a.solver.Config().Depth
+}
+
+// BarnesHut is the O(N log N) baseline solver.
+type BarnesHut struct {
+	box Box
+	cfg bh.Config
+	// LastStats holds the traversal statistics of the most recent solve.
+	LastStats bh.Stats
+}
+
+// NewBarnesHut builds a Barnes-Hut solver with opening angle theta
+// (0 selects 0.6) and quadrupole cell expansions.
+func NewBarnesHut(box Box, theta float64) *BarnesHut {
+	return &BarnesHut{box: box, cfg: bh.Config{Theta: theta, Quadrupole: true}}
+}
+
+// Name identifies the solver in comparison tables.
+func (b *BarnesHut) Name() string { return "barnes-hut" }
+
+// Potentials computes the potential at every particle.
+func (b *BarnesHut) Potentials(s *System) ([]float64, error) {
+	tr, err := bh.Build(b.box, s.Positions, s.Charges, b.cfg)
+	if err != nil {
+		return nil, err
+	}
+	phi, st := tr.Potentials(b.cfg)
+	b.LastStats = st
+	return phi, nil
+}
+
+// Direct is the O(N^2) baseline solver.
+type Direct struct{}
+
+// NewDirect returns the direct-summation solver.
+func NewDirect() *Direct { return &Direct{} }
+
+// Name identifies the solver in comparison tables.
+func (Direct) Name() string { return "direct" }
+
+// Potentials computes the exact potentials by direct summation.
+func (Direct) Potentials(s *System) ([]float64, error) {
+	return direct.PotentialsParallel(s.Positions, s.Charges), nil
+}
+
+// Accelerations computes the exact accelerations by direct summation.
+func (Direct) Accelerations(s *System) []Vec3 {
+	return direct.Accelerations(s.Positions, s.Charges)
+}
+
+// Solver is the interface all 3-D solvers satisfy.
+type Solver interface {
+	Name() string
+	Potentials(*System) ([]float64, error)
+}
+
+var (
+	_ Solver = (*Anderson)(nil)
+	_ Solver = (*BarnesHut)(nil)
+	_ Solver = Direct{}
+)
+
+// DataParallel runs Anderson's method on the simulated CM-5-class machine
+// and reports the paper's efficiency metrics.
+type DataParallel struct {
+	Machine *dpfmm.Solver
+	m       *dp.Machine
+}
+
+// NewDataParallel builds the data-parallel solver on a machine of the given
+// number of nodes (4 VUs each, CM-5E cost model). Depth must be set in
+// opts.
+func NewDataParallel(nodes int, box Box, opts Options, strategy dpfmm.GhostStrategy) (*DataParallel, error) {
+	if opts.Depth == 0 {
+		return nil, fmt.Errorf("nbody: data-parallel solver needs an explicit Depth")
+	}
+	m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
+	if err != nil {
+		return nil, err
+	}
+	s, err := dpfmm.NewSolver(m, box, opts.coreConfig(opts.Depth), strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &DataParallel{Machine: s, m: m}, nil
+}
+
+// Name identifies the solver in comparison tables.
+func (d *DataParallel) Name() string { return "anderson-dp" }
+
+// Potentials solves on the simulated machine.
+func (d *DataParallel) Potentials(s *System) ([]float64, error) {
+	return d.Machine.Potentials(s.Positions, s.Charges)
+}
+
+// Accelerations computes potentials and fields on the simulated machine.
+func (d *DataParallel) Accelerations(s *System) ([]float64, []Vec3, error) {
+	return d.Machine.Accelerations(s.Positions, s.Charges)
+}
+
+// Report assembles the Table 1 metrics of everything run so far.
+func (d *DataParallel) Report(name string, particles int) metrics.Report {
+	return metrics.FromMachine(name, d.m, d.m.Counters(), particles)
+}
+
+// ResetCounters clears the machine instrumentation.
+func (d *DataParallel) ResetCounters() { d.m.ResetCounters() }
+
+// Anderson2D is the two-dimensional solver.
+type Anderson2D struct {
+	solver *core2.Solver
+}
+
+// Options2D configures the 2-D solver.
+type Options2D struct {
+	K           int // circle points (default 16)
+	M           int
+	Depth       int // required
+	Separation  int
+	RadiusRatio float64
+}
+
+// NewAnderson2D builds the 2-D solver.
+func NewAnderson2D(box Box2D, opts Options2D) (*Anderson2D, error) {
+	if opts.K == 0 {
+		opts.K = 16
+	}
+	s, err := core2.NewSolver(box, core2.Config{
+		K: opts.K, M: opts.M, Depth: opts.Depth,
+		Separation: opts.Separation, RadiusRatio: opts.RadiusRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Anderson2D{solver: s}, nil
+}
+
+// Potentials computes phi_i = -sum q_j ln r_ij at every particle.
+func (a *Anderson2D) Potentials(pos []Vec2, q []float64) ([]float64, error) {
+	return a.solver.Potentials(pos, q)
+}
+
+// DirectPotentials2D is the 2-D direct reference.
+func DirectPotentials2D(pos []Vec2, q []float64) []float64 {
+	return core2.DirectPotentials2(pos, q)
+}
