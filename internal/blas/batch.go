@@ -1,9 +1,6 @@
 package blas
 
-import (
-	"runtime"
-	"sync"
-)
+import "nbody/internal/sched"
 
 // MultiGemm computes Cs[i] += A * Bs[i] for every instance i: the CMSSL
 // "multiple instance matrix-matrix multiplication" of Section 3.3.3, where
@@ -18,41 +15,21 @@ func MultiGemm(a Matrix, bs, cs []Matrix) {
 	}
 }
 
-// ParallelMultiGemm is MultiGemm with instances distributed over min(GOMAXPROCS,
-// len(bs)) goroutines. Instances must write disjoint C matrices, which the
-// aggregation schemes in this repository guarantee by construction.
+// ParallelMultiGemm is MultiGemm with instances distributed over the
+// persistent worker pool. Instances are claimed in contiguous chunks from
+// an atomic counter (no mutex, no per-call goroutines), so many small
+// instances do not serialize on a shared work index. Instances must write
+// disjoint C matrices, which the aggregation schemes in this repository
+// guarantee by construction.
 func ParallelMultiGemm(a Matrix, bs, cs []Matrix) {
 	if len(bs) != len(cs) {
 		panic("blas: ParallelMultiGemm instance count mismatch")
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(bs) {
-		workers = len(bs)
-	}
-	if workers <= 1 {
-		MultiGemm(a, bs, cs)
-		return
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(bs) {
-					return
-				}
-				Dgemm(a, bs[i], cs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	sched.RunChunks(len(bs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Dgemm(a, bs[i], cs[i])
+		}
+	})
 }
 
 // GemvBatch applies y[i] += A * x[i] over parallel slices-of-vectors. It is
@@ -67,37 +44,19 @@ func GemvBatch(a Matrix, xs, ys [][]float64) {
 	}
 }
 
-// Parallel runs fn(i) for i in [0, n) over the available cores. It is the
-// generic work-sharing driver used by the shared-memory solvers. fn must be
-// safe to call concurrently for distinct i.
-func Parallel(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	// Contiguous chunking keeps each worker on a contiguous index range,
-	// which matters for the cache behaviour of box-array sweeps.
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// Parallel runs fn(i) for i in [0, n) over the persistent worker pool with
+// dynamic chunk claiming (see internal/sched). It is the generic
+// work-sharing driver used by the shared-memory solvers. fn must be safe
+// to call concurrently for distinct i.
+func Parallel(n int, fn func(i int)) { sched.Run(n, fn) }
+
+// ParallelChunks runs body(lo, hi) over a chunk partition of [0, n) on the
+// worker pool; per-chunk setup (scratch buffers, local accumulators) is
+// amortized over the chunk.
+func ParallelChunks(n int, body func(lo, hi int)) { sched.RunChunks(n, body) }
+
+// Serial reports whether the worker pool has a single executor, i.e.
+// Parallel would run every body inline on the caller. Hot paths that issue
+// thousands of tiny parallel regions per solve use this to take a plain
+// loop instead — same work order, but no escaping closure per region.
+func Serial() bool { return sched.Workers() == 1 }

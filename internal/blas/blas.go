@@ -89,35 +89,28 @@ func Dgemv(a Matrix, x, y []float64) {
 // numbers).
 func DgemvFlops(rows, cols int) int64 { return 2 * int64(rows) * int64(cols) }
 
-// Dgemm computes C += A*B with a register-blocked inner kernel. A is m x k,
-// B is k x n, C is m x n, all row-major.
+// Dgemm computes C += A*B. A is m x k, B is k x n, C is m x n, all
+// row-major. All shapes go through the k-unrolled streaming kernels of
+// gemm_stream.go, with constant trip-count fast paths for the paper's
+// K = 12 and K = 72 translation shapes; the inner loop is branch-free (the
+// seed's aik == 0 skip cost a mispredicted branch per element on dense
+// translation matrices). The reduction order is fixed (k-terms grouped in
+// fours), so results are deterministic call to call.
 func Dgemm(a, b, c Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("blas: Dgemm shape mismatch")
 	}
 	m, k, n := a.Rows, a.Cols, b.Cols
-	// i-k-j loop order: streams through B and C rows contiguously and lets
-	// the compiler keep c-row accumulation in registers over the j loop.
-	const kb = 64
-	for k0 := 0; k0 < k; k0 += kb {
-		k1 := k0 + kb
-		if k1 > k {
-			k1 = k
-		}
-		for i := 0; i < m; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := c.Data[i*n : (i+1)*n]
-			for kk := k0; kk < k1; kk++ {
-				aik := arow[kk]
-				if aik == 0 {
-					continue
-				}
-				brow := b.Data[kk*n : (kk+1)*n]
-				for j, v := range brow {
-					crow[j] += aik * v
-				}
-			}
-		}
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	switch k {
+	case 12:
+		gemmK12(m, n, a.Data, b.Data, c.Data)
+	case 72:
+		gemmK72(m, n, a.Data, b.Data, c.Data)
+	default:
+		gemm4k(m, k, n, a.Data, b.Data, c.Data)
 	}
 }
 

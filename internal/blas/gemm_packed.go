@@ -1,0 +1,213 @@
+package blas
+
+// This file implements the BLIS-style packed GEMM path: operand packing
+// into panels plus a 4x4 register-blocked micro-kernel, with specialized
+// constant-bound loops for the paper's two translation-matrix sizes (K = 12
+// for the icosahedral rule and K = 72 for the product rule). The micro-
+// kernel holds a 4x4 block of C across the whole K loop and the packed
+// panels make both operands unit-stride regardless of leading dimension —
+// the canonical high-performance GEMM structure on architectures where the
+// tile fits the register file.
+//
+// Measured head-to-head on the scalar Go backend, the k-unrolled streaming
+// kernels of gemm_stream.go beat this path at every shape the solver uses
+// (the 16 accumulators plus operand temporaries exceed the register budget
+// and spill; numbers in EXPERIMENTS.md), so Dgemm dispatches to streaming
+// and this path is kept as the exported, property-tested alternative for
+// callers that can amortize packing across many products with a shared
+// left operand (PackA4 once, GemmPanels per block).
+
+// mr x nr is the micro-kernel footprint: 16 scalar accumulators.
+const microDim = 4
+
+// packAPanels packs rows [0, m4) of the m x k row-major matrix a into 4-row
+// panels: panel ip holds a[ip..ip+3][kk] interleaved as pa[ip*k + kk*4 + r],
+// so the micro-kernel reads 4 contiguous values per kk step.
+func packAPanels(m4, k int, a, pa []float64) {
+	for ip := 0; ip < m4; ip += microDim {
+		dst := pa[ip*k : (ip+microDim)*k]
+		r0 := a[ip*k : (ip+1)*k]
+		r1 := a[(ip+1)*k : (ip+2)*k]
+		r2 := a[(ip+2)*k : (ip+3)*k]
+		r3 := a[(ip+3)*k : (ip+4)*k]
+		for kk := 0; kk < k; kk++ {
+			o := kk * microDim
+			dst[o] = r0[kk]
+			dst[o+1] = r1[kk]
+			dst[o+2] = r2[kk]
+			dst[o+3] = r3[kk]
+		}
+	}
+}
+
+// PackA4 packs the m x k matrix a, whose row count must be a multiple of 4,
+// into the panel layout GemmPanels consumes. dst must hold m*k values.
+// Callers that apply the same left operand to many right-hand sides pack it
+// once and amortize the pass.
+func PackA4(a Matrix, dst []float64) {
+	if a.Rows%microDim != 0 {
+		panic("blas: PackA4 needs rows divisible by 4")
+	}
+	packAPanels(a.Rows, a.Cols, a.Data, dst[:a.Rows*a.Cols])
+}
+
+// PackB4 packs the k x n matrix b, whose column count must be a multiple
+// of 4, into the column-panel layout GemmPanels consumes: panel jp holds
+// b[kk][jp..jp+3] at dst[jp*k + kk*4 + c]. dst must hold k*n values.
+func PackB4(b Matrix, dst []float64) {
+	if b.Cols%microDim != 0 {
+		panic("blas: PackB4 needs columns divisible by 4")
+	}
+	k, n := b.Rows, b.Cols
+	for jp := 0; jp < n; jp += microDim {
+		d := dst[jp*k : (jp+microDim)*k]
+		for kk := 0; kk < k; kk++ {
+			src := b.Data[kk*n+jp : kk*n+jp+microDim]
+			o := kk * microDim
+			d[o] = src[0]
+			d[o+1] = src[1]
+			d[o+2] = src[2]
+			d[o+3] = src[3]
+		}
+	}
+}
+
+// GemmPanels computes C = A*B (assignment, not accumulate) entirely from
+// pre-packed operands: ap holds m/4 row panels (PackA4 layout), bp holds
+// n/4 column panels (PackB4 layout), and c is row-major m x n. m and n
+// must be multiples of 4; k is free.
+func GemmPanels(ap, bp []float64, m, k, n int, c []float64) {
+	if m%microDim != 0 || n%microDim != 0 {
+		panic("blas: GemmPanels needs m and n divisible by 4")
+	}
+	var acc [microDim * microDim]float64
+	for ip := 0; ip < m; ip += microDim {
+		app := ap[ip*k : (ip+microDim)*k]
+		for jp := 0; jp < n; jp += microDim {
+			bpp := bp[jp*k : (jp+microDim)*k]
+			switch k {
+			case 12:
+				micro4x4K12(app, bpp, &acc)
+			case 72:
+				micro4x4K72(app, bpp, &acc)
+			default:
+				micro4x4(k, app, bpp, &acc)
+			}
+			for r := 0; r < microDim; r++ {
+				crow := c[(ip+r)*n+jp : (ip+r)*n+jp+microDim]
+				crow[0] = acc[r*microDim]
+				crow[1] = acc[r*microDim+1]
+				crow[2] = acc[r*microDim+2]
+				crow[3] = acc[r*microDim+3]
+			}
+		}
+	}
+}
+
+// micro4x4 accumulates the 4x4 product of one packed A panel and one packed
+// B panel over kc steps: acc[r*4+c] = sum_kk ap[kk*4+r] * bp[kk*4+c].
+func micro4x4(kc int, ap, bp []float64, acc *[16]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for kk := 0; kk < kc; kk++ {
+		av := ap[kk*4 : kk*4+4 : kk*4+4]
+		bv := bp[kk*4 : kk*4+4 : kk*4+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// micro4x4K12 is micro4x4 with the loop bound fixed at the icosahedral
+// rule's K = 12, letting the compiler prove the panel bounds (ap and bp are
+// exactly 48 long) and drop all bounds checks.
+func micro4x4K12(ap, bp []float64, acc *[16]float64) {
+	ap = ap[:48]
+	bp = bp[:48]
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for kk := 0; kk < 12; kk++ {
+		o := kk * 4
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// micro4x4K72 is micro4x4 with the loop bound fixed at the product rule's
+// K = 72 (panels exactly 288 long).
+func micro4x4K72(ap, bp []float64, acc *[16]float64) {
+	ap = ap[:288]
+	bp = bp[:288]
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for kk := 0; kk < 72; kk++ {
+		o := kk * 4
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}

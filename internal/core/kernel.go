@@ -99,6 +99,15 @@ func EvalInner(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float6
 // series is finite as r -> 0; at r = 0 only n = 1 survives, giving
 // grad Psi = (3/a) sum_i w_i g_i s_i.
 func EvalInnerGrad(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float64, x geom.Vec3) (float64, geom.Vec3) {
+	p := make([]float64, m+1)
+	dp := make([]float64, m+1)
+	return EvalInnerGradWork(rule, m, center, a, g, x, p, dp)
+}
+
+// EvalInnerGradWork is EvalInnerGrad with caller-provided Legendre
+// recurrence scratch (p and dp, each of length m+1), so per-particle force
+// evaluation loops can run allocation-free.
+func EvalInnerGradWork(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []float64, x geom.Vec3, p, dp []float64) (float64, geom.Vec3) {
 	d := x.Sub(center)
 	r := d.Norm()
 	if r < 1e-300 {
@@ -114,8 +123,7 @@ func EvalInnerGrad(rule *sphere.Rule, m int, center geom.Vec3, a float64, g []fl
 		return val, grad
 	}
 	xh := d.Scale(1 / r)
-	p := make([]float64, m+1)
-	dp := make([]float64, m+1)
+	p, dp = p[:m+1], dp[:m+1]
 	var val float64
 	var grad geom.Vec3
 	for i, si := range rule.Points {

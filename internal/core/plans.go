@@ -1,0 +1,142 @@
+package core
+
+import (
+	"nbody/internal/blas"
+	"nbody/internal/geom"
+	"nbody/internal/tree"
+)
+
+// This file builds the solver's steady-state traversal plans: every gather
+// map the upward (T1), downward-shift (T3) and interactive-field (T2)
+// sweeps need. The seed implementation rebuilt these index maps inside
+// every solve — for time-stepping workloads that rebuild dominated the
+// hierarchical phases — so they are now constructed once in NewSolver and
+// reused by every solve (the zero-allocation reuse contract).
+
+// gatherPlan pairs source and destination box indices for one
+// parent-child octant sweep: dst[dstIdx[i]] += T * src[srcIdx[i]].
+type gatherPlan struct {
+	srcIdx, dstIdx []int32
+}
+
+// latticeT2 describes the (source, target) pairs of one interactive-field
+// (octant, offset) sweep without materializing them: targets are the
+// parity-aligned lattice {lox + 2i, loy + 2j, loz + 2k} clipped to the
+// grid, and the source index is always target index + delta (the linear
+// index of the fixed offset). Materialized index arrays for the T2 sweeps
+// would cost O(875 * boxes) memory per level; the lattice form is O(1) per
+// (octant, offset).
+type latticeT2 struct {
+	t             blas.Matrix
+	delta         int32
+	lox, loy, loz int32
+	nx, ny, nz    int32
+	grid          int32
+	count         int32
+}
+
+// buildUpwardPlans returns, for each parent level l in [2, depth-1] and
+// octant, the child-to-parent gather map of the T1 sweep.
+func buildUpwardPlans(h tree.Hierarchy, depth int) [][8]gatherPlan {
+	plans := make([][8]gatherPlan, depth+1)
+	for l := 2; l <= depth-1; l++ {
+		np := h.GridSize(l)
+		nc := h.GridSize(l + 1)
+		nb := np * np * np
+		for oct := 0; oct < 8; oct++ {
+			src := make([]int32, nb)
+			dst := make([]int32, nb)
+			for pb := 0; pb < nb; pb++ {
+				pc := geom.CoordFromIndex(pb, np)
+				src[pb] = int32(pc.Child(oct).Index(nc))
+				dst[pb] = int32(pb)
+			}
+			plans[l][oct] = gatherPlan{srcIdx: src, dstIdx: dst}
+		}
+	}
+	return plans
+}
+
+// buildT3Plans returns, for each child level l in [3, depth] and octant,
+// the parent-to-child gather map of the T3 sweep.
+func buildT3Plans(h tree.Hierarchy, depth int) [][8]gatherPlan {
+	plans := make([][8]gatherPlan, depth+1)
+	for l := 3; l <= depth; l++ {
+		np := h.GridSize(l - 1)
+		nc := h.GridSize(l)
+		nb := np * np * np
+		for oct := 0; oct < 8; oct++ {
+			src := make([]int32, nb)
+			dst := make([]int32, nb)
+			for pb := 0; pb < nb; pb++ {
+				pc := geom.CoordFromIndex(pb, np)
+				src[pb] = int32(pb)
+				dst[pb] = int32(pc.Child(oct).Index(nc))
+			}
+			plans[l][oct] = gatherPlan{srcIdx: src, dstIdx: dst}
+		}
+	}
+	return plans
+}
+
+// buildT2Plan enumerates the non-empty (octant, offset) lattices of one
+// level's interactive field.
+func (s *Solver) buildT2Plan(l int) []latticeT2 {
+	n := s.hier.GridSize(l)
+	var plan []latticeT2
+	for oct := 0; oct < 8; oct++ {
+		for _, o := range s.interactive[oct] {
+			lat, ok := offsetLattice(n, oct, o)
+			if !ok {
+				continue
+			}
+			lat.t = s.ts.T2For(o)
+			plan = append(plan, lat)
+		}
+	}
+	return plan
+}
+
+// offsetLattice computes the clipped, parity-aligned target lattice for
+// targets of a given octant under a fixed interactive offset (source =
+// target + o). ok is false when clipping empties the lattice.
+func offsetLattice(n, oct int, o geom.Coord3) (latticeT2, bool) {
+	lox, hix := clipRange(n, o.X)
+	loy, hiy := clipRange(n, o.Y)
+	loz, hiz := clipRange(n, o.Z)
+	alignUp := func(lo, parity int) int {
+		if lo%2 != parity {
+			lo++
+		}
+		return lo
+	}
+	lox = alignUp(lox, oct&1)
+	loy = alignUp(loy, oct>>1&1)
+	loz = alignUp(loz, oct>>2&1)
+	if lox > hix || loy > hiy || loz > hiz {
+		return latticeT2{}, false
+	}
+	nx := (hix-lox)/2 + 1
+	ny := (hiy-loy)/2 + 1
+	nz := (hiz-loz)/2 + 1
+	lat := latticeT2{
+		delta: int32((o.Z*n+o.Y)*n + o.X),
+		lox:   int32(lox), loy: int32(loy), loz: int32(loz),
+		nx: int32(nx), ny: int32(ny), nz: int32(nz),
+		grid:  int32(n),
+		count: int32(nx * ny * nz),
+	}
+	return lat, true
+}
+
+// clipRange returns the target-coordinate range for which target+offset
+// stays inside [0, n).
+func clipRange(n, off int) (lo, hi int) {
+	lo, hi = 0, n-1
+	if off < 0 {
+		lo = -off
+	} else {
+		hi = n - 1 - off
+	}
+	return lo, hi
+}

@@ -11,7 +11,10 @@ import (
 // arbitrary set of target points (no self-exclusion): the far field comes
 // from the local expansions of the targets' leaf boxes, the near field from
 // direct summation over the targets' near-field source particles. Targets
-// must lie inside the solver's domain.
+// must lie inside the solver's domain. PotentialsAt shares the solver's
+// reusable pipeline state (partition scratch, expansion grids, box-sorted
+// mirrors), so like solve it must not run concurrently with other solves on
+// the same Solver.
 func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3) ([]float64, error) {
 	if len(pos) != len(q) {
 		return nil, fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
@@ -27,45 +30,41 @@ func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3)
 		}
 	}
 	st := &s.stats
-	var part *Partition
-	st.timePhase(PhaseSetup, func() { part = NewPartition(s.hier, pos) })
+	st.timePhase(PhaseSetup, func() { s.prepare(pos, q) })
+	st.timePhase(PhaseLeafOuter, func() { s.leafOuter() })
+	st.timePhase(PhaseUpward, func() { s.upward() })
+	st.timePhase(PhaseDownward, func() { s.downward() })
 
 	depth := s.cfg.Depth
 	k := s.ts.K
-	far := make([][]float64, depth+1)
-	loc := make([][]float64, depth+1)
-	for l := 2; l <= depth; l++ {
-		far[l] = make([]float64, s.hier.NumBoxes(l)*k)
-		loc[l] = make([]float64, s.hier.NumBoxes(l)*k)
-	}
-	st.timePhase(PhaseLeafOuter, func() { s.leafOuter(part, pos, q, far[depth]) })
-	st.timePhase(PhaseUpward, func() { s.upward(far) })
-	st.timePhase(PhaseDownward, func() { s.downward(far, loc) })
-
+	loc := s.loc[depth]
 	phi := make([]float64, len(targets))
 	rule := s.cfg.Rule
 	m := s.cfg.M
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
-	n := part.Grid
+	n := s.part.Grid
 	st.timePhase(PhaseEvalLocal, func() {
 		blas.Parallel(len(targets), func(i int) {
 			x := targets[i]
 			c := s.hier.LeafOf(x)
 			b := c.Index(n)
 			center := s.hier.Box(depth, c).Center
-			v := EvalInner(rule, m, center, a, loc[depth][b*k:(b+1)*k], x)
-			// Near field: the target's own box plus its near offsets.
-			for _, j := range part.Box(c) {
-				v += q[j] / x.Dist(pos[j])
+			v := EvalInner(rule, m, center, a, loc[b*k:(b+1)*k], x)
+			// Near field: the target's own box plus its near offsets, as
+			// contiguous ranges of the box-sorted source mirrors.
+			sum := func(bi int) {
+				lo, hi := s.part.Start[bi], s.part.Start[bi+1]
+				for j := lo; j < hi; j++ {
+					v += s.qS[j] / x.Dist(s.posS[j])
+				}
 			}
+			sum(b)
 			for _, o := range s.nearOff {
 				sc := c.Add(o)
 				if !sc.In(n) {
 					continue
 				}
-				for _, j := range part.Box(sc) {
-					v += q[j] / x.Dist(pos[j])
-				}
+				sum(sc.Index(n))
 			}
 			phi[i] = v
 		})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
@@ -13,6 +14,16 @@ import (
 // translation matrices. It is the shared-memory reference implementation of
 // the paper's algorithm (Section 2.2); the data-parallel machine expression
 // lives in internal/dpfmm and is validated against this one.
+//
+// Steady-state reuse contract: everything a solve needs besides the output
+// slices — the per-level far/local expansion grids, the partition scratch,
+// the box-sorted particle mirrors, and every upward/downward gather map —
+// is owned by the Solver and built once in NewSolver (see plans.go). A
+// Solver therefore performs repeated solves (time-stepping, parameter
+// sweeps) without per-solve allocation: use PotentialsInto /
+// AccelerationsInto with caller-owned output buffers for the fully
+// allocation-free path. Consecutive solves on identical inputs are bitwise
+// reproducible. A Solver is not safe for concurrent solves.
 type Solver struct {
 	cfg  Config
 	hier tree.Hierarchy
@@ -21,13 +32,39 @@ type Solver struct {
 	interactive [8][]geom.Coord3
 	supers      [8]tree.Supernodes
 	nearOff     []geom.Coord3
+	nearHalf    []geom.Coord3 // lexicographically positive half of nearOff
 
 	stats Stats
+
+	// Traversal plans, built once in NewSolver (plans.go).
+	upPlan [][8]gatherPlan // parent level l: far[l+1] -> far[l]
+	t3Plan [][8]gatherPlan // child level l: loc[l-1] -> loc[l]
+	t2Plan [][]latticeT2   // level l interactive-field lattices
+
+	// Per-level expansion grids, reused (and re-zeroed) every solve.
+	far, loc [][]float64
+
+	// Partition scratch: CSR particle-to-box map plus the counting-sort
+	// working arrays, reused across solves.
+	part  Partition
+	boxOf []int32
+	fill  []int
+
+	// Box-sorted particle mirrors: posS/qS are the positions/charges in
+	// box order, phiS/accS the per-particle results accumulated in that
+	// order and scattered back on completion. Sorting once per solve makes
+	// every leaf and near-field sweep a contiguous walk and removes the
+	// seed implementation's per-box gather copies.
+	posS []geom.Vec3
+	qS   []float64
+	phiS []float64
+	accS []geom.Vec3
 }
 
 // NewSolver builds a solver for the domain root with the given
-// configuration. Translation-matrix precomputation happens here (the
-// paper's setup phase) and is charged to PhaseSetup.
+// configuration. Translation-matrix precomputation and traversal-plan
+// construction happen here (the paper's setup phase) and are charged to
+// PhaseSetup.
 func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
 	ncfg, err := cfg.normalize()
 	if err != nil {
@@ -50,6 +87,31 @@ func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
 		}
 	}
 	s.nearOff = tree.NearOffsets(ncfg.Separation)
+	for _, o := range s.nearOff {
+		if o.Z > 0 || (o.Z == 0 && (o.Y > 0 || (o.Y == 0 && o.X > 0))) {
+			s.nearHalf = append(s.nearHalf, o)
+		}
+	}
+
+	depth := ncfg.Depth
+	k := s.ts.K
+	s.far = make([][]float64, depth+1)
+	s.loc = make([][]float64, depth+1)
+	for l := 2; l <= depth; l++ {
+		s.far[l] = make([]float64, s.hier.NumBoxes(l)*k)
+		s.loc[l] = make([]float64, s.hier.NumBoxes(l)*k)
+	}
+	if !ncfg.DisableAggregation {
+		s.upPlan = buildUpwardPlans(h, depth)
+		s.t3Plan = buildT3Plans(h, depth)
+		s.t2Plan = make([][]latticeT2, depth+1)
+		for l := 2; l <= depth; l++ {
+			if ncfg.Supernodes && l > 2 {
+				continue // supernode path converts at parent granularity
+			}
+			s.t2Plan[l] = s.buildT2Plan(l)
+		}
+	}
 	return s, nil
 }
 
@@ -67,25 +129,57 @@ func (s *Solver) Translations() *TranslationSet { return s.ts }
 func (s *Solver) Stats() *Stats { return &s.stats }
 
 // Potentials computes the potential phi_i = sum_{j != i} q_j / |x_i - x_j|
-// at every particle.
+// at every particle. The returned slice is freshly allocated; use
+// PotentialsInto for the allocation-free steady-state path.
 func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
-	phi, _, err := s.run(pos, q, false)
-	return phi, err
+	phi := make([]float64, len(pos))
+	if err := s.solve(pos, q, phi, nil); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// PotentialsInto computes potentials into the caller-provided phi slice
+// (len(phi) must equal len(pos)). With a reused Solver and a reused output
+// buffer, repeated solves are allocation-free.
+func (s *Solver) PotentialsInto(phi []float64, pos []geom.Vec3, q []float64) error {
+	return s.solve(pos, q, phi, nil)
 }
 
 // Accelerations computes both potentials and the field a_i = +grad phi
-// (the (y-x)/r^3 convention of package direct).
+// (the (y-x)/r^3 convention of package direct). The returned slices are
+// freshly allocated; use AccelerationsInto for the steady-state path.
 func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.Vec3, error) {
-	return s.run(pos, q, true)
+	phi := make([]float64, len(pos))
+	acc := make([]geom.Vec3, len(pos))
+	if err := s.solve(pos, q, phi, acc); err != nil {
+		return nil, nil, err
+	}
+	return phi, acc, nil
 }
 
-func (s *Solver) run(pos []geom.Vec3, q []float64, wantForce bool) ([]float64, []geom.Vec3, error) {
+// AccelerationsInto computes potentials and fields into caller-provided
+// slices (both len(pos)); the allocation-free variant of Accelerations.
+func (s *Solver) AccelerationsInto(phi []float64, acc []geom.Vec3, pos []geom.Vec3, q []float64) error {
+	if acc == nil {
+		return fmt.Errorf("core: AccelerationsInto needs a non-nil acc")
+	}
+	return s.solve(pos, q, phi, acc)
+}
+
+func (s *Solver) solve(pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) error {
 	if len(pos) != len(q) {
-		return nil, nil, fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
+		return fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
+	}
+	if len(phi) != len(pos) {
+		return fmt.Errorf("core: %d potentials for %d positions", len(phi), len(pos))
+	}
+	if acc != nil && len(acc) != len(pos) {
+		return fmt.Errorf("core: %d accelerations for %d positions", len(acc), len(pos))
 	}
 	for _, p := range pos {
 		if !s.hier.Root.Contains(p) && !inClosedBox(s.hier.Root, p) {
-			return nil, nil, fmt.Errorf("core: particle %v outside domain %v", p, s.hier.Root)
+			return fmt.Errorf("core: particle %v outside domain %v", p, s.hier.Root)
 		}
 	}
 	st := &s.stats
@@ -93,30 +187,80 @@ func (s *Solver) run(pos []geom.Vec3, q []float64, wantForce bool) ([]float64, [
 	st.Depth = s.cfg.Depth
 	st.K = s.ts.K
 
-	var part *Partition
-	st.timePhase(PhaseSetup, func() { part = NewPartition(s.hier, pos) })
+	st.timePhase(PhaseSetup, func() { s.prepare(pos, q) })
+	st.timePhase(PhaseLeafOuter, func() { s.leafOuter() })
+	st.timePhase(PhaseUpward, func() { s.upward() })
+	st.timePhase(PhaseDownward, func() { s.downward() })
+	st.timePhase(PhaseEvalLocal, func() { s.evalLocal(acc != nil) })
+	st.timePhase(PhaseNear, func() { s.nearField(acc != nil) })
 
-	depth := s.cfg.Depth
-	k := s.ts.K
-	far := make([][]float64, depth+1)
-	loc := make([][]float64, depth+1)
-	for l := 2; l <= depth; l++ {
-		far[l] = make([]float64, s.hier.NumBoxes(l)*k)
-		loc[l] = make([]float64, s.hier.NumBoxes(l)*k)
+	// Scatter the box-ordered results back to particle order.
+	for i, j := range s.part.Perm {
+		phi[j] = s.phiS[i]
+	}
+	if acc != nil {
+		for i, j := range s.part.Perm {
+			acc[j] = s.accS[i]
+		}
+	}
+	return nil
+}
+
+// prepare runs the per-solve setup on reused buffers: the counting-sort
+// partition, the box-sorted particle mirrors, and zeroing of the expansion
+// grids.
+func (s *Solver) prepare(pos []geom.Vec3, q []float64) {
+	n := s.hier.GridSize(s.cfg.Depth)
+	nb := n * n * n
+	np := len(pos)
+
+	if cap(s.boxOf) < np {
+		s.boxOf = make([]int32, np)
+		s.part.Perm = make([]int, np)
+		s.posS = make([]geom.Vec3, np)
+		s.qS = make([]float64, np)
+		s.phiS = make([]float64, np)
+		s.accS = make([]geom.Vec3, np)
+	}
+	s.boxOf = s.boxOf[:np]
+	s.part.Perm = s.part.Perm[:np]
+	s.posS, s.qS = s.posS[:np], s.qS[:np]
+	s.phiS, s.accS = s.phiS[:np], s.accS[:np]
+	if s.part.Start == nil {
+		s.part.Start = make([]int, nb+1)
+		s.fill = make([]int, nb)
+	}
+	s.part.Grid = n
+	start := s.part.Start
+	for b := range start {
+		start[b] = 0
+	}
+	for i, p := range pos {
+		b := s.hier.LeafOf(p).Index(n)
+		s.boxOf[i] = int32(b)
+		start[b+1]++
+	}
+	for b := 0; b < nb; b++ {
+		start[b+1] += start[b]
+	}
+	for b := range s.fill {
+		s.fill[b] = 0
+	}
+	for i := range pos {
+		b := s.boxOf[i]
+		at := start[b] + s.fill[b]
+		s.part.Perm[at] = i
+		s.fill[b]++
+	}
+	for i, j := range s.part.Perm {
+		s.posS[i] = pos[j]
+		s.qS[i] = q[j]
 	}
 
-	st.timePhase(PhaseLeafOuter, func() { s.leafOuter(part, pos, q, far[depth]) })
-	st.timePhase(PhaseUpward, func() { s.upward(far) })
-	st.timePhase(PhaseDownward, func() { s.downward(far, loc) })
-
-	phi := make([]float64, len(pos))
-	var acc []geom.Vec3
-	if wantForce {
-		acc = make([]geom.Vec3, len(pos))
+	for l := 2; l <= s.cfg.Depth; l++ {
+		clear(s.far[l])
+		clear(s.loc[l])
 	}
-	st.timePhase(PhaseEvalLocal, func() { s.evalLocal(part, pos, loc[depth], phi, acc) })
-	st.timePhase(PhaseNear, func() { s.nearField(part, pos, q, phi, acc) })
-	return phi, acc, nil
 }
 
 // inClosedBox reports whether p lies in the CLOSED root box. Points exactly
@@ -129,40 +273,45 @@ func inClosedBox(b geom.Box3, p geom.Vec3) bool {
 }
 
 // leafOuter is step 1: sample the potential of each leaf box's particles at
-// its outer-sphere integration points.
-func (s *Solver) leafOuter(part *Partition, pos []geom.Vec3, q []float64, g []float64) {
-	n := part.Grid
+// its outer-sphere integration points. The box-sorted mirrors make the
+// inner particle loop a contiguous sweep.
+func (s *Solver) leafOuter() {
+	n := s.part.Grid
 	k := s.ts.K
 	rule := s.cfg.Rule
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
+	g := s.far[s.cfg.Depth]
 	var pairs int64
 	blas.Parallel(n*n*n, func(b int) {
-		c := geom.CoordFromIndex(b, n)
-		idx := part.Box(c)
-		if len(idx) == 0 {
+		lo, hi := s.part.Start[b], s.part.Start[b+1]
+		if lo == hi {
 			return
 		}
+		c := geom.CoordFromIndex(b, n)
 		center := s.hier.Box(s.cfg.Depth, c).Center
 		out := g[b*k : (b+1)*k]
+		pb := s.posS[lo:hi]
+		qb := s.qS[lo:hi]
 		for i, si := range rule.Points {
 			p := center.Add(si.Scale(a))
 			var v float64
-			for _, j := range idx {
-				v += q[j] / p.Dist(pos[j])
+			for j := range pb {
+				v += qb[j] / p.Dist(pb[j])
 			}
 			out[i] = v
 		}
 	})
-	for b := 0; b+1 < len(part.Start); b++ {
-		pairs += int64(part.Start[b+1]-part.Start[b]) * int64(k)
+	for b := 0; b+1 < len(s.part.Start); b++ {
+		pairs += int64(s.part.Start[b+1]-s.part.Start[b]) * int64(k)
 	}
 	s.stats.Flops[PhaseLeafOuter] += pairs * direct.FlopsPerPair
 }
 
 // upward is step 2: combine child outer approximations into parents with T1,
-// from level depth-1 down to level 2.
-func (s *Solver) upward(far [][]float64) {
+// from level depth-1 down to level 2, through the precomputed gather plans.
+func (s *Solver) upward() {
 	k := s.ts.K
+	far := s.far
 	for l := s.cfg.Depth - 1; l >= 2; l-- {
 		np := s.hier.GridSize(l)
 		nc := s.hier.GridSize(l + 1)
@@ -176,14 +325,8 @@ func (s *Solver) upward(far [][]float64) {
 					blas.Dgemv(t, src[cb*k:(cb+1)*k], dst[pb*k:(pb+1)*k])
 				})
 			} else {
-				srcIdx := make([]int32, np*np*np)
-				dstIdx := make([]int32, np*np*np)
-				for pb := 0; pb < np*np*np; pb++ {
-					pc := geom.CoordFromIndex(pb, np)
-					srcIdx[pb] = int32(pc.Child(oct).Index(nc))
-					dstIdx[pb] = int32(pb)
-				}
-				aggregatedApply(t, src, dst, srcIdx, dstIdx, k)
+				plan := s.upPlan[l][oct]
+				aggregatedApply(t, src, dst, plan.srcIdx, plan.dstIdx, k)
 			}
 			s.stats.Flops[PhaseUpward] += blas.DgemmFlops(k, k, np*np*np)
 		}
@@ -193,15 +336,15 @@ func (s *Solver) upward(far [][]float64) {
 // downward is step 3: for each level l = 2..depth, shift the parent's local
 // field in with T3 and convert the interactive field with T2 (optionally
 // through supernodes).
-func (s *Solver) downward(far, loc [][]float64) {
+func (s *Solver) downward() {
 	for l := 2; l <= s.cfg.Depth; l++ {
 		if l > 2 {
-			s.applyT3(loc[l-1], loc[l], l)
+			s.applyT3(s.loc[l-1], s.loc[l], l)
 		}
 		if s.cfg.Supernodes && l > 2 {
-			s.applyT2Supernodes(far[l-1], far[l], loc[l], l)
+			s.applyT2Supernodes(s.far[l-1], s.far[l], s.loc[l], l)
 		} else {
-			s.applyT2(far[l], loc[l], l)
+			s.applyT2(s.far[l], s.loc[l], l)
 		}
 	}
 }
@@ -220,14 +363,8 @@ func (s *Solver) applyT3(parentLoc, childLoc []float64, l int) {
 				blas.Dgemv(t, parentLoc[pb*k:(pb+1)*k], childLoc[cb*k:(cb+1)*k])
 			})
 		} else {
-			srcIdx := make([]int32, np*np*np)
-			dstIdx := make([]int32, np*np*np)
-			for pb := 0; pb < np*np*np; pb++ {
-				pc := geom.CoordFromIndex(pb, np)
-				srcIdx[pb] = int32(pb)
-				dstIdx[pb] = int32(pc.Child(oct).Index(nc))
-			}
-			aggregatedApply(t, parentLoc, childLoc, srcIdx, dstIdx, k)
+			plan := s.t3Plan[l][oct]
+			aggregatedApply(t, parentLoc, childLoc, plan.srcIdx, plan.dstIdx, k)
 		}
 		s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, np*np*np)
 	}
@@ -259,17 +396,11 @@ func (s *Solver) applyT2(far, loc []float64, l int) {
 		s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
 		return
 	}
-	// Aggregated: one gemm per (octant, offset) over all in-range targets.
-	for oct := 0; oct < 8; oct++ {
-		for _, o := range s.interactive[oct] {
-			srcIdx, dstIdx := offsetPairs(n, oct, o)
-			if len(srcIdx) == 0 {
-				continue
-			}
-			aggregatedApply(s.ts.T2For(o), far, loc, srcIdx, dstIdx, k)
-			s.stats.T2Count += int64(len(srcIdx))
-			s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, len(srcIdx))
-		}
+	// Aggregated: one batched gemm sweep per (octant, offset) lattice.
+	for _, lat := range s.t2Plan[l] {
+		aggregatedApplyLattice(lat.t, far, loc, lat, k)
+		s.stats.T2Count += int64(lat.count)
+		s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, int(lat.count))
 	}
 }
 
@@ -312,53 +443,80 @@ func (s *Solver) applyT2Supernodes(parentFar, far, loc []float64, l int) {
 	s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
 }
 
+// evalScratch holds the Legendre recurrence buffers of one evaluation
+// chunk; pooled so steady-state force solves stay allocation-free.
+type evalScratch struct {
+	p, dp []float64
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
 // evalLocal is step 4: evaluate each leaf's inner approximation at its
-// particles.
-func (s *Solver) evalLocal(part *Partition, pos []geom.Vec3, loc []float64, phi []float64, acc []geom.Vec3) {
-	n := part.Grid
+// particles, writing the box-ordered result mirrors.
+func (s *Solver) evalLocal(wantForce bool) {
+	n := s.part.Grid
 	k := s.ts.K
 	rule := s.cfg.Rule
 	m := s.cfg.M
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
-	blas.Parallel(n*n*n, func(b int) {
-		c := geom.CoordFromIndex(b, n)
-		idx := part.Box(c)
-		if len(idx) == 0 {
-			return
+	loc := s.loc[s.cfg.Depth]
+	blas.ParallelChunks(n*n*n, func(bLo, bHi int) {
+		es := evalPool.Get().(*evalScratch)
+		if cap(es.p) < m+1 {
+			es.p = make([]float64, m+1)
+			es.dp = make([]float64, m+1)
 		}
-		center := s.hier.Box(s.cfg.Depth, c).Center
-		g := loc[b*k : (b+1)*k]
-		for _, j := range idx {
-			if acc != nil {
-				v, gr := EvalInnerGrad(rule, m, center, a, g, pos[j])
-				phi[j] = v
-				acc[j] = acc[j].Add(gr)
+		p, dp := es.p[:m+1], es.dp[:m+1]
+		for b := bLo; b < bHi; b++ {
+			lo, hi := s.part.Start[b], s.part.Start[b+1]
+			if lo == hi {
+				continue
+			}
+			c := geom.CoordFromIndex(b, n)
+			center := s.hier.Box(s.cfg.Depth, c).Center
+			g := loc[b*k : (b+1)*k]
+			if wantForce {
+				for i := lo; i < hi; i++ {
+					v, gr := EvalInnerGradWork(rule, m, center, a, g, s.posS[i], p, dp)
+					s.phiS[i] = v
+					s.accS[i] = gr
+				}
 			} else {
-				phi[j] = EvalInner(rule, m, center, a, g, pos[j])
+				for i := lo; i < hi; i++ {
+					s.phiS[i] = EvalInner(rule, m, center, a, g, s.posS[i])
+				}
 			}
 		}
+		evalPool.Put(es)
 	})
-	s.stats.Flops[PhaseEvalLocal] += int64(len(pos)) * int64(k) * int64(m+1) * FlopsKernel
+	s.stats.Flops[PhaseEvalLocal] += int64(len(s.posS)) * int64(k) * int64(m+1) * FlopsKernel
 }
 
 // nearField is step 5: direct evaluation against the d-separation near
-// field, one-sided per target box so boxes parallelize without races.
-func (s *Solver) nearField(part *Partition, pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) {
-	n := part.Grid
+// field. The box-sorted mirrors make every box a contiguous slice, so no
+// per-box gather copies are needed. With multiple workers the sweep is
+// one-sided per target box so boxes parallelize without races; with a
+// single executor it switches to the symmetric form (each unordered box
+// pair evaluated once, both sides accumulated), halving the pair count.
+func (s *Solver) nearField(wantForce bool) {
+	if blas.Serial() {
+		s.nearFieldSym(wantForce)
+		return
+	}
+	n := s.part.Grid
 	var pairs int64
 	blas.Parallel(n*n*n, func(b int) {
-		c := geom.CoordFromIndex(b, n)
-		tIdx := part.Box(c)
-		if len(tIdx) == 0 {
+		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
+		if tLo == tHi {
 			return
 		}
-		tPos := make([]geom.Vec3, len(tIdx))
-		tPhi := make([]float64, len(tIdx))
-		tAcc := make([]geom.Vec3, len(tIdx))
-		tQ := make([]float64, len(tIdx))
-		for i, j := range tIdx {
-			tPos[i] = pos[j]
-			tQ[i] = q[j]
+		c := geom.CoordFromIndex(b, n)
+		tPos := s.posS[tLo:tHi]
+		tQ := s.qS[tLo:tHi]
+		tPhi := s.phiS[tLo:tHi]
+		var tAcc []geom.Vec3
+		if wantForce {
+			tAcc = s.accS[tLo:tHi]
 		}
 		var local int64
 		for _, o := range s.nearOff {
@@ -366,80 +524,70 @@ func (s *Solver) nearField(part *Partition, pos []geom.Vec3, q []float64, phi []
 			if !sc.In(n) {
 				continue
 			}
-			sIdx := part.Box(sc)
-			if len(sIdx) == 0 {
+			sb := sc.Index(n)
+			sLo, sHi := s.part.Start[sb], s.part.Start[sb+1]
+			if sLo == sHi {
 				continue
 			}
-			sPos := make([]geom.Vec3, len(sIdx))
-			sQ := make([]float64, len(sIdx))
-			for i, j := range sIdx {
-				sPos[i] = pos[j]
-				sQ[i] = q[j]
-			}
+			sPos := s.posS[sLo:sHi]
+			sQ := s.qS[sLo:sHi]
 			direct.Accumulate(tPos, tPhi, sPos, sQ)
-			if acc != nil {
+			if wantForce {
 				direct.AccumulateForce(tPos, tAcc, sPos, sQ)
 			}
-			local += int64(len(tIdx)) * int64(len(sIdx))
+			local += int64(tHi-tLo) * int64(sHi-sLo)
 		}
 		// Intra-box interactions (symmetric, race-free: own box only).
-		withinPhi(tPos, tQ, tPhi)
-		if acc != nil {
+		direct.Within(tPos, tQ, tPhi)
+		if wantForce {
 			direct.WithinForce(tPos, tQ, tAcc)
 		}
-		local += int64(len(tIdx)) * int64(len(tIdx)-1) / 2
-		for i, j := range tIdx {
-			phi[j] += tPhi[i]
-			if acc != nil {
-				acc[j] = acc[j].Add(tAcc[i])
-			}
-		}
+		local += int64(tHi-tLo) * int64(tHi-tLo-1) / 2
 		atomicAdd64(&pairs, local)
 	})
 	s.stats.NearPairs += pairs
 	s.stats.Flops[PhaseNear] += pairs * direct.FlopsPerPair
 }
 
-func withinPhi(pos []geom.Vec3, q, phi []float64) {
-	direct.Within(pos, q, phi)
-}
-
-// offsetPairs enumerates (source, target) box index pairs for targets of a
-// given octant and a fixed interactive offset, clipped to the grid.
-func offsetPairs(n, oct int, o geom.Coord3) (srcIdx, dstIdx []int32) {
-	// Target coordinates have fixed parity: x ≡ oct&1 (mod 2), etc.
-	lox, hix := clipRange(n, o.X)
-	loy, hiy := clipRange(n, o.Y)
-	loz, hiz := clipRange(n, o.Z)
-	alignUp := func(lo, parity int) int {
-		if lo%2 != parity {
-			lo++
+// nearFieldSym is the single-executor near field: a plain loop over boxes
+// visiting each unordered box pair once through the positive offset half,
+// with Newton's-third-law pair kernels writing both sides.
+func (s *Solver) nearFieldSym(wantForce bool) {
+	n := s.part.Grid
+	var pairs int64
+	for b := 0; b < n*n*n; b++ {
+		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
+		if tLo == tHi {
+			continue
 		}
-		return lo
-	}
-	lox = alignUp(lox, oct&1)
-	loy = alignUp(loy, oct>>1&1)
-	loz = alignUp(loz, oct>>2&1)
-	for z := loz; z <= hiz; z += 2 {
-		for y := loy; y <= hiy; y += 2 {
-			for x := lox; x <= hix; x += 2 {
-				t := geom.Coord3{X: x, Y: y, Z: z}
-				srcIdx = append(srcIdx, int32(t.Add(o).Index(n)))
-				dstIdx = append(dstIdx, int32(t.Index(n)))
+		c := geom.CoordFromIndex(b, n)
+		tPos := s.posS[tLo:tHi]
+		tQ := s.qS[tLo:tHi]
+		tPhi := s.phiS[tLo:tHi]
+		for _, o := range s.nearHalf {
+			sc := c.Add(o)
+			if !sc.In(n) {
+				continue
 			}
+			sb := sc.Index(n)
+			sLo, sHi := s.part.Start[sb], s.part.Start[sb+1]
+			if sLo == sHi {
+				continue
+			}
+			sPos := s.posS[sLo:sHi]
+			sQ := s.qS[sLo:sHi]
+			direct.Pairwise(tPos, tQ, tPhi, sPos, sQ, s.phiS[sLo:sHi])
+			if wantForce {
+				direct.PairwiseForce(tPos, tQ, s.accS[tLo:tHi], sPos, sQ, s.accS[sLo:sHi])
+			}
+			pairs += int64(tHi-tLo) * int64(sHi-sLo)
 		}
+		direct.Within(tPos, tQ, tPhi)
+		if wantForce {
+			direct.WithinForce(tPos, tQ, s.accS[tLo:tHi])
+		}
+		pairs += int64(tHi-tLo) * int64(tHi-tLo-1) / 2
 	}
-	return srcIdx, dstIdx
-}
-
-// clipRange returns the target-coordinate range for which target+offset
-// stays inside [0, n).
-func clipRange(n, off int) (lo, hi int) {
-	lo, hi = 0, n-1
-	if off < 0 {
-		lo = -off
-	} else {
-		hi = n - 1 - off
-	}
-	return lo, hi
+	s.stats.NearPairs += pairs
+	s.stats.Flops[PhaseNear] += pairs * direct.FlopsPerPair
 }

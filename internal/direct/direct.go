@@ -36,19 +36,33 @@ func Potentials(pos []geom.Vec3, q []float64) []float64 {
 	return phi
 }
 
+// pairTile is the blocking factor of the tiled O(N^2) sweeps: a tile of
+// positions plus charges is 256 * (24 + 8) = 8 KB, so the j-tile stays L1
+// resident while a whole i-block streams against it.
+const pairTile = 256
+
 // PotentialsSymmetric returns the same result as Potentials using Newton's
-// third law: each pair is visited once and contributes to both endpoints,
-// halving the operation count (the optimization of Section 3.4 applied at
-// particle granularity, as in Applegate et al.).
+// third law: each pair is visited once, its reciprocal distance is computed
+// once, and it contributes to both endpoints, halving the operation count
+// (the optimization of Section 3.4 applied at particle granularity, as in
+// Applegate et al.). The triangle is swept in pairTile blocks — diagonal
+// tiles via Within, off-diagonal via Pairwise — so both sides of each tile
+// pair stay cache resident instead of streaming the full arrays per row.
 func PotentialsSymmetric(pos []geom.Vec3, q []float64) []float64 {
 	phi := make([]float64, len(pos))
-	for i := range pos {
-		pi := pos[i]
-		qi := q[i]
-		for j := i + 1; j < len(pos); j++ {
-			inv := 1 / pi.Dist(pos[j])
-			phi[i] += q[j] * inv
-			phi[j] += qi * inv
+	n := len(pos)
+	for ib := 0; ib < n; ib += pairTile {
+		ie := ib + pairTile
+		if ie > n {
+			ie = n
+		}
+		Within(pos[ib:ie], q[ib:ie], phi[ib:ie])
+		for jb := ie; jb < n; jb += pairTile {
+			je := jb + pairTile
+			if je > n {
+				je = n
+			}
+			Pairwise(pos[ib:ie], q[ib:ie], phi[ib:ie], pos[jb:je], q[jb:je], phi[jb:je])
 		}
 	}
 	return phi
@@ -78,19 +92,47 @@ func PotentialsParallel(pos []geom.Vec3, q []float64) []float64 {
 // i.e. the gravitational convention with masses as charges).
 func Accelerations(pos []geom.Vec3, q []float64) []geom.Vec3 {
 	acc := make([]geom.Vec3, len(pos))
-	blas.Parallel(len(pos), func(i int) {
-		var a geom.Vec3
-		pi := pos[i]
-		for j := range pos {
-			if i == j {
-				continue
-			}
-			d := pos[j].Sub(pi)
-			r2 := d.Norm2()
-			inv := 1 / (r2 * math.Sqrt(r2))
-			a = a.Add(d.Scale(q[j] * inv))
+	n := len(pos)
+	nb := (n + pairTile - 1) / pairTile
+	// i-blocks are distributed over the pool (disjoint acc rows, no
+	// synchronization); each block sweeps the sources one j-tile at a time
+	// so the tile stays cache resident across the block's rows. The
+	// self-exclusion branch only runs inside the diagonal tile.
+	blas.Parallel(nb, func(bi int) {
+		ib := bi * pairTile
+		ie := ib + pairTile
+		if ie > n {
+			ie = n
 		}
-		acc[i] = a
+		for jb := 0; jb < n; jb += pairTile {
+			je := jb + pairTile
+			if je > n {
+				je = n
+			}
+			for i := ib; i < ie; i++ {
+				pi := pos[i]
+				a := acc[i]
+				if i >= jb && i < je {
+					for j := jb; j < je; j++ {
+						if i == j {
+							continue
+						}
+						d := pos[j].Sub(pi)
+						r2 := d.Norm2()
+						inv := 1 / (r2 * math.Sqrt(r2))
+						a = a.Add(d.Scale(q[j] * inv))
+					}
+				} else {
+					for j := jb; j < je; j++ {
+						d := pos[j].Sub(pi)
+						r2 := d.Norm2()
+						inv := 1 / (r2 * math.Sqrt(r2))
+						a = a.Add(d.Scale(q[j] * inv))
+					}
+				}
+				acc[i] = a
+			}
+		}
 	})
 	return acc
 }

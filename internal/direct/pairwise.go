@@ -1,0 +1,31 @@
+package direct
+
+import (
+	"math"
+
+	"nbody/internal/geom"
+)
+
+// PairwiseForce is the force counterpart of Pairwise: it adds the mutual
+// fields of two disjoint particle sets to both sides, with the (y-x)/r^3
+// convention of Accelerations. The force pair is equal and opposite, so one
+// kernel evaluation (one reciprocal distance cube) serves both boxes. The
+// serial near-field sweep visits each unordered box pair once with this
+// kernel, halving the evaluated pair count relative to the one-sided form
+// (which parallel sweeps need for race freedom). The sets must not alias.
+func PairwiseForce(posA []geom.Vec3, qA []float64, accA []geom.Vec3, posB []geom.Vec3, qB []float64, accB []geom.Vec3) {
+	for i := range posA {
+		pi := posA[i]
+		qi := qA[i]
+		ai := accA[i]
+		for j := range posB {
+			d := posB[j].Sub(pi)
+			r2 := d.Norm2()
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := d.Scale(inv)
+			ai = ai.Add(f.Scale(qB[j]))
+			accB[j] = accB[j].Sub(f.Scale(qi))
+		}
+		accA[i] = ai
+	}
+}

@@ -1,0 +1,182 @@
+// Package sched provides the repository's shared compute scheduler: a
+// persistent pool of worker goroutines with atomic work-stealing chunk
+// claiming. It replaces the earlier per-call goroutine spawning in
+// blas.Parallel, which paid a goroutine create/destroy plus a mutex-guarded
+// work index on every box sweep — measurable overhead on the traversal hot
+// path the paper's Section 3.3.3 efficiency numbers depend on.
+//
+// Design:
+//
+//   - Workers are created once (lazily, on the first parallel call) and
+//     live for the life of the process, parked on a job channel between
+//     calls. Pool size is GOMAXPROCS at first use.
+//
+//   - Work distribution is dynamic: participants claim contiguous index
+//     chunks from an atomic counter. The chunk size adapts to the iteration
+//     count (several chunks per worker), so sweeps with highly non-uniform
+//     per-index cost — e.g. box arrays where most leaves are empty — do not
+//     suffer the load imbalance of one static chunk per worker, while
+//     cheap uniform sweeps still amortize the atomic increment.
+//
+//   - The submitting goroutine always participates in its own job, so a
+//     parallel region completes even if every pool worker is busy in
+//     another job. In particular, nested Run calls cannot deadlock: the
+//     nested caller simply executes its job itself.
+//
+// On a single-core machine (Workers() == 1) every call degenerates to a
+// plain serial loop with no synchronization and no allocation.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker controls adaptive chunking: each participant should get
+// several chunks so dynamic claiming can rebalance uneven work, but not so
+// many that the atomic counter becomes contended. 8 keeps the claim
+// overhead under ~1% for the repository's box sweeps while still splitting
+// a level-4 sweep (4096 boxes) into 1/8-worker-sized pieces.
+const chunksPerWorker = 8
+
+// job is one parallel region. Participants (the caller plus any pool
+// workers that pick the job up) claim [lo, hi) chunks from next until the
+// range is exhausted; the participant that completes the final index
+// signals fin.
+type job struct {
+	fnIdx   func(i int)
+	fnChunk func(lo, hi int)
+	n       int64
+	chunk   int64
+	next    atomic.Int64
+	done    atomic.Int64
+	fin     chan struct{}
+}
+
+var (
+	initOnce sync.Once
+	poolSize int
+	jobs     chan *job
+)
+
+// initPool sizes and starts the worker pool. Workers run forever; each
+// blocks on the job channel between parallel regions.
+func initPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	if poolSize == 1 {
+		return
+	}
+	// The channel is buffered generously so wake-up sends never block even
+	// when stale wake-ups (for jobs that finished before a worker got to
+	// them) are still queued; a stale wake-up is a cheap no-op.
+	jobs = make(chan *job, 8*poolSize)
+	for w := 1; w < poolSize; w++ {
+		go func() {
+			for j := range jobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// Workers returns the pool size (GOMAXPROCS at first use). Callers sizing
+// per-worker scratch should use MaxParticipants.
+func Workers() int {
+	initOnce.Do(initPool)
+	return poolSize
+}
+
+// MaxParticipants bounds the number of goroutines that can execute chunks
+// of one job concurrently: every pool worker plus the submitting caller.
+func MaxParticipants() int { return Workers() + 1 }
+
+// Run executes fn(i) for every i in [0, n), distributing index chunks over
+// the worker pool. fn must be safe to call concurrently for distinct i.
+// Equivalent to the old blas.Parallel contract.
+func Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if Workers() == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	submit(&job{fnIdx: fn, n: int64(n)})
+}
+
+// RunChunks executes body(lo, hi) over a partition of [0, n) into
+// contiguous chunks, distributing chunks over the worker pool. It is the
+// preferred form when the body wants per-chunk setup (scratch buffers,
+// local accumulators) amortized over many indices.
+func RunChunks(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if Workers() == 1 {
+		body(0, n)
+		return
+	}
+	submit(&job{fnChunk: body, n: int64(n)})
+}
+
+// submit sizes the job's chunks, wakes enough workers, participates, and
+// waits for completion.
+func submit(j *job) {
+	nchunks := int64(poolSize * chunksPerWorker)
+	j.chunk = (j.n + nchunks - 1) / nchunks
+	if j.chunk < 1 {
+		j.chunk = 1
+	}
+	j.fin = make(chan struct{}, 1)
+	// Wake at most as many workers as there are chunks beyond the one the
+	// caller will take itself.
+	wake := int((j.n + j.chunk - 1) / j.chunk)
+	if wake > poolSize-1 {
+		wake = poolSize - 1
+	}
+	for w := 0; w < wake; w++ {
+		select {
+		case jobs <- j:
+		default:
+			w = wake // queue full: workers are saturated; caller still completes the job
+		}
+	}
+	j.run()
+	<-j.fin
+}
+
+// run claims and executes chunks until the job's range is exhausted. The
+// participant whose chunk completes the range signals fin exactly once
+// (done is incremented by exact chunk sizes, so only one participant can
+// observe done == n).
+func (j *job) run() {
+	var total int64
+	for {
+		lo := j.next.Add(j.chunk) - j.chunk
+		if lo >= j.n {
+			break
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		if j.fnChunk != nil {
+			j.fnChunk(int(lo), int(hi))
+		} else {
+			fn := j.fnIdx
+			for i := lo; i < hi; i++ {
+				fn(int(i))
+			}
+		}
+		total += hi - lo
+	}
+	if total > 0 && j.done.Add(total) == j.n {
+		j.fin <- struct{}{}
+	}
+}

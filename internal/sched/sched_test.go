@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 4097} {
+		hits := make([]int32, n)
+		Run(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestRunChunksPartitionsRange(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 1000} {
+		hits := make([]int32, n)
+		var calls int32
+		RunChunks(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad chunk [%d, %d)", n, lo, hi)
+			}
+			atomic.AddInt32(&calls, 1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, h)
+			}
+		}
+		if calls == 0 {
+			t.Fatalf("n=%d: no chunks executed", n)
+		}
+	}
+}
+
+func TestNestedRunCompletes(t *testing.T) {
+	var total int64
+	Run(8, func(i int) {
+		Run(16, func(j int) { atomic.AddInt64(&total, 1) })
+	})
+	if total != 8*16 {
+		t.Fatalf("nested total = %d, want %d", total, 8*16)
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Run(1000, func(i int) { atomic.AddInt64(&total, 1) })
+		}()
+	}
+	wg.Wait()
+	if total != 8*1000 {
+		t.Fatalf("concurrent total = %d, want %d", total, 8*1000)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	if MaxParticipants() != Workers()+1 {
+		t.Fatalf("MaxParticipants() = %d, want %d", MaxParticipants(), Workers()+1)
+	}
+}
+
+func BenchmarkRunEmpty4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(4096, func(int) {})
+	}
+}
+
+func BenchmarkRunChunksEmpty4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunChunks(4096, func(lo, hi int) {})
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Regenerates the hot-path performance record (BENCH_PR1.json): end-to-end
+# solver benchmarks with allocation counts, plus the GEMM kernel sweep at
+# the solver's translation shapes. Run from the repository root:
+#
+#   scripts/bench.sh [output.json]
+#
+# Results depend on the host; the committed BENCH_PR1.json records the
+# reference run documented in EXPERIMENTS.md.
+set -eu
+
+out="${1:-BENCH_PR1.json}"
+solve_txt="$(mktemp)"
+gemm_txt="$(mktemp)"
+trap 'rm -f "$solve_txt" "$gemm_txt"' EXIT
+
+go test ./internal/core/ -run '^$' -bench 'BenchmarkSolve(K12Depth4|SupernodesK32Depth4)$' \
+    -benchmem -benchtime 5x | tee "$solve_txt"
+go test ./internal/blas/ -run '^$' -bench 'BenchmarkDgemm|BenchmarkGemmPanels' \
+    -benchmem -benchtime 2s | tee "$gemm_txt"
+
+awk -v out="$out" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    obj = sprintf("    {\"name\": \"%s\", \"iterations\": %s", $1, $2)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^0-9A-Za-z_]/, "_", unit)
+        obj = obj sprintf(", \"%s\": %s", unit, $i)
+    }
+    obj = obj "}"
+    benches = benches (benches == "" ? "" : ",\n") obj
+}
+END {
+    printf "{\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", cpu, benches > out
+}
+' "$solve_txt" "$gemm_txt"
+
+echo "wrote $out"

@@ -9,6 +9,14 @@ type Accelerator interface {
 	Accelerations(*System) ([]float64, []Vec3, error)
 }
 
+// AcceleratorInto is the allocation-free variant: the solver writes
+// potentials and fields into caller-owned slices and reuses its internal
+// working memory between calls (Anderson implements it). Simulation detects
+// it and runs every step after the first without allocating.
+type AcceleratorInto interface {
+	AccelerationsInto(phi []float64, acc []Vec3, s *System) error
+}
+
 // DirectAccelerator adapts the O(N^2) solver to the Accelerator interface.
 type DirectAccelerator struct{ Direct }
 
@@ -33,6 +41,7 @@ type Simulation struct {
 
 	acc  []Vec3
 	phi  []float64
+	into AcceleratorInto // non-nil when Solver supports in-place solves
 	time float64
 	step int
 }
@@ -55,6 +64,7 @@ func NewSimulation(sys *System, vel []Vec3, solver Accelerator, dt float64) (*Si
 		return nil, err
 	}
 	s.phi, s.acc = phi, acc
+	s.into, _ = solver.(AcceleratorInto)
 	return s, nil
 }
 
@@ -66,11 +76,17 @@ func (s *Simulation) Step(n int) error {
 			s.Velocities[i] = s.Velocities[i].Add(s.acc[i].Scale(dt / 2))
 			s.System.Positions[i] = s.System.Positions[i].Add(s.Velocities[i].Scale(dt))
 		}
-		phi, acc, err := s.Solver.Accelerations(s.System)
-		if err != nil {
-			return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
+		if s.into != nil {
+			if err := s.into.AccelerationsInto(s.phi, s.acc, s.System); err != nil {
+				return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
+			}
+		} else {
+			phi, acc, err := s.Solver.Accelerations(s.System)
+			if err != nil {
+				return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
+			}
+			s.phi, s.acc = phi, acc
 		}
-		s.phi, s.acc = phi, acc
 		for i := range s.Velocities {
 			s.Velocities[i] = s.Velocities[i].Add(s.acc[i].Scale(dt / 2))
 		}

@@ -130,6 +130,27 @@ func (a *Anderson) Accelerations(s *System) ([]float64, []Vec3, error) {
 	return a.solver.Accelerations(s.Positions, s.Charges)
 }
 
+// PotentialsInto computes the potentials into the caller-owned slice phi
+// (length s.Len()). Repeated solves on one Anderson reuse all internal
+// buffers — steady state allocates nothing and is bitwise reproducible.
+// One solve at a time per solver.
+func (a *Anderson) PotentialsInto(phi []float64, s *System) error {
+	if err := a.ensureSolver(s.Len()); err != nil {
+		return err
+	}
+	return a.solver.PotentialsInto(phi, s.Positions, s.Charges)
+}
+
+// AccelerationsInto computes potentials and fields into caller-owned slices
+// (each length s.Len()), under the same reuse contract as PotentialsInto.
+// This is the time-stepping path: Simulation uses it automatically.
+func (a *Anderson) AccelerationsInto(phi []float64, acc []Vec3, s *System) error {
+	if err := a.ensureSolver(s.Len()); err != nil {
+		return err
+	}
+	return a.solver.AccelerationsInto(phi, acc, s.Positions, s.Charges)
+}
+
 // PotentialsAt evaluates the field of the system's charges at arbitrary
 // probe points inside the domain (no self-exclusion).
 func (a *Anderson) PotentialsAt(s *System, targets []Vec3) ([]float64, error) {
