@@ -13,7 +13,6 @@ package nbody
 import (
 	"testing"
 
-	"nbody/internal/core"
 	"nbody/internal/dpfmm"
 	"nbody/internal/experiments"
 )
@@ -202,7 +201,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 				}
 			}
 			st := a.Stats()
-			hier := st.Time[core.PhaseUpward] + st.Time[core.PhaseDownward]
+			hier := st.TraversalTime()
 			if hier > 0 {
 				b.ReportMetric(float64(st.TraversalFlops())/hier.Seconds()/1e6, "traversal_Mflops")
 			}

@@ -1,0 +1,144 @@
+// Command phases runs one solve and prints the per-phase breakdown the
+// paper reports in its phase tables: wall time, sustained Mflops/s, and
+// share of the total solve per phase, plus translation and near-field pair
+// counts. It exercises the instrumentation layer end to end (phase spans,
+// analytic flop counters, BLAS call counters, scheduler worker stats).
+//
+//	phases                         # shared-memory solver, N=32768, depth 4, K=12
+//	phases -solver dp -nodes 8     # data-parallel solver on the simulated machine
+//	phases -solver 2d -depth 4     # the 2-D solver
+//	phases -degree 13              # the high-accuracy configuration
+//	phases -json                   # machine-readable output (scripts/bench.sh)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"nbody"
+	"nbody/internal/blas"
+	"nbody/internal/dpfmm"
+	"nbody/internal/metrics"
+	"nbody/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phases: ")
+	var (
+		solver  = flag.String("solver", "core", "solver: core | dp | 2d")
+		n       = flag.Int("n", 32768, "particles")
+		depth   = flag.Int("depth", 4, "hierarchy depth")
+		degree  = flag.Int("degree", 5, "integration order D (5 -> K=12, 13 -> K=98)")
+		nodes   = flag.Int("nodes", 8, "simulated machine nodes (dp solver)")
+		seed    = flag.Int64("seed", 1, "particle seed")
+		solves  = flag.Int("solves", 1, "number of solves to accumulate")
+		asJSON  = flag.Bool("json", false, "emit JSON instead of the table")
+		workers = flag.Bool("workers", true, "capture per-worker scheduler utilization")
+	)
+	flag.Parse()
+
+	if *workers {
+		sched.EnableStats(true)
+		sched.ResetStats()
+	}
+	blas.EnableCounters(true)
+	blas.ResetCounters()
+
+	st, err := run(*solver, *n, *depth, *degree, *nodes, *seed, *solves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workers {
+		st.CaptureWorkers()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("solver=%s solves=%d\n", *solver, *solves)
+	fmt.Print(st.Table())
+	c := blas.ReadCounters()
+	fmt.Printf("  blas: %d gemm calls (%d flops), %d gemv calls (%d flops)\n",
+		c.GemmCalls, c.GemmFlops, c.GemvCalls, c.GemvFlops)
+	fmt.Printf("  heap: %d allocs, %d B across %d solve(s)\n", st.HeapAllocs, st.HeapBytes, *solves)
+	if len(st.Workers) > 0 {
+		var jobs int64
+		for _, w := range st.Workers {
+			jobs += w.Jobs
+		}
+		fmt.Printf("  sched: %d participants, %d timed jobs\n", len(st.Workers), jobs)
+	}
+}
+
+func run(solver string, n, depth, degree int, nodes int, seed int64, solves int) (*metrics.Snapshot, error) {
+	sys := nbody.NewUniformSystem(n, seed)
+	box := sys.BoundingBox()
+	switch solver {
+	case "core":
+		a, err := nbody.NewAnderson(box, nbody.Options{Degree: degree, Depth: depth})
+		if err != nil {
+			return nil, err
+		}
+		var d metrics.AllocDelta
+		d.Start()
+		for i := 0; i < solves; i++ {
+			if _, err := a.Potentials(sys); err != nil {
+				return nil, err
+			}
+		}
+		st := a.Stats()
+		d.CaptureInto(st)
+		return st, nil
+	case "dp":
+		d, err := nbody.NewDataParallel(nodes, box, nbody.Options{Degree: degree, Depth: depth}, dpfmm.LinearizedAliased)
+		if err != nil {
+			return nil, err
+		}
+		var probe metrics.AllocDelta
+		probe.Start()
+		for i := 0; i < solves; i++ {
+			if _, err := d.Potentials(sys); err != nil {
+				return nil, err
+			}
+		}
+		st := d.Machine.Stats()
+		probe.CaptureInto(st)
+		return st, nil
+	case "2d":
+		rng := rand.New(rand.NewSource(seed))
+		pos := make([]nbody.Vec2, n)
+		q := make([]float64, n)
+		for i := range pos {
+			pos[i] = nbody.Vec2{X: rng.Float64(), Y: rng.Float64()}
+			q[i] = rng.Float64() - 0.5
+		}
+		a, err := nbody.NewAnderson2D(
+			nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.001},
+			nbody.Options2D{Depth: depth})
+		if err != nil {
+			return nil, err
+		}
+		var d metrics.AllocDelta
+		d.Start()
+		for i := 0; i < solves; i++ {
+			if _, err := a.Potentials(pos, q); err != nil {
+				return nil, err
+			}
+		}
+		st := a.Stats()
+		d.CaptureInto(st)
+		return st, nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q (core | dp | 2d)", solver)
+	}
+}

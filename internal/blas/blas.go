@@ -74,6 +74,9 @@ func Dgemv(a Matrix, x, y []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("blas: Dgemv shape mismatch")
 	}
+	if countersOn.Load() {
+		countGemv(a.Rows, a.Cols)
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		var s float64
@@ -103,6 +106,9 @@ func Dgemm(a, b, c Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	if m == 0 || k == 0 || n == 0 {
 		return
+	}
+	if countersOn.Load() {
+		countGemm(m, k, n)
 	}
 	switch k {
 	case 12:

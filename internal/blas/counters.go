@@ -1,0 +1,60 @@
+package blas
+
+import "sync/atomic"
+
+// Counters is the call-site accounting of the BLAS kernels: how many GEMM
+// and GEMV invocations ran and the flops they performed (2mkn / 2mn
+// convention). It is the observed-work cross-check for the solvers'
+// analytic per-phase flop counts.
+//
+// This package sits below internal/metrics in the import graph (metrics
+// depends on the dp machine, which depends on blas), so it keeps its own
+// counters instead of recording into a metrics.Rec; the metrics layer reads
+// them out with Counters().
+type Counters struct {
+	GemmCalls int64
+	GemmFlops int64
+	GemvCalls int64
+	GemvFlops int64
+}
+
+var (
+	countersOn atomic.Bool
+	gemmCalls  atomic.Int64
+	gemmFlops  atomic.Int64
+	gemvCalls  atomic.Int64
+	gemvFlops  atomic.Int64
+)
+
+// EnableCounters switches kernel call accounting on or off. Off (the
+// default) costs one predictable branch per kernel call; the branch is on
+// an atomic.Bool load, which compiles to a plain aligned load.
+func EnableCounters(on bool) { countersOn.Store(on) }
+
+// ResetCounters zeroes the kernel counters.
+func ResetCounters() {
+	gemmCalls.Store(0)
+	gemmFlops.Store(0)
+	gemvCalls.Store(0)
+	gemvFlops.Store(0)
+}
+
+// ReadCounters returns the counters accumulated since the last reset.
+func ReadCounters() Counters {
+	return Counters{
+		GemmCalls: gemmCalls.Load(),
+		GemmFlops: gemmFlops.Load(),
+		GemvCalls: gemvCalls.Load(),
+		GemvFlops: gemvFlops.Load(),
+	}
+}
+
+func countGemm(m, k, n int) {
+	gemmCalls.Add(1)
+	gemmFlops.Add(DgemmFlops(m, k, n))
+}
+
+func countGemv(rows, cols int) {
+	gemvCalls.Add(1)
+	gemvFlops.Add(DgemvFlops(rows, cols))
+}

@@ -99,6 +99,9 @@ func DgemmAssign(a, b, c Matrix) {
 		clear(c.Data[:m*n])
 		return
 	}
+	if countersOn.Load() {
+		countGemm(m, k, n)
+	}
 	ad, bd, cd := a.Data, b.Data, c.Data
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]

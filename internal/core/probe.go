@@ -29,11 +29,16 @@ func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3)
 			return nil, fmt.Errorf("core: target %v outside domain %v", p, s.hier.Root)
 		}
 	}
-	st := &s.stats
-	st.timePhase(PhaseSetup, func() { s.prepare(pos, q) })
-	st.timePhase(PhaseLeafOuter, func() { s.leafOuter() })
-	st.timePhase(PhaseUpward, func() { s.upward() })
-	st.timePhase(PhaseDownward, func() { s.downward() })
+	sp := s.rec.Begin(PhaseSort)
+	s.prepare(pos, q)
+	sp.End()
+	sp = s.rec.Begin(PhaseLeafOuter)
+	s.leafOuter()
+	sp.End()
+	sp = s.rec.Begin(PhaseUpward)
+	s.upward()
+	sp.End()
+	s.downward() // records PhaseT3/PhaseT2 spans per level itself
 
 	depth := s.cfg.Depth
 	k := s.ts.K
@@ -43,7 +48,8 @@ func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3)
 	m := s.cfg.M
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
 	n := s.part.Grid
-	st.timePhase(PhaseEvalLocal, func() {
+	sp = s.rec.Begin(PhaseEvalLocal)
+	{
 		blas.Parallel(len(targets), func(i int) {
 			x := targets[i]
 			c := s.hier.LeafOf(x)
@@ -68,6 +74,7 @@ func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3)
 			}
 			phi[i] = v
 		})
-	})
+	}
+	sp.End()
 	return phi, nil
 }

@@ -7,6 +7,7 @@ import (
 	"nbody/internal/blas"
 	"nbody/internal/direct"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 	"nbody/internal/tree"
 )
 
@@ -34,7 +35,11 @@ type Solver struct {
 	nearOff     []geom.Coord3
 	nearHalf    []geom.Coord3 // lexicographically positive half of nearOff
 
-	stats Stats
+	// rec is the always-on per-phase recorder; snap is the materialized
+	// view Stats() refreshes (kept on the Solver so Stats() allocates
+	// nothing in steady state).
+	rec  metrics.Rec
+	snap Stats
 
 	// Traversal plans, built once in NewSolver (plans.go).
 	upPlan [][8]gatherPlan // parent level l: far[l+1] -> far[l]
@@ -75,11 +80,11 @@ func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{cfg: ncfg, hier: h}
-	s.stats.timePhase(PhaseSetup, func() {
-		s.ts = NewTranslationSet(ncfg)
-	})
+	sp := s.rec.Begin(PhaseSetup)
+	s.ts = NewTranslationSet(ncfg)
+	sp.End()
 	nmat := int64(2*8) + int64(len(tree.UnionInteractiveOffsets(ncfg.Separation)))
-	s.stats.Flops[PhaseSetup] = nmat * TranslationMatrixFlops(s.ts.K, ncfg.M)
+	s.rec.AddFlops(PhaseSetup, nmat*TranslationMatrixFlops(s.ts.K, ncfg.M))
 	for oct := 0; oct < 8; oct++ {
 		s.interactive[oct] = tree.InteractiveOffsets(ncfg.Separation, oct)
 		if ncfg.Supernodes {
@@ -125,8 +130,17 @@ func (s *Solver) Hierarchy() tree.Hierarchy { return s.hier }
 // layer and by benchmarks).
 func (s *Solver) Translations() *TranslationSet { return s.ts }
 
-// Stats returns the accumulated instrumentation of all solves so far.
-func (s *Solver) Stats() *Stats { return &s.stats }
+// Stats returns the accumulated instrumentation of all solves so far. The
+// returned snapshot is owned by the Solver and refreshed on every call;
+// copy it to retain a point-in-time view.
+func (s *Solver) Stats() *Stats {
+	s.rec.ReadInto(&s.snap)
+	return &s.snap
+}
+
+// Rec exposes the live recorder (for callers that aggregate several
+// solvers into one report).
+func (s *Solver) Rec() *metrics.Rec { return &s.rec }
 
 // Potentials computes the potential phi_i = sum_{j != i} q_j / |x_i - x_j|
 // at every particle. The returned slice is freshly allocated; use
@@ -182,19 +196,28 @@ func (s *Solver) solve(pos []geom.Vec3, q []float64, phi []float64, acc []geom.V
 			return fmt.Errorf("core: particle %v outside domain %v", p, s.hier.Root)
 		}
 	}
-	st := &s.stats
-	st.Particles = len(pos)
-	st.Depth = s.cfg.Depth
-	st.K = s.ts.K
+	s.rec.SetShape(len(pos), s.cfg.Depth, s.ts.K)
 
-	st.timePhase(PhaseSetup, func() { s.prepare(pos, q) })
-	st.timePhase(PhaseLeafOuter, func() { s.leafOuter() })
-	st.timePhase(PhaseUpward, func() { s.upward() })
-	st.timePhase(PhaseDownward, func() { s.downward() })
-	st.timePhase(PhaseEvalLocal, func() { s.evalLocal(acc != nil) })
-	st.timePhase(PhaseNear, func() { s.nearField(acc != nil) })
+	sp := s.rec.Begin(PhaseSort)
+	s.prepare(pos, q)
+	sp.End()
+	sp = s.rec.Begin(PhaseLeafOuter)
+	s.leafOuter()
+	sp.End()
+	sp = s.rec.Begin(PhaseUpward)
+	s.upward()
+	sp.End()
+	s.downward() // records PhaseT3/PhaseT2 spans per level itself
+	sp = s.rec.Begin(PhaseEvalLocal)
+	s.evalLocal(acc != nil)
+	sp.End()
+	sp = s.rec.Begin(PhaseNear)
+	s.nearField(acc != nil)
+	sp.End()
 
-	// Scatter the box-ordered results back to particle order.
+	// Scatter the box-ordered results back to particle order (the inverse
+	// reshape; charged to the sort phase like the forward one).
+	sp = s.rec.Begin(PhaseSort)
 	for i, j := range s.part.Perm {
 		phi[j] = s.phiS[i]
 	}
@@ -203,6 +226,7 @@ func (s *Solver) solve(pos []geom.Vec3, q []float64, phi []float64, acc []geom.V
 			acc[j] = s.accS[i]
 		}
 	}
+	sp.End()
 	return nil
 }
 
@@ -304,7 +328,7 @@ func (s *Solver) leafOuter() {
 	for b := 0; b+1 < len(s.part.Start); b++ {
 		pairs += int64(s.part.Start[b+1]-s.part.Start[b]) * int64(k)
 	}
-	s.stats.Flops[PhaseLeafOuter] += pairs * direct.FlopsPerPair
+	s.rec.AddFlops(PhaseLeafOuter, pairs*direct.FlopsPerPair)
 }
 
 // upward is step 2: combine child outer approximations into parents with T1,
@@ -328,24 +352,30 @@ func (s *Solver) upward() {
 				plan := s.upPlan[l][oct]
 				aggregatedApply(t, src, dst, plan.srcIdx, plan.dstIdx, k)
 			}
-			s.stats.Flops[PhaseUpward] += blas.DgemmFlops(k, k, np*np*np)
+			s.rec.AddFlops(PhaseUpward, blas.DgemmFlops(k, k, np*np*np))
 		}
 	}
 }
 
 // downward is step 3: for each level l = 2..depth, shift the parent's local
 // field in with T3 and convert the interactive field with T2 (optionally
-// through supernodes).
+// through supernodes). The two translations are timed separately (the
+// paper's tables report the conversion, by far the dominant term, on its
+// own line).
 func (s *Solver) downward() {
 	for l := 2; l <= s.cfg.Depth; l++ {
 		if l > 2 {
+			sp := s.rec.Begin(PhaseT3)
 			s.applyT3(s.loc[l-1], s.loc[l], l)
+			sp.End()
 		}
+		sp := s.rec.Begin(PhaseT2)
 		if s.cfg.Supernodes && l > 2 {
 			s.applyT2Supernodes(s.far[l-1], s.far[l], s.loc[l], l)
 		} else {
 			s.applyT2(s.far[l], s.loc[l], l)
 		}
+		sp.End()
 	}
 }
 
@@ -366,7 +396,7 @@ func (s *Solver) applyT3(parentLoc, childLoc []float64, l int) {
 			plan := s.t3Plan[l][oct]
 			aggregatedApply(t, parentLoc, childLoc, plan.srcIdx, plan.dstIdx, k)
 		}
-		s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, np*np*np)
+		s.rec.AddFlops(PhaseT3, blas.DgemmFlops(k, k, np*np*np))
 	}
 }
 
@@ -392,16 +422,18 @@ func (s *Solver) applyT2(far, loc []float64, l int) {
 			}
 			atomicAdd64(&count, local)
 		})
-		s.stats.T2Count += count
-		s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
+		s.rec.AddT2(count)
+		s.rec.AddFlops(PhaseT2, count*blas.DgemmFlops(k, k, 1))
 		return
 	}
 	// Aggregated: one batched gemm sweep per (octant, offset) lattice.
+	var count int64
 	for _, lat := range s.t2Plan[l] {
 		aggregatedApplyLattice(lat.t, far, loc, lat, k)
-		s.stats.T2Count += int64(lat.count)
-		s.stats.Flops[PhaseDownward] += blas.DgemmFlops(k, k, int(lat.count))
+		count += int64(lat.count)
 	}
+	s.rec.AddT2(count)
+	s.rec.AddFlops(PhaseT2, count*blas.DgemmFlops(k, k, 1))
 }
 
 // applyT2Supernodes converts the interactive field using the supernode
@@ -439,8 +471,8 @@ func (s *Solver) applyT2Supernodes(parentFar, far, loc []float64, l int) {
 		}
 		atomicAdd64(&count, local)
 	})
-	s.stats.T2Count += count
-	s.stats.Flops[PhaseDownward] += count * blas.DgemmFlops(k, k, 1)
+	s.rec.AddT2(count)
+	s.rec.AddFlops(PhaseT2, count*blas.DgemmFlops(k, k, 1))
 }
 
 // evalScratch holds the Legendre recurrence buffers of one evaluation
@@ -489,7 +521,7 @@ func (s *Solver) evalLocal(wantForce bool) {
 		}
 		evalPool.Put(es)
 	})
-	s.stats.Flops[PhaseEvalLocal] += int64(len(s.posS)) * int64(k) * int64(m+1) * FlopsKernel
+	s.rec.AddFlops(PhaseEvalLocal, int64(len(s.posS))*int64(k)*int64(m+1)*FlopsKernel)
 }
 
 // nearField is step 5: direct evaluation against the d-separation near
@@ -545,8 +577,8 @@ func (s *Solver) nearField(wantForce bool) {
 		local += int64(tHi-tLo) * int64(tHi-tLo-1) / 2
 		atomicAdd64(&pairs, local)
 	})
-	s.stats.NearPairs += pairs
-	s.stats.Flops[PhaseNear] += pairs * direct.FlopsPerPair
+	s.rec.AddNearPairs(pairs)
+	s.rec.AddFlops(PhaseNear, pairs*direct.FlopsPerPair)
 }
 
 // nearFieldSym is the single-executor near field: a plain loop over boxes
@@ -588,6 +620,6 @@ func (s *Solver) nearFieldSym(wantForce bool) {
 		}
 		pairs += int64(tHi-tLo) * int64(tHi-tLo-1) / 2
 	}
-	s.stats.NearPairs += pairs
-	s.stats.Flops[PhaseNear] += pairs * direct.FlopsPerPair
+	s.rec.AddNearPairs(pairs)
+	s.rec.AddFlops(PhaseNear, pairs*direct.FlopsPerPair)
 }

@@ -355,7 +355,7 @@ func TestStatsAccounting(t *testing.T) {
 	if st.NearPairs <= 0 || st.T2Count <= 0 {
 		t.Errorf("counts not recorded: near=%d t2=%d", st.NearPairs, st.T2Count)
 	}
-	for p := PhaseLeafOuter; p <= PhaseNear; p++ {
+	for _, p := range []Phase{PhaseLeafOuter, PhaseUpward, PhaseT2, PhaseT3, PhaseEvalLocal, PhaseNear} {
 		if st.Flops[p] <= 0 {
 			t.Errorf("phase %v has no flops", p)
 		}

@@ -1,104 +1,26 @@
 package core
 
-import (
-	"fmt"
-	"time"
+import "nbody/internal/metrics"
+
+// Phase and Stats are the shared per-phase instrumentation types of
+// internal/metrics; core keeps aliases so its historical API (Phase
+// constants indexing Stats arrays) survives the extraction. The generic
+// method's step 3 ("downward") is recorded as its two constituent
+// translations: the parent-to-child shift (PhaseT3) and the
+// interactive-field conversion (PhaseT2).
+type (
+	Phase = metrics.Phase
+	Stats = metrics.Snapshot
 )
 
-// Phase identifies one of the five steps of the generic hierarchical method
-// (Section 2.2) plus setup.
-type Phase int
-
-// The phases, in execution order.
+// The phases of the shared-memory solver, in execution order.
 const (
-	PhaseSetup     Phase = iota // partition + translation matrices
-	PhaseLeafOuter              // step 1: particle -> leaf outer (P2O)
-	PhaseUpward                 // step 2: T1 sweep
-	PhaseDownward               // step 3: T3 + T2 sweeps
-	PhaseEvalLocal              // step 4: leaf inner -> particle (L2P)
-	PhaseNear                   // step 5: near-field direct evaluation
-	numPhases
+	PhaseSetup     = metrics.PhaseSetup     // translation matrices + traversal plans
+	PhaseSort      = metrics.PhaseSort      // per-solve partition + box-order mirrors
+	PhaseLeafOuter = metrics.PhaseLeafOuter // step 1: particle -> leaf outer (P2O)
+	PhaseUpward    = metrics.PhaseT1        // step 2: T1 sweep
+	PhaseT2        = metrics.PhaseT2        // step 3a: interactive-field conversion
+	PhaseT3        = metrics.PhaseT3        // step 3b: parent -> child shift
+	PhaseEvalLocal = metrics.PhaseEvalLocal // step 4: leaf inner -> particle (L2P)
+	PhaseNear      = metrics.PhaseNear      // step 5: near-field direct evaluation
 )
-
-// String implements fmt.Stringer.
-func (p Phase) String() string {
-	switch p {
-	case PhaseSetup:
-		return "setup"
-	case PhaseLeafOuter:
-		return "leaf-outer"
-	case PhaseUpward:
-		return "upward"
-	case PhaseDownward:
-		return "downward"
-	case PhaseEvalLocal:
-		return "eval-local"
-	case PhaseNear:
-		return "near-field"
-	default:
-		return fmt.Sprintf("phase(%d)", int(p))
-	}
-}
-
-// Stats records the per-phase flop counts and wall times of one solve. The
-// flop counts are analytic (BLAS shapes and pair counts), the times are
-// measured; together they feed the efficiency and cycles-per-particle
-// metrics of Table 1.
-type Stats struct {
-	Flops [numPhases]int64
-	Time  [numPhases]time.Duration
-
-	Particles int
-	Depth     int
-	K         int
-
-	// T2Count is the number of interactive-field translations actually
-	// applied (after boundary clipping and supernode reduction); the
-	// headline count the supernode optimization reduces.
-	T2Count int64
-	// NearPairs is the number of particle-particle interactions evaluated.
-	NearPairs int64
-}
-
-// TotalFlops sums the flops of the five algorithmic phases (setup excluded:
-// translation-matrix construction is amortized across time steps, as in the
-// paper's performance accounting).
-func (s *Stats) TotalFlops() int64 {
-	var t int64
-	for p := PhaseLeafOuter; p < numPhases; p++ {
-		t += s.Flops[p]
-	}
-	return t
-}
-
-// TotalTime sums the measured time of the five algorithmic phases.
-func (s *Stats) TotalTime() time.Duration {
-	var t time.Duration
-	for p := PhaseLeafOuter; p < numPhases; p++ {
-		t += s.Time[p]
-	}
-	return t
-}
-
-// TraversalFlops returns the flops of the hierarchy traversal only (upward
-// + downward), the quantity the optimal-depth analysis balances against the
-// near field.
-func (s *Stats) TraversalFlops() int64 {
-	return s.Flops[PhaseUpward] + s.Flops[PhaseDownward]
-}
-
-// String formats a compact per-phase report.
-func (s *Stats) String() string {
-	out := fmt.Sprintf("N=%d depth=%d K=%d\n", s.Particles, s.Depth, s.K)
-	for p := PhaseSetup; p < numPhases; p++ {
-		out += fmt.Sprintf("  %-11s %12d flops  %v\n", p.String(), s.Flops[p], s.Time[p].Round(time.Microsecond))
-	}
-	return out
-}
-
-// timePhase runs fn and accumulates its wall time into the phase.
-func (s *Stats) timePhase(p Phase, fn func()) {
-	start := time.Now()
-	fn()
-	s.Time[p] += time.Since(start)
-}

@@ -23,10 +23,12 @@ package core2
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 	"nbody/internal/sphere"
 	"nbody/internal/tree"
 )
@@ -140,7 +142,24 @@ type Solver struct {
 	interactive [4][]geom.Coord2
 	supers      [4]tree.Supernodes2
 	nearOff     []geom.Coord2
+
+	rec  metrics.Rec
+	snap metrics.Snapshot
 }
+
+// Stats returns the per-phase instrumentation accumulated over all solves
+// so far. The snapshot is owned by the Solver and refreshed on each call.
+func (s *Solver) Stats() *metrics.Snapshot {
+	s.rec.ReadInto(&s.snap)
+	return &s.snap
+}
+
+// Rec exposes the live recorder.
+func (s *Solver) Rec() *metrics.Rec { return &s.rec }
+
+// translationFlops is the flop count of one translation application:
+// a K x K Dgemv plus the K-length log-term Daxpy.
+func translationFlops(k int) int64 { return blas.DgemvFlops(k, k) + 2*int64(k) }
 
 // NewSolver builds the solver and precomputes all translation matrices.
 func NewSolver(root geom.Box2, cfg Config) (*Solver, error) {
@@ -153,7 +172,9 @@ func NewSolver(root geom.Box2, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{cfg: ncfg, hier: h, rule: sphere.Circle(ncfg.K)}
+	sp := s.rec.Begin(metrics.PhaseSetup)
 	s.buildMatrices()
+	sp.End()
 	for qd := 0; qd < 4; qd++ {
 		s.interactive[qd] = tree.InteractiveOffsets2(ncfg.Separation, qd)
 		if ncfg.Supernodes {
@@ -284,8 +305,10 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 	depth := s.cfg.Depth
 	k := s.cfg.K
 	n := s.hier.GridSize(depth)
+	s.rec.SetShape(len(pos), depth, k)
 
 	// Partition (counting sort to leaf boxes).
+	sp := s.rec.Begin(metrics.PhaseSort)
 	nb := n * n
 	start := make([]int, nb+1)
 	boxOf := make([]int, len(pos))
@@ -305,6 +328,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		fill[b]++
 	}
 	boxParticles := func(b int) []int { return perm[start[b]:start[b+1]] }
+	sp.End()
 
 	// Far-field storage: residual values and monopoles per level.
 	far := make([][]float64, depth+1)
@@ -319,6 +343,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 
 	// Step 1: leaf outer representations.
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
+	sp = s.rec.Begin(metrics.PhaseLeafOuter)
 	blas.Parallel(nb, func(b int) {
 		idx := boxParticles(b)
 		if len(idx) == 0 {
@@ -341,6 +366,8 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			g[i] = v + totQ*math.Log(a)
 		}
 	})
+	sp.End()
+	s.rec.AddFlops(metrics.PhaseLeafOuter, int64(len(pos))*int64(k)*direct.FlopsPerPair)
 
 	// Step 2: upward pass. Matrices are in child-side units, so they are
 	// level-independent, but the log terms reference the child-level
@@ -349,6 +376,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 	// level's own radius and the kernels are scale-free in a/r. The Q ln a
 	// bookkeeping is handled by the translation vectors (built in units of
 	// the child side, adding Q ln(aP/a_child-units) consistently).
+	sp = s.rec.Begin(metrics.PhaseT1)
 	for l := depth - 1; l >= 2; l-- {
 		np := s.hier.GridSize(l)
 		nc := s.hier.GridSize(l + 1)
@@ -361,18 +389,24 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 				mono[l][pb] += mono[l+1][cb]
 			}
 		})
+		s.rec.AddFlops(metrics.PhaseT1, 4*int64(np*np)*translationFlops(k))
 	}
+	sp.End()
 
 	// Step 3: downward pass.
+	var t2Count atomic.Int64
 	for l := 2; l <= depth; l++ {
 		gl := s.hier.GridSize(l)
 		if l > 2 {
 			gp := s.hier.GridSize(l - 1)
+			spT3 := s.rec.Begin(metrics.PhaseT3)
 			blas.Parallel(gl*gl, func(cb int) {
 				cc := geom.Coord2FromIndex(cb, gl)
 				pb := cc.Parent().Index(gp)
 				blas.Dgemv(s.t3[cc.Quadrant()], loc[l-1][pb*k:(pb+1)*k], loc[l][cb*k:(cb+1)*k])
 			})
+			spT3.End()
+			s.rec.AddFlops(metrics.PhaseT3, int64(gl*gl)*blas.DgemvFlops(k, k))
 		}
 		// The T2 log vectors are built in box-side units; the absolute
 		// distance is (units * side), so each source contributes an extra
@@ -380,11 +414,13 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		lnSide := math.Log(s.hier.BoxSide(l))
 		useSuper := s.cfg.Supernodes && l > 2
 		gp := s.hier.GridSize(l - 1)
+		spT2 := s.rec.Begin(metrics.PhaseT2)
 		blas.Parallel(gl*gl, func(cb int) {
 			cc := geom.Coord2FromIndex(cb, gl)
 			qd := cc.Quadrant()
 			dst := loc[l][cb*k : (cb+1)*k]
 			var msum float64
+			var applied int64
 			if useSuper {
 				pc := cc.Parent()
 				for _, tt := range s.supers[qd].ParentOffsets {
@@ -395,6 +431,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 					pb := sp.Index(gp)
 					s.t2Super[qd][tt].apply(mono[l-1][pb], far[l-1][pb*k:(pb+1)*k], dst)
 					msum += mono[l-1][pb]
+					applied++
 				}
 				for _, o := range s.supers[qd].ChildOffsets {
 					sc := cc.Add(o)
@@ -404,6 +441,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 					sb := sc.Index(gl)
 					s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
 					msum += mono[l][sb]
+					applied++
 				}
 			} else {
 				for _, o := range s.interactive[qd] {
@@ -414,6 +452,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 					sb := sc.Index(gl)
 					s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
 					msum += mono[l][sb]
+					applied++
 				}
 			}
 			if msum != 0 {
@@ -421,11 +460,17 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 					dst[i] -= msum * lnSide
 				}
 			}
+			t2Count.Add(applied)
 		})
+		spT2.End()
 	}
+	nT2 := t2Count.Load()
+	s.rec.AddT2(nT2)
+	s.rec.AddFlops(metrics.PhaseT2, nT2*translationFlops(k))
 
-	// Steps 4 and 5: evaluate local fields and the near field.
+	// Step 4: evaluate local fields at the particles.
 	phi := make([]float64, len(pos))
+	sp = s.rec.Begin(metrics.PhaseEvalLocal)
 	blas.Parallel(nb, func(b int) {
 		idx := boxParticles(b)
 		if len(idx) == 0 {
@@ -450,17 +495,34 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			}
 			phi[j] = v
 		}
-		// Near field, one-sided plus intra-box.
+	})
+	sp.End()
+	// Each (particle, circle point) evaluation runs M Fourier terms of the
+	// interior kernel at ~4 flops per term plus the weighted accumulate.
+	s.rec.AddFlops(metrics.PhaseEvalLocal, int64(len(pos))*int64(k)*int64(4*s.cfg.M+3))
+
+	// Step 5: near field, one-sided plus intra-box.
+	var nearPairs atomic.Int64
+	sp = s.rec.Begin(metrics.PhaseNear)
+	blas.Parallel(nb, func(b int) {
+		idx := boxParticles(b)
+		if len(idx) == 0 {
+			return
+		}
+		c := geom.Coord2FromIndex(b, n)
+		var local int64
 		for _, o := range s.nearOff {
 			sc := c.Add(o)
 			if !sc.In(n) {
 				continue
 			}
+			src := boxParticles(sc.Index(n))
 			for _, j := range idx {
-				for _, i2 := range boxParticles(sc.Index(n)) {
+				for _, i2 := range src {
 					phi[j] -= q[i2] * math.Log(pos[j].Dist(pos[i2]))
 				}
 			}
+			local += int64(len(idx)) * int64(len(src))
 		}
 		for _, j := range idx {
 			for _, i2 := range idx {
@@ -469,7 +531,13 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 				}
 			}
 		}
+		local += int64(len(idx)) * int64(len(idx)-1)
+		nearPairs.Add(local)
 	})
+	sp.End()
+	np := nearPairs.Load()
+	s.rec.AddNearPairs(np)
+	s.rec.AddFlops(metrics.PhaseNear, np*direct.FlopsPerPair)
 	return phi, nil
 }
 
@@ -487,5 +555,3 @@ func DirectPotentials2(pos []geom.Vec2, q []float64) []float64 {
 	})
 	return phi
 }
-
-var _ = direct.FlopsPerPair // shared flop conventions with the 3-D packages

@@ -8,6 +8,7 @@ import (
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 )
 
 // Accelerations computes potentials and the field +grad phi at every
@@ -21,8 +22,11 @@ func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.
 	}
 	k := s.TS.K
 	depth := s.Cfg.Depth
+	s.rec.SetShape(len(pos), depth, k)
 
+	sp := s.rec.Begin(metrics.PhaseSort)
 	pg, err := s.partitionParticles(pos, q)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -37,18 +41,28 @@ func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.
 		far[l] = s.M.NewGrid3(1<<l, k)
 		loc[l] = s.M.NewGrid3(1<<l, k)
 	}
+	sp = s.rec.Begin(metrics.PhaseLeafOuter)
 	s.leafOuter(pg, far[depth])
+	sp.End()
 	for l := depth - 1; l >= 2; l-- {
+		sp = s.rec.Begin(metrics.PhaseT1)
 		s.upwardLevel(far[l+1], far[l])
+		sp.End()
 	}
 	for l := 2; l <= depth; l++ {
 		if l > 2 {
+			sp = s.rec.Begin(metrics.PhaseT3)
 			s.t3Level(loc[l-1], loc[l])
+			sp.End()
 		}
-		s.t2Level(far[l], loc[l])
+		s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
 	}
+	sp = s.rec.Begin(metrics.PhaseEvalLocal)
 	s.evalLocalGrad(pg, loc[depth], ax, ay, az)
+	sp.End()
+	sp = s.rec.Begin(metrics.PhaseNear)
 	s.nearFieldForces(pg, ax, ay, az)
+	sp.End()
 	pg.gatherPhi()
 
 	phi := make([]float64, len(pos))
@@ -87,6 +101,7 @@ func (s *Solver) evalLocalGrad(pg *particleGrid, loc, ax, ay, az *dp.Grid3) {
 		}
 		s.M.ChargeCompute(layout.VUOf(c), 2*int64(cnt)*int64(rule.K())*int64(m+1)*6, eff)
 	})
+	s.rec.AddFlops(metrics.PhaseEvalLocal, 2*int64(len(pg.index))*int64(rule.K())*int64(m+1)*6)
 }
 
 // nearFieldForces is the one-sided near-field walk accumulating both
@@ -97,6 +112,7 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 	eff := s.M.Cost.DirectEfficiency
 	layout := pg.count.Layout
 
+	var pairs int64
 	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
 		cnt := int(cv[0])
 		if cnt < 2 {
@@ -122,6 +138,7 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 			}
 		}
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)*direct.FlopsPerPair, eff)
+		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
 
 	tx, ty, tz := pg.px.Clone(), pg.py.Clone(), pg.pz.Clone()
@@ -184,6 +201,9 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 				gz[i] += fz
 			}
 			s.M.ChargeCompute(layout.VUOf(c), 2*int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})
 	}
+	s.rec.AddNearPairs(pairs)
+	s.rec.AddFlops(metrics.PhaseNear, 2*pairs*direct.FlopsPerPair)
 }

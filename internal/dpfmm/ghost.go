@@ -6,6 +6,7 @@ import (
 	"nbody/internal/blas"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 	"nbody/internal/tree"
 )
 
@@ -54,11 +55,13 @@ func (s *Solver) octMember(oct int, o geom.Coord3) bool {
 // whose octant includes offset o and whose source c+o is inside the domain.
 // aligned must satisfy aligned[c] = far[c+o] (established by shifting).
 func (s *Solver) applyOffsetLocal(aligned, loc *dp.Grid3, o geom.Coord3) {
+	sp := s.rec.Begin(metrics.PhaseT2)
 	k := s.TS.K
 	t := s.TS.T2For(o)
 	eff := s.M.Cost.GemmEfficiency(k)
 	n := loc.N
 	layout := loc.Layout
+	var applied int64
 	loc.ForEachBox(func(c geom.Coord3, dst []float64) {
 		if !s.member(c.Octant(), o) {
 			return
@@ -67,8 +70,12 @@ func (s *Solver) applyOffsetLocal(aligned, loc *dp.Grid3, o geom.Coord3) {
 			return // masked: the shifted data wrapped around the domain
 		}
 		blas.Dgemv(t, aligned.At(c), dst)
+		atomicAdd(&applied, 1)
 		s.M.ChargeCompute(layout.VUOf(c), blas.DgemmFlops(k, k, 1), eff)
 	})
+	s.rec.AddT2(applied)
+	s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
+	sp.End()
 }
 
 // t2ShiftPerOffset is the DirectUnaliased strategy: one whole-array
@@ -76,14 +83,18 @@ func (s *Solver) applyOffsetLocal(aligned, loc *dp.Grid3, o geom.Coord3) {
 func (s *Solver) t2ShiftPerOffset(far, loc *dp.Grid3) {
 	for _, o := range tree.UnionInteractiveOffsets(s.Cfg.Separation) {
 		aligned := far
-		if o.X != 0 {
-			aligned = aligned.CShift(dp.AxisX, o.X)
-		}
-		if o.Y != 0 {
-			aligned = aligned.CShift(dp.AxisY, o.Y)
-		}
-		if o.Z != 0 {
-			aligned = aligned.CShift(dp.AxisZ, o.Z)
+		if o != (geom.Coord3{}) {
+			gs := s.rec.Begin(metrics.PhaseGhost)
+			if o.X != 0 {
+				aligned = aligned.CShift(dp.AxisX, o.X)
+			}
+			if o.Y != 0 {
+				aligned = aligned.CShift(dp.AxisY, o.Y)
+			}
+			if o.Z != 0 {
+				aligned = aligned.CShift(dp.AxisZ, o.Z)
+			}
+			gs.End()
 		}
 		s.applyOffsetLocal(aligned, loc, o)
 	}
@@ -98,21 +109,25 @@ func (s *Solver) t2SnakeUnitShifts(far, loc *dp.Grid3) {
 	traveling := far.Clone()
 	cur := geom.Coord3{}
 	visit := func(target geom.Coord3) {
-		for cur != target {
-			var axis dp.Axis
-			var step int
-			switch {
-			case cur.X != target.X:
-				axis, step = dp.AxisX, sign(target.X-cur.X)
-				cur.X += step
-			case cur.Y != target.Y:
-				axis, step = dp.AxisY, sign(target.Y-cur.Y)
-				cur.Y += step
-			default:
-				axis, step = dp.AxisZ, sign(target.Z-cur.Z)
-				cur.Z += step
+		if cur != target {
+			gs := s.rec.Begin(metrics.PhaseGhost)
+			for cur != target {
+				var axis dp.Axis
+				var step int
+				switch {
+				case cur.X != target.X:
+					axis, step = dp.AxisX, sign(target.X-cur.X)
+					cur.X += step
+				case cur.Y != target.Y:
+					axis, step = dp.AxisY, sign(target.Y-cur.Y)
+					cur.Y += step
+				default:
+					axis, step = dp.AxisZ, sign(target.Z-cur.Z)
+					cur.Z += step
+				}
+				traveling = traveling.CShift(axis, step)
 			}
-			traveling = traveling.CShift(axis, step)
+			gs.End()
 		}
 		if cur.ChebDist(geom.Coord3{}) > s.Cfg.Separation {
 			s.applyOffsetLocal(traveling, loc, cur)
@@ -187,6 +202,7 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 	px, py, _ := far.Layout.VUGrid()
 	eff := s.M.Cost.GemmEfficiency(k)
 
+	gs := s.rec.Begin(metrics.PhaseGhost)
 	var offWords, localWords int64
 	ghosts := make([][]float64, far.NumVUsUsed())
 	far.ForEachVU(func(vu int, slab []float64) {
@@ -225,14 +241,18 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 		calls = 6*1 + 12*2 + 8*3 // per-region axis-shift sequences
 	}
 	s.M.AccountGhostFetch(calls, offWords, localWords)
+	s.rec.AddBytes(metrics.PhaseGhost, offWords*8)
+	gs.End()
 
 	// Local conversion from the ghost buffer.
+	sp := s.rec.Begin(metrics.PhaseT2)
+	var applied int64
 	loc.ForEachVU(func(vu int, slab []float64) {
 		buf := ghosts[vu]
 		vx := vu % px
 		vy := vu / px % py
 		vz := vu / (px * py)
-		var flops int64
+		var flops, nt int64
 		for lz := 0; lz < sz; lz++ {
 			for ly := 0; ly < sy; ly++ {
 				for lx := 0; lx < sx; lx++ {
@@ -247,12 +267,17 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 						src := buf[(((lz+g+o.Z)*gy+(ly+g+o.Y))*gx+(lx+g+o.X))*k:]
 						blas.Dgemv(s.TS.T2For(o), src[:k], dst)
 						flops += blas.DgemmFlops(k, k, 1)
+						nt++
 					}
 				}
 			}
 		}
+		atomicAdd(&applied, nt)
 		s.M.ChargeCompute(vu, flops, eff)
 	})
+	s.rec.AddT2(applied)
+	s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
+	sp.End()
 }
 
 func atomicAdd(p *int64, v int64) { atomic.AddInt64(p, v) }

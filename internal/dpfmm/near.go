@@ -6,6 +6,7 @@ import (
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 )
 
 // nearField evaluates the d-separation near field (step 5) by the paper's
@@ -31,6 +32,7 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 
 	// Intra-box interactions first: symmetric and local.
 	layout := pg.count.Layout
+	var pairs int64
 	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
 		cnt := int(cv[0])
 		if cnt < 2 {
@@ -47,6 +49,7 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 			}
 		}
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
+		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
 
 	// Traveling copies of the particle arrays.
@@ -100,6 +103,9 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 				phi[i] += acc
 			}
 			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})
 	}
+	s.rec.AddNearPairs(pairs)
+	s.rec.AddFlops(metrics.PhaseNear, pairs*direct.FlopsPerPair)
 }

@@ -6,6 +6,7 @@ import (
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 )
 
 // nearFieldSymmetric evaluates the near field with Newton's third law, the
@@ -22,6 +23,7 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 	layout := pg.count.Layout
 
 	// Intra-box interactions (same as the one-sided path).
+	var pairs int64
 	pg.count.ForEachBox(func(c geom.Coord3, cv []float64) {
 		cnt := int(cv[0])
 		if cnt < 2 {
@@ -38,6 +40,7 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 			}
 		}
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
+		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
 
 	// Traveling copies: particle attributes plus the reciprocal-potential
@@ -99,8 +102,11 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 				phi[i] += acc
 			}
 			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
+			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})
 	}
+	s.rec.AddNearPairs(pairs)
+	s.rec.AddFlops(metrics.PhaseNear, pairs*direct.FlopsPerPair)
 
 	// Bring the accumulator home: the traveling arrays are aligned at
 	// offset cur, so tphi[c] holds contributions for the particles of box

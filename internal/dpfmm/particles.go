@@ -8,6 +8,7 @@ import (
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 )
 
 // particleGrid is the simulator's version of the paper's 4-D particle
@@ -159,6 +160,7 @@ func (s *Solver) leafOuter(pg *particleGrid, far *dp.Grid3) {
 		}
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(k)*direct.FlopsPerPair, eff)
 	})
+	s.rec.AddFlops(metrics.PhaseLeafOuter, int64(len(pg.index))*int64(k)*direct.FlopsPerPair)
 }
 
 // evalLocal evaluates leaf inner approximations at the particles (step 4).
@@ -184,6 +186,7 @@ func (s *Solver) evalLocal(pg *particleGrid, loc *dp.Grid3) {
 		}
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(rule.K())*int64(m+1)*6, eff)
 	})
+	s.rec.AddFlops(metrics.PhaseEvalLocal, int64(len(pg.index))*int64(rule.K())*int64(m+1)*6)
 }
 
 // gatherPhi copies the per-box accumulated potentials back into sorted

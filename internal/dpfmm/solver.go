@@ -19,6 +19,7 @@ import (
 	"nbody/internal/core"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/metrics"
 	"nbody/internal/tree"
 )
 
@@ -79,7 +80,23 @@ type Solver struct {
 	MultigridStorage bool
 
 	interactive [8][]geom.Coord3
+
+	rec  metrics.Rec
+	snap metrics.Snapshot
 }
+
+// Stats returns the host-side per-phase instrumentation (wall time of the
+// simulation, analytic flops, communication bytes) accumulated over all
+// solves so far. It complements the machine's own cycle counters
+// (dp.Machine.Counters), which model the target machine rather than the
+// host. The snapshot is owned by the Solver and refreshed on each call.
+func (s *Solver) Stats() *metrics.Snapshot {
+	s.rec.ReadInto(&s.snap)
+	return &s.snap
+}
+
+// Rec exposes the live recorder.
+func (s *Solver) Rec() *metrics.Rec { return &s.rec }
 
 // NewSolver builds the data-parallel solver. The root box and configuration
 // mirror core.NewSolver.
@@ -110,23 +127,32 @@ func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
 	}
 	k := s.TS.K
 	depth := s.Cfg.Depth
+	s.rec.SetShape(len(pos), depth, k)
 
 	// Particle handling: coordinate sort + communication-free reshape.
+	sp := s.rec.Begin(metrics.PhaseSort)
 	pg, err := s.partitionParticles(pos, q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	locLeaf := s.hierarchyPasses(pg, k, depth)
+	sp = s.rec.Begin(metrics.PhaseEvalLocal)
 	s.evalLocal(pg, locLeaf)
+	sp.End()
+	sp = s.rec.Begin(metrics.PhaseNear)
 	s.nearField(pg)
-	pg.gatherPhi()
+	sp.End()
 
 	// Un-reshape: scatter per-box potentials back to particle order.
+	sp = s.rec.Begin(metrics.PhaseSort)
+	pg.gatherPhi()
 	phi := make([]float64, len(pos))
 	for i := range pg.index {
 		phi[pg.index[i]] = pg.phiOut[i]
 	}
+	sp.End()
 	return phi, nil
 }
 
@@ -141,15 +167,21 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 			far[l] = s.M.NewGrid3(1<<l, k)
 			loc[l] = s.M.NewGrid3(1<<l, k)
 		}
+		sp := s.rec.Begin(metrics.PhaseLeafOuter)
 		s.leafOuter(pg, far[depth])
+		sp.End()
 		for l := depth - 1; l >= 2; l-- {
+			sp = s.rec.Begin(metrics.PhaseT1)
 			s.upwardLevel(far[l+1], far[l])
+			sp.End()
 		}
 		for l := 2; l <= depth; l++ {
 			if l > 2 {
+				sp = s.rec.Begin(metrics.PhaseT3)
 				s.t3Level(loc[l-1], loc[l])
+				sp.End()
 			}
-			s.t2Level(far[l], loc[l])
+			s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
 		}
 		return loc[depth]
 	}
@@ -160,12 +192,18 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 	// Multigrid-reduce / Multigrid-distribute operators of Section 3.3.2).
 	farMG := NewMultigrid(s.M, depth, k)
 	locMG := NewMultigrid(s.M, depth, k)
+	sp := s.rec.Begin(metrics.PhaseLeafOuter)
 	s.leafOuter(pg, farMG.Leaf)
+	sp.End()
 	cur := farMG.Leaf
 	for l := depth - 1; l >= 2; l-- {
 		parent := s.M.NewGrid3(1<<l, k)
+		sp = s.rec.Begin(metrics.PhaseT1)
 		s.upwardLevel(cur, parent)
+		sp.End()
+		sp = s.rec.Begin(metrics.PhaseEmbed)
 		farMG.Embed(dp.RemapAliased, parent, l, true)
+		sp.End()
 		cur = parent
 	}
 	for l := 2; l <= depth; l++ {
@@ -174,19 +212,27 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 			farL = farMG.Leaf
 		} else {
 			farL = s.M.NewGrid3(1<<l, k)
+			sp = s.rec.Begin(metrics.PhaseExtract)
 			farMG.Extract(dp.RemapAliased, farL, l, true)
+			sp.End()
 		}
 		locL := s.M.NewGrid3(1<<l, k)
 		if l > 2 {
 			locParent := s.M.NewGrid3(1<<(l-1), k)
+			sp = s.rec.Begin(metrics.PhaseExtract)
 			locMG.Extract(dp.RemapAliased, locParent, l-1, true)
+			sp.End()
+			sp = s.rec.Begin(metrics.PhaseT3)
 			s.t3Level(locParent, locL)
+			sp.End()
 		}
-		s.t2Level(farL, locL)
+		s.t2Level(farL, locL) // records PhaseGhost/PhaseT2 itself
 		if l == depth {
 			return locL
 		}
+		sp = s.rec.Begin(metrics.PhaseEmbed)
 		locMG.Embed(dp.RemapAliased, locL, l, true)
+		sp.End()
 	}
 	return nil // unreachable: depth >= 2 always returns inside the loop
 }
@@ -208,6 +254,7 @@ func (s *Solver) upwardLevel(child, parent *dp.Grid3) {
 			s.M.ChargeCompute(vu, blas.DgemmFlops(k, k, boxes), eff)
 		})
 	}
+	s.rec.AddFlops(metrics.PhaseT1, 8*blas.DgemmFlops(k, k, parent.N*parent.N*parent.N))
 }
 
 // t3Level shifts parent local fields into children.
@@ -227,4 +274,5 @@ func (s *Solver) t3Level(parent, child *dp.Grid3) {
 		})
 		dp.OctantScatterAdd(dp.RemapAliased, child, tmp, oct)
 	}
+	s.rec.AddFlops(metrics.PhaseT3, 8*blas.DgemmFlops(k, k, parent.N*parent.N*parent.N))
 }

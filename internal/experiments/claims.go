@@ -285,7 +285,7 @@ func ClaimSupernodes(n int) (*AblationResult, error) {
 		st := s.Stats()
 		res.Lines = append(res.Lines, fmt.Sprintf(
 			"supernodes=%-5v T2 translations=%-9d downward flops=%-12d err=%.2e wall=%v",
-			sup, st.T2Count, st.Flops[core.PhaseDownward], meanRelError(phi, want),
+			sup, st.T2Count, st.Flops[core.PhaseT2]+st.Flops[core.PhaseT3], meanRelError(phi, want),
 			wall.Round(time.Millisecond)))
 	}
 	res.Lines = append(res.Lines, "paper: ~4.6x fewer interactive-field translations, slightly decreased accuracy")
@@ -311,7 +311,7 @@ func ClaimAggregation(n int) (*AblationResult, error) {
 		}
 		wall := time.Since(start)
 		st := s.Stats()
-		hier := st.Time[core.PhaseUpward] + st.Time[core.PhaseDownward]
+		hier := st.TraversalTime()
 		mflops := float64(st.TraversalFlops()) / hier.Seconds() / 1e6
 		mode := "aggregated gemm"
 		if disable {

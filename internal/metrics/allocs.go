@@ -1,0 +1,26 @@
+package metrics
+
+import "runtime"
+
+// AllocDelta measures the heap-allocation cost of a region of code (one or
+// more solves). It is a caller-side probe, deliberately not part of Rec:
+// runtime.ReadMemStats stops the world, so the solvers never call it —
+// tooling (cmd/phases) and tests wrap the solve loop explicitly.
+type AllocDelta struct {
+	start runtime.MemStats
+}
+
+// Start records the baseline.
+func (d *AllocDelta) Start() { runtime.ReadMemStats(&d.start) }
+
+// Stop returns the heap delta since Start: object count and bytes.
+func (d *AllocDelta) Stop() (allocs, bytes int64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.Mallocs - d.start.Mallocs), int64(m.TotalAlloc - d.start.TotalAlloc)
+}
+
+// CaptureInto stops the probe and stores the delta in s.
+func (d *AllocDelta) CaptureInto(s *Snapshot) {
+	s.HeapAllocs, s.HeapBytes = d.Stop()
+}

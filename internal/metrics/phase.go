@@ -1,0 +1,76 @@
+package metrics
+
+import "fmt"
+
+// Phase identifies one section of a solve in the per-phase accounting the
+// paper's Tables 4-6 are built from. The set is the union of the phase
+// boundaries of every solver in the repository: the shared-memory 3-D and
+// 2-D solvers (internal/core, internal/core2) and the data-parallel machine
+// expression (internal/dpfmm). A solver records only the phases it has; the
+// reporting layer skips phases with no time and no flops.
+type Phase int
+
+// The phases, in canonical execution order.
+const (
+	// PhaseSetup is amortized preparation: translation-matrix
+	// precomputation and traversal-plan construction.
+	PhaseSetup Phase = iota
+	// PhaseSort is per-solve particle handling: the coordinate sort /
+	// counting-sort partition into leaf boxes, the box-ordered attribute
+	// mirrors (the paper's 1-D to 4-D reshape), and the final scatter of
+	// results back to particle order.
+	PhaseSort
+	// PhaseLeafOuter is step 1: particle to leaf outer approximation (P2O).
+	PhaseLeafOuter
+	// PhaseT1 is step 2, the upward pass: child outer to parent outer.
+	PhaseT1
+	// PhaseT2 is the interactive-field conversion: outer to local at one
+	// level (the translation the supernode and ghost experiments target).
+	PhaseT2
+	// PhaseT3 is the downward shift: parent local to child local.
+	PhaseT3
+	// PhaseEmbed is multigrid embedding: level-sized temporaries into the
+	// two-layer hierarchy storage (data-parallel solver only).
+	PhaseEmbed
+	// PhaseExtract is the inverse of PhaseEmbed.
+	PhaseExtract
+	// PhaseGhost is interactive-field data motion: ghost-region fetches or
+	// CSHIFT alignment walks (data-parallel solver only).
+	PhaseGhost
+	// PhaseEvalLocal is step 4: leaf inner approximation to particle (L2P).
+	PhaseEvalLocal
+	// PhaseNear is step 5: near-field direct evaluation.
+	PhaseNear
+	// NumPhases bounds the phase arrays.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseSort:
+		return "sort"
+	case PhaseLeafOuter:
+		return "leaf-outer"
+	case PhaseT1:
+		return "upward-T1"
+	case PhaseT2:
+		return "convert-T2"
+	case PhaseT3:
+		return "downward-T3"
+	case PhaseEmbed:
+		return "embed"
+	case PhaseExtract:
+		return "extract"
+	case PhaseGhost:
+		return "ghost"
+	case PhaseEvalLocal:
+		return "eval-local"
+	case PhaseNear:
+		return "near-field"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}

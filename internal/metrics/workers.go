@@ -1,0 +1,20 @@
+package metrics
+
+import "nbody/internal/sched"
+
+// CaptureWorkers copies the scheduler's per-participant utilization
+// counters into the snapshot. The counters only accumulate while
+// sched.EnableStats(true) is in effect; a typical sequence is
+//
+//	sched.EnableStats(true)
+//	sched.ResetStats()
+//	... solve ...
+//	st := solver.Stats()
+//	st.CaptureWorkers()
+func (s *Snapshot) CaptureWorkers() {
+	ws := sched.ReadStats()
+	s.Workers = s.Workers[:0]
+	for _, w := range ws {
+		s.Workers = append(s.Workers, WorkerStat{Slot: w.Slot, Busy: w.Busy, Jobs: w.Jobs})
+	}
+}

@@ -28,7 +28,10 @@
 package sched
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -67,6 +70,7 @@ func initPool() {
 	if poolSize < 1 {
 		poolSize = 1
 	}
+	counters = make([]workerCounters, poolSize)
 	if poolSize == 1 {
 		return
 	}
@@ -75,11 +79,16 @@ func initPool() {
 	// them) are still queued; a stale wake-up is a cheap no-op.
 	jobs = make(chan *job, 8*poolSize)
 	for w := 1; w < poolSize; w++ {
-		go func() {
-			for j := range jobs {
-				j.run()
-			}
-		}()
+		go func(slot int) {
+			// Label the worker so CPU profiles attribute pool time to the
+			// scheduler and to the individual worker slot.
+			labels := pprof.Labels("pool", "sched", "worker", fmt.Sprint(slot))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for j := range jobs {
+					j.runTimed(slot)
+				}
+			})
+		}(w)
 	}
 }
 
@@ -102,6 +111,9 @@ func Run(n int, fn func(i int)) {
 		return
 	}
 	if Workers() == 1 || n == 1 {
+		if statsOn.Load() {
+			defer chargeSerial(now())
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -119,6 +131,9 @@ func RunChunks(n int, body func(lo, hi int)) {
 		return
 	}
 	if Workers() == 1 {
+		if statsOn.Load() {
+			defer chargeSerial(now())
+		}
 		body(0, n)
 		return
 	}
@@ -147,15 +162,16 @@ func submit(j *job) {
 			w = wake // queue full: workers are saturated; caller still completes the job
 		}
 	}
-	j.run()
+	j.runTimed(0)
 	<-j.fin
 }
 
-// run claims and executes chunks until the job's range is exhausted. The
+// run claims and executes chunks until the job's range is exhausted,
+// returning the number of indices this participant executed. The
 // participant whose chunk completes the range signals fin exactly once
 // (done is incremented by exact chunk sizes, so only one participant can
 // observe done == n).
-func (j *job) run() {
+func (j *job) run() int64 {
 	var total int64
 	for {
 		lo := j.next.Add(j.chunk) - j.chunk
@@ -179,4 +195,5 @@ func (j *job) run() {
 	if total > 0 && j.done.Add(total) == j.n {
 		j.fin <- struct{}{}
 	}
+	return total
 }

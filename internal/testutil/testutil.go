@@ -1,0 +1,99 @@
+// Package testutil provides the shared fixtures of the differential test
+// suite: deterministic random particle systems and the error metrics the
+// paper reports accuracy in (error relative to the mean field, Section 4),
+// so every solver pair is compared on identical inputs with identical
+// yardsticks.
+package testutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nbody/internal/geom"
+)
+
+// UnitBox is the domain every differential fixture lives in.
+func UnitBox() geom.Box3 {
+	return geom.Box3{Center: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1}
+}
+
+// RandomSystem returns n uniformly distributed particles in the unit box
+// with charges in [-0.5, 0.5). The same seed always yields the same
+// system, so failures reproduce.
+func RandomSystem(n int, seed int64) ([]geom.Vec3, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geom.Vec3, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = geom.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		q[i] = rng.Float64() - 0.5
+	}
+	return pos, q
+}
+
+// ClusteredSystem returns n particles in a few Gaussian blobs — the
+// non-uniform distribution that stresses box-population imbalance (empty
+// boxes, crowded boxes) in the partitioning and near-field paths.
+func ClusteredSystem(n int, seed int64) ([]geom.Vec3, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []geom.Vec3{
+		{X: 0.25, Y: 0.25, Z: 0.3}, {X: 0.7, Y: 0.6, Z: 0.75}, {X: 0.5, Y: 0.85, Z: 0.2},
+	}
+	pos := make([]geom.Vec3, n)
+	q := make([]float64, n)
+	clamp := func(v float64) float64 { return math.Min(0.999, math.Max(0.001, v)) }
+	for i := range pos {
+		c := centers[rng.Intn(len(centers))]
+		pos[i] = geom.Vec3{
+			X: clamp(c.X + 0.08*rng.NormFloat64()),
+			Y: clamp(c.Y + 0.08*rng.NormFloat64()),
+			Z: clamp(c.Z + 0.08*rng.NormFloat64()),
+		}
+		q[i] = rng.Float64() - 0.5
+	}
+	return pos, q
+}
+
+// ErrStats is the error of one potential vector against a reference, in
+// the paper's normalization: differences are measured against the mean
+// magnitude of the reference field, not element-wise (individual phi can
+// pass through zero).
+type ErrStats struct {
+	RMS   float64 // sqrt(mean squared error) / mean |want|
+	Worst float64 // max |got-want| / mean |want|
+}
+
+// RelError computes the error of got against want.
+func RelError(got, want []float64) ErrStats {
+	if len(got) != len(want) || len(got) == 0 {
+		return ErrStats{RMS: math.Inf(1), Worst: math.Inf(1)}
+	}
+	var sq, worst, mean float64
+	for i := range got {
+		d := math.Abs(got[i] - want[i])
+		sq += d * d
+		if d > worst {
+			worst = d
+		}
+		mean += math.Abs(want[i])
+	}
+	mean /= float64(len(got))
+	if mean == 0 {
+		return ErrStats{RMS: math.Inf(1), Worst: math.Inf(1)}
+	}
+	return ErrStats{RMS: math.Sqrt(sq/float64(len(got))) / mean, Worst: worst / mean}
+}
+
+// CheckClose fails the test if got deviates from want by more than the
+// given worst-case relative bound, logging the measured error either way
+// so bound drift is visible in -v runs.
+func CheckClose(t *testing.T, name string, got, want []float64, worstBound float64) {
+	t.Helper()
+	e := RelError(got, want)
+	t.Logf("%s: rms=%.3e worst=%.3e (bound %.1e)", name, e.RMS, e.Worst, worstBound)
+	if !(e.Worst <= worstBound) {
+		t.Errorf("%s: worst relative error %.3e exceeds bound %.1e (rms %.3e)",
+			name, e.Worst, worstBound, e.RMS)
+	}
+}

@@ -1,0 +1,85 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"nbody/internal/geom"
+)
+
+// FuzzLeafOf drives the leaf partitioning with arbitrary coordinates —
+// including NaN, infinities, and points far outside the domain — and
+// checks the invariants every caller relies on: no panic, box indices in
+// [0, 2^depth) on every axis, and in-domain points landing in a leaf box
+// that geometrically contains them (up to one representable rounding step
+// at box faces).
+func FuzzLeafOf(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5, uint8(3))
+	f.Add(0.0, 1.0, 0.9999, uint8(5))
+	f.Add(-1.0, 2.0, 0.5, uint8(2))
+	f.Add(math.Inf(1), math.Inf(-1), math.NaN(), uint8(4))
+	f.Add(1e-300, 1e300, -0.0, uint8(6))
+	f.Fuzz(func(t *testing.T, x, y, z float64, depthRaw uint8) {
+		depth := 2 + int(depthRaw%5) // 2..6
+		h, err := NewHierarchy(geom.Box3{Center: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1}, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := geom.Vec3{X: x, Y: y, Z: z}
+		c := h.LeafOf(p)
+		n := h.GridSize(depth)
+		if c.X < 0 || c.X >= n || c.Y < 0 || c.Y >= n || c.Z < 0 || c.Z >= n {
+			t.Fatalf("LeafOf(%v) depth %d = %v out of [0,%d)", p, depth, c, n)
+		}
+		inDomain := x >= 0 && x <= 1 && y >= 0 && y <= 1 && z >= 0 && z <= 1
+		if inDomain {
+			box := h.Box(depth, c)
+			half := box.Side/2 + box.Side*1e-9
+			if math.Abs(x-box.Center.X) > half || math.Abs(y-box.Center.Y) > half ||
+				math.Abs(z-box.Center.Z) > half {
+				t.Fatalf("LeafOf(%v) = %v but box %v does not contain the point", p, c, box)
+			}
+		}
+	})
+}
+
+// FuzzInteractiveOffsets checks the interactive-field enumeration for
+// arbitrary separations and octants: offsets unique, outside the near
+// field, inside the 2d+1 bound, and the union of all octants matching
+// UnionInteractiveOffsets — the counting identities the T2 phase and the
+// supernode decomposition depend on.
+func FuzzInteractiveOffsets(f *testing.F) {
+	f.Add(uint8(2), uint8(0))
+	f.Add(uint8(1), uint8(7))
+	f.Add(uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, dRaw, octRaw uint8) {
+		d := 1 + int(dRaw%3) // 1..3
+		oct := int(octRaw % 8)
+		b := InteractiveOffsetBound(d)
+		offs := InteractiveOffsets(d, oct)
+		seen := make(map[geom.Coord3]bool, len(offs))
+		for _, o := range offs {
+			if seen[o] {
+				t.Fatalf("d=%d oct=%d: duplicate offset %v", d, oct, o)
+			}
+			seen[o] = true
+			cheb := o.ChebDist(geom.Coord3{})
+			if cheb <= d {
+				t.Fatalf("d=%d oct=%d: offset %v inside the near field", d, oct, o)
+			}
+			if cheb > b {
+				t.Fatalf("d=%d oct=%d: offset %v beyond bound %d", d, oct, o, b)
+			}
+		}
+		// Every interactive offset of every octant is in the union list.
+		union := make(map[geom.Coord3]bool)
+		for _, o := range UnionInteractiveOffsets(d) {
+			union[o] = true
+		}
+		for o := range seen {
+			if !union[o] {
+				t.Fatalf("d=%d oct=%d: offset %v missing from union", d, oct, o)
+			}
+		}
+	})
+}

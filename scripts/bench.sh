@@ -1,25 +1,28 @@
 #!/bin/sh
-# Regenerates the hot-path performance record (BENCH_PR1.json): end-to-end
-# solver benchmarks with allocation counts, plus the GEMM kernel sweep at
-# the solver's translation shapes. Run from the repository root:
+# Regenerates the hot-path performance record: end-to-end solver benchmarks
+# with allocation counts, the GEMM kernel sweep at the solver's translation
+# shapes, and the per-phase breakdown of the depth-4 K=12 solve (cmd/phases
+# -json). Run from the repository root:
 #
 #   scripts/bench.sh [output.json]
 #
-# Results depend on the host; the committed BENCH_PR1.json records the
-# reference run documented in EXPERIMENTS.md.
+# Results depend on the host; the committed BENCH_PR*.json files record the
+# reference runs documented in EXPERIMENTS.md.
 set -eu
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 solve_txt="$(mktemp)"
 gemm_txt="$(mktemp)"
-trap 'rm -f "$solve_txt" "$gemm_txt"' EXIT
+phases_json="$(mktemp)"
+trap 'rm -f "$solve_txt" "$gemm_txt" "$phases_json"' EXIT
 
 go test ./internal/core/ -run '^$' -bench 'BenchmarkSolve(K12Depth4|SupernodesK32Depth4)$' \
     -benchmem -benchtime 5x | tee "$solve_txt"
 go test ./internal/blas/ -run '^$' -bench 'BenchmarkDgemm|BenchmarkGemmPanels' \
     -benchmem -benchtime 2s | tee "$gemm_txt"
+go run ./cmd/phases -n 32768 -depth 4 -degree 5 -json > "$phases_json"
 
-awk -v out="$out" '
+awk -v out="$out" -v phases_file="$phases_json" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     obj = sprintf("    {\"name\": \"%s\", \"iterations\": %s", $1, $2)
@@ -32,7 +35,12 @@ awk -v out="$out" '
     benches = benches (benches == "" ? "" : ",\n") obj
 }
 END {
-    printf "{\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", cpu, benches > out
+    phases = ""
+    while ((getline line < phases_file) > 0)
+        phases = phases (phases == "" ? "" : "\n  ") line
+    close(phases_file)
+    printf "{\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ],\n  \"phases\": %s\n}\n", \
+        cpu, benches, phases > out
 }
 ' "$solve_txt" "$gemm_txt"
 

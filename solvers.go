@@ -316,6 +316,9 @@ func (a *Anderson2D) Potentials(pos []Vec2, q []float64) ([]float64, error) {
 	return a.solver.Potentials(pos, q)
 }
 
+// Stats exposes the 2-D solver's per-phase instrumentation.
+func (a *Anderson2D) Stats() *metrics.Snapshot { return a.solver.Stats() }
+
 // DirectPotentials2D is the 2-D direct reference.
 func DirectPotentials2D(pos []Vec2, q []float64) []float64 {
 	return core2.DirectPotentials2(pos, q)
