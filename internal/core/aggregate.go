@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -53,7 +54,7 @@ const aggregationChunk = 128
 // destinations and can run in parallel. With a single executor the chunk
 // loop runs inline — no closure, no scheduler round trip — which is what
 // keeps steady-state solves allocation-free.
-func aggregatedApply(t blas.Matrix, src, dst []float64, srcIdx, dstIdx []int32, k int) {
+func aggregatedApply(ctx context.Context, t blas.Matrix, src, dst []float64, srcIdx, dstIdx []int32, k int) {
 	n := len(srcIdx)
 	if n == 0 {
 		return
@@ -62,12 +63,15 @@ func aggregatedApply(t blas.Matrix, src, dst []float64, srcIdx, dstIdx []int32, 
 	if blas.Serial() || nchunks == 1 {
 		s := getAggScratch(k)
 		for ci := 0; ci < nchunks; ci++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
 			aggChunk(s, t, src, dst, srcIdx, dstIdx, k, ci)
 		}
 		aggPool.Put(s)
 		return
 	}
-	blas.Parallel(nchunks, func(ci int) {
+	_ = blas.ParallelCtx(ctx, nchunks, func(ci int) {
 		s := getAggScratch(k)
 		aggChunk(s, t, src, dst, srcIdx, dstIdx, k, ci)
 		aggPool.Put(s)
@@ -113,7 +117,7 @@ func aggChunk(s *aggScratch, t blas.Matrix, src, dst []float64, srcIdx, dstIdx [
 // index arrays — which for deep hierarchies would cost hundreds of
 // megabytes across the 875 offsets — target indices are decoded on the fly
 // and the source index is target + lat.delta.
-func aggregatedApplyLattice(t blas.Matrix, src, dst []float64, lat latticeT2, k int) {
+func aggregatedApplyLattice(ctx context.Context, t blas.Matrix, src, dst []float64, lat latticeT2, k int) {
 	n := int(lat.count)
 	if n == 0 {
 		return
@@ -122,12 +126,15 @@ func aggregatedApplyLattice(t blas.Matrix, src, dst []float64, lat latticeT2, k 
 	if blas.Serial() || nchunks == 1 {
 		s := getAggScratch(k)
 		for ci := 0; ci < nchunks; ci++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
 			latChunk(s, t, src, dst, lat, k, ci)
 		}
 		aggPool.Put(s)
 		return
 	}
-	blas.Parallel(nchunks, func(ci int) {
+	_ = blas.ParallelCtx(ctx, nchunks, func(ci int) {
 		s := getAggScratch(k)
 		latChunk(s, t, src, dst, lat, k, ci)
 		aggPool.Put(s)

@@ -1,0 +1,25 @@
+package core
+
+// Fault-injection site names for the shared-memory solver (see
+// internal/faults). Sites fire inside the phase's open metrics span, so a
+// panic injected at any of them is attributed to that phase by the public
+// API's recovery boundary. The /body sites sit inside a parallel region and
+// therefore fire on a pool worker, exercising cross-goroutine containment.
+const (
+	FaultSiteSort          = "core/sort"
+	FaultSiteLeafOuter     = "core/leaf-outer"
+	FaultSiteLeafOuterBody = "core/leaf-outer/body"
+	FaultSiteT1            = "core/T1"
+	FaultSiteT2            = "core/T2"
+	FaultSiteT3            = "core/T3"
+	FaultSiteEval          = "core/eval"
+	FaultSiteNear          = "core/near"
+	FaultSiteNearBody      = "core/near/body"
+)
+
+// FaultSites lists one site per named solve phase, in pipeline order; the
+// fault-injection matrix tests iterate it so a renamed phase breaks loudly.
+var FaultSites = []string{
+	FaultSiteSort, FaultSiteLeafOuter, FaultSiteT1, FaultSiteT3,
+	FaultSiteT2, FaultSiteEval, FaultSiteNear,
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
+	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
 	"nbody/internal/tree"
@@ -64,6 +66,12 @@ type Solver struct {
 	qS   []float64
 	phiS []float64
 	accS []geom.Vec3
+
+	// ctx is the cancellation signal of the solve in flight (nil outside
+	// PotentialsCtx/AccelerationsCtx). Phase sweeps read it through par /
+	// parChunks; a Solver runs one solve at a time, so a plain field is
+	// enough.
+	ctx context.Context
 }
 
 // NewSolver builds a solver for the domain root with the given
@@ -181,7 +189,67 @@ func (s *Solver) AccelerationsInto(phi []float64, acc []geom.Vec3, pos []geom.Ve
 	return s.solve(pos, q, phi, acc)
 }
 
+// PotentialsCtx is Potentials with cooperative cancellation: ctx is checked
+// between phases and inside every parallel sweep's chunk-claim loop, so a
+// canceled context returns ctx.Err() within about one chunk's work. The
+// output of a canceled solve is garbage; the Solver itself is left
+// safe-to-retry (the next solve rebuilds all per-solve state).
+func (s *Solver) PotentialsCtx(ctx context.Context, pos []geom.Vec3, q []float64) ([]float64, error) {
+	phi := make([]float64, len(pos))
+	if err := s.solveCtx(ctx, pos, q, phi, nil); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// PotentialsIntoCtx is PotentialsInto with cooperative cancellation, under
+// the PotentialsCtx contract.
+func (s *Solver) PotentialsIntoCtx(ctx context.Context, phi []float64, pos []geom.Vec3, q []float64) error {
+	return s.solveCtx(ctx, pos, q, phi, nil)
+}
+
+// AccelerationsCtx is Accelerations with cooperative cancellation, under
+// the PotentialsCtx contract.
+func (s *Solver) AccelerationsCtx(ctx context.Context, pos []geom.Vec3, q []float64) ([]float64, []geom.Vec3, error) {
+	phi := make([]float64, len(pos))
+	acc := make([]geom.Vec3, len(pos))
+	if err := s.solveCtx(ctx, pos, q, phi, acc); err != nil {
+		return nil, nil, err
+	}
+	return phi, acc, nil
+}
+
+// AccelerationsIntoCtx is AccelerationsInto with cooperative cancellation,
+// under the PotentialsCtx contract.
+func (s *Solver) AccelerationsIntoCtx(ctx context.Context, phi []float64, acc []geom.Vec3, pos []geom.Vec3, q []float64) error {
+	if acc == nil {
+		return fmt.Errorf("core: AccelerationsIntoCtx needs a non-nil acc")
+	}
+	return s.solveCtx(ctx, pos, q, phi, acc)
+}
+
 func (s *Solver) solve(pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) error {
+	return s.solveCtx(nil, pos, q, phi, acc)
+}
+
+// par and parChunks are the solver's parallel sweeps: blas.Parallel* bound
+// to the in-flight solve's cancellation signal. A canceled sweep returns
+// early with partial output; solveCtx notices at the next phase boundary.
+func (s *Solver) par(n int, fn func(i int)) { _ = blas.ParallelCtx(s.ctx, n, fn) }
+
+func (s *Solver) parChunks(n int, body func(lo, hi int)) {
+	_ = blas.ParallelChunksCtx(s.ctx, n, body)
+}
+
+// ctxErr is the between-phase cancellation check.
+func (s *Solver) ctxErr() error {
+	if s.ctx == nil {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
+func (s *Solver) solveCtx(ctx context.Context, pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) error {
 	if len(pos) != len(q) {
 		return fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
 	}
@@ -197,23 +265,47 @@ func (s *Solver) solve(pos []geom.Vec3, q []float64, phi []float64, acc []geom.V
 		}
 	}
 	s.rec.SetShape(len(pos), s.cfg.Depth, s.ts.K)
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
 
 	sp := s.rec.Begin(PhaseSort)
 	s.prepare(pos, q)
+	faults.Fire(FaultSiteSort)
 	sp.End()
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	sp = s.rec.Begin(PhaseLeafOuter)
 	s.leafOuter()
+	faults.FireSlice(FaultSiteLeafOuter, s.far[s.cfg.Depth])
 	sp.End()
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	sp = s.rec.Begin(PhaseUpward)
 	s.upward()
+	faults.FireSlice(FaultSiteT1, s.far[2])
 	sp.End()
-	s.downward() // records PhaseT3/PhaseT2 spans per level itself
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
+	if err := s.downward(); err != nil { // records PhaseT3/PhaseT2 per level
+		return err
+	}
 	sp = s.rec.Begin(PhaseEvalLocal)
 	s.evalLocal(acc != nil)
+	faults.FireSlice(FaultSiteEval, s.phiS)
 	sp.End()
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	sp = s.rec.Begin(PhaseNear)
 	s.nearField(acc != nil)
+	faults.FireSlice(FaultSiteNear, s.phiS)
 	sp.End()
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 
 	// Scatter the box-ordered results back to particle order (the inverse
 	// reshape; charged to the sort phase like the forward one).
@@ -306,7 +398,8 @@ func (s *Solver) leafOuter() {
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
 	g := s.far[s.cfg.Depth]
 	var pairs int64
-	blas.Parallel(n*n*n, func(b int) {
+	s.par(n*n*n, func(b int) {
+		faults.Fire(FaultSiteLeafOuterBody)
 		lo, hi := s.part.Start[b], s.part.Start[b+1]
 		if lo == hi {
 			return
@@ -343,14 +436,14 @@ func (s *Solver) upward() {
 		for oct := 0; oct < 8; oct++ {
 			t := s.ts.T1[oct]
 			if s.cfg.DisableAggregation {
-				blas.Parallel(np*np*np, func(pb int) {
+				s.par(np*np*np, func(pb int) {
 					pc := geom.CoordFromIndex(pb, np)
 					cb := pc.Child(oct).Index(nc)
 					blas.Dgemv(t, src[cb*k:(cb+1)*k], dst[pb*k:(pb+1)*k])
 				})
 			} else {
 				plan := s.upPlan[l][oct]
-				aggregatedApply(t, src, dst, plan.srcIdx, plan.dstIdx, k)
+				aggregatedApply(s.ctx, t, src, dst, plan.srcIdx, plan.dstIdx, k)
 			}
 			s.rec.AddFlops(PhaseUpward, blas.DgemmFlops(k, k, np*np*np))
 		}
@@ -362,12 +455,16 @@ func (s *Solver) upward() {
 // through supernodes). The two translations are timed separately (the
 // paper's tables report the conversion, by far the dominant term, on its
 // own line).
-func (s *Solver) downward() {
+func (s *Solver) downward() error {
 	for l := 2; l <= s.cfg.Depth; l++ {
 		if l > 2 {
 			sp := s.rec.Begin(PhaseT3)
 			s.applyT3(s.loc[l-1], s.loc[l], l)
+			faults.FireSlice(FaultSiteT3, s.loc[l])
 			sp.End()
+			if err := s.ctxErr(); err != nil {
+				return err
+			}
 		}
 		sp := s.rec.Begin(PhaseT2)
 		if s.cfg.Supernodes && l > 2 {
@@ -375,8 +472,13 @@ func (s *Solver) downward() {
 		} else {
 			s.applyT2(s.far[l], s.loc[l], l)
 		}
+		faults.FireSlice(FaultSiteT2, s.loc[l])
 		sp.End()
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // applyT3 shifts parent inner approximations to children.
@@ -387,14 +489,14 @@ func (s *Solver) applyT3(parentLoc, childLoc []float64, l int) {
 	for oct := 0; oct < 8; oct++ {
 		t := s.ts.T3[oct]
 		if s.cfg.DisableAggregation {
-			blas.Parallel(np*np*np, func(pb int) {
+			s.par(np*np*np, func(pb int) {
 				pc := geom.CoordFromIndex(pb, np)
 				cb := pc.Child(oct).Index(nc)
 				blas.Dgemv(t, parentLoc[pb*k:(pb+1)*k], childLoc[cb*k:(cb+1)*k])
 			})
 		} else {
 			plan := s.t3Plan[l][oct]
-			aggregatedApply(t, parentLoc, childLoc, plan.srcIdx, plan.dstIdx, k)
+			aggregatedApply(s.ctx, t, parentLoc, childLoc, plan.srcIdx, plan.dstIdx, k)
 		}
 		s.rec.AddFlops(PhaseT3, blas.DgemmFlops(k, k, np*np*np))
 	}
@@ -407,7 +509,7 @@ func (s *Solver) applyT2(far, loc []float64, l int) {
 	n := s.hier.GridSize(l)
 	if s.cfg.DisableAggregation {
 		var count int64
-		blas.Parallel(n*n*n, func(b int) {
+		s.par(n*n*n, func(b int) {
 			c := geom.CoordFromIndex(b, n)
 			dst := loc[b*k : (b+1)*k]
 			var local int64
@@ -429,7 +531,10 @@ func (s *Solver) applyT2(far, loc []float64, l int) {
 	// Aggregated: one batched gemm sweep per (octant, offset) lattice.
 	var count int64
 	for _, lat := range s.t2Plan[l] {
-		aggregatedApplyLattice(lat.t, far, loc, lat, k)
+		if s.ctx != nil && s.ctx.Err() != nil {
+			break
+		}
+		aggregatedApplyLattice(s.ctx, lat.t, far, loc, lat, k)
 		count += int64(lat.count)
 	}
 	s.rec.AddT2(count)
@@ -444,7 +549,7 @@ func (s *Solver) applyT2Supernodes(parentFar, far, loc []float64, l int) {
 	n := s.hier.GridSize(l)
 	np := s.hier.GridSize(l - 1)
 	var count int64
-	blas.Parallel(n*n*n, func(b int) {
+	s.par(n*n*n, func(b int) {
 		c := geom.CoordFromIndex(b, n)
 		oct := c.Octant()
 		sn := s.supers[oct]
@@ -492,7 +597,7 @@ func (s *Solver) evalLocal(wantForce bool) {
 	m := s.cfg.M
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(s.cfg.Depth)
 	loc := s.loc[s.cfg.Depth]
-	blas.ParallelChunks(n*n*n, func(bLo, bHi int) {
+	s.parChunks(n*n*n, func(bLo, bHi int) {
 		es := evalPool.Get().(*evalScratch)
 		if cap(es.p) < m+1 {
 			es.p = make([]float64, m+1)
@@ -537,7 +642,8 @@ func (s *Solver) nearField(wantForce bool) {
 	}
 	n := s.part.Grid
 	var pairs int64
-	blas.Parallel(n*n*n, func(b int) {
+	s.par(n*n*n, func(b int) {
+		faults.Fire(FaultSiteNearBody)
 		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
 		if tLo == tHi {
 			return
@@ -588,6 +694,13 @@ func (s *Solver) nearFieldSym(wantForce bool) {
 	n := s.part.Grid
 	var pairs int64
 	for b := 0; b < n*n*n; b++ {
+		// Periodic cancellation check: the serial near field is the longest
+		// uninterruptible stretch on a one-core machine, so poll every 64
+		// boxes to keep the latency bound at chunk scale.
+		if b&63 == 0 && s.ctx != nil && s.ctx.Err() != nil {
+			break
+		}
+		faults.Fire(FaultSiteNearBody)
 		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
 		if tLo == tHi {
 			continue

@@ -21,17 +21,37 @@
 package core2
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
+	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
 	"nbody/internal/sphere"
 	"nbody/internal/tree"
 )
+
+// Fault-injection site names (see internal/faults): one per named phase of
+// the 2-D pipeline, fired inside the phase's open metrics span.
+const (
+	FaultSiteSort      = "core2/sort"
+	FaultSiteLeafOuter = "core2/leaf-outer"
+	FaultSiteT1        = "core2/T1"
+	FaultSiteT3        = "core2/T3"
+	FaultSiteT2        = "core2/T2"
+	FaultSiteEval      = "core2/eval"
+	FaultSiteNear      = "core2/near"
+)
+
+// FaultSites lists the sites in pipeline order for matrix tests.
+var FaultSites = []string{
+	FaultSiteSort, FaultSiteLeafOuter, FaultSiteT1, FaultSiteT3,
+	FaultSiteT2, FaultSiteEval, FaultSiteNear,
+}
 
 // Config selects the parameters of the 2-D method.
 type Config struct {
@@ -292,15 +312,35 @@ func (s *Solver) t2Index(o geom.Coord2) int {
 
 // Potentials computes phi_i = -sum_{j != i} q_j ln|x_i - x_j|.
 func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
+	return s.solve(nil, pos, q)
+}
+
+// PotentialsCtx is Potentials with cooperative cancellation: ctx is checked
+// between phases and in every parallel sweep's chunk-claim loop, so a
+// canceled context returns ctx.Err() within about one chunk's work.
+func (s *Solver) PotentialsCtx(ctx context.Context, pos []geom.Vec2, q []float64) ([]float64, error) {
+	return s.solve(ctx, pos, q)
+}
+
+func (s *Solver) solve(ctx context.Context, pos []geom.Vec2, q []float64) ([]float64, error) {
 	if len(pos) != len(q) {
 		return nil, fmt.Errorf("core2: %d positions but %d charges", len(pos), len(q))
 	}
 	root := s.hier.Root
 	hs := root.Side / 2
 	for _, p := range pos {
-		if math.Abs(p.X-root.Center.X) > hs || math.Abs(p.Y-root.Center.Y) > hs {
+		// Negated form so NaN coordinates (for which every comparison is
+		// false) are rejected along with out-of-domain points.
+		ok := math.Abs(p.X-root.Center.X) <= hs && math.Abs(p.Y-root.Center.Y) <= hs
+		if !ok {
 			return nil, fmt.Errorf("core2: particle %v outside domain", p)
 		}
+	}
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
 	}
 	depth := s.cfg.Depth
 	k := s.cfg.K
@@ -328,7 +368,11 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		fill[b]++
 	}
 	boxParticles := func(b int) []int { return perm[start[b]:start[b+1]] }
+	faults.Fire(FaultSiteSort)
 	sp.End()
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Far-field storage: residual values and monopoles per level.
 	far := make([][]float64, depth+1)
@@ -344,7 +388,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 	// Step 1: leaf outer representations.
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
 	sp = s.rec.Begin(metrics.PhaseLeafOuter)
-	blas.Parallel(nb, func(b int) {
+	_ = blas.ParallelCtx(ctx, nb, func(b int) {
 		idx := boxParticles(b)
 		if len(idx) == 0 {
 			return
@@ -366,8 +410,12 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			g[i] = v + totQ*math.Log(a)
 		}
 	})
+	faults.FireSlice(FaultSiteLeafOuter, far[depth])
 	sp.End()
 	s.rec.AddFlops(metrics.PhaseLeafOuter, int64(len(pos))*int64(k)*direct.FlopsPerPair)
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: upward pass. Matrices are in child-side units, so they are
 	// level-independent, but the log terms reference the child-level
@@ -380,7 +428,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 	for l := depth - 1; l >= 2; l-- {
 		np := s.hier.GridSize(l)
 		nc := s.hier.GridSize(l + 1)
-		blas.Parallel(np*np, func(pb int) {
+		_ = blas.ParallelCtx(ctx, np*np, func(pb int) {
 			pc := geom.Coord2FromIndex(pb, np)
 			dst := far[l][pb*k : (pb+1)*k]
 			for qd := 0; qd < 4; qd++ {
@@ -391,7 +439,11 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		})
 		s.rec.AddFlops(metrics.PhaseT1, 4*int64(np*np)*translationFlops(k))
 	}
+	faults.FireSlice(FaultSiteT1, far[2])
 	sp.End()
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Step 3: downward pass.
 	var t2Count atomic.Int64
@@ -400,13 +452,17 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		if l > 2 {
 			gp := s.hier.GridSize(l - 1)
 			spT3 := s.rec.Begin(metrics.PhaseT3)
-			blas.Parallel(gl*gl, func(cb int) {
+			_ = blas.ParallelCtx(ctx, gl*gl, func(cb int) {
 				cc := geom.Coord2FromIndex(cb, gl)
 				pb := cc.Parent().Index(gp)
 				blas.Dgemv(s.t3[cc.Quadrant()], loc[l-1][pb*k:(pb+1)*k], loc[l][cb*k:(cb+1)*k])
 			})
+			faults.FireSlice(FaultSiteT3, loc[l])
 			spT3.End()
 			s.rec.AddFlops(metrics.PhaseT3, int64(gl*gl)*blas.DgemvFlops(k, k))
+			if err := ctxErr(); err != nil {
+				return nil, err
+			}
 		}
 		// The T2 log vectors are built in box-side units; the absolute
 		// distance is (units * side), so each source contributes an extra
@@ -415,7 +471,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 		useSuper := s.cfg.Supernodes && l > 2
 		gp := s.hier.GridSize(l - 1)
 		spT2 := s.rec.Begin(metrics.PhaseT2)
-		blas.Parallel(gl*gl, func(cb int) {
+		_ = blas.ParallelCtx(ctx, gl*gl, func(cb int) {
 			cc := geom.Coord2FromIndex(cb, gl)
 			qd := cc.Quadrant()
 			dst := loc[l][cb*k : (cb+1)*k]
@@ -462,7 +518,11 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			}
 			t2Count.Add(applied)
 		})
+		faults.FireSlice(FaultSiteT2, loc[l])
 		spT2.End()
+		if err := ctxErr(); err != nil {
+			return nil, err
+		}
 	}
 	nT2 := t2Count.Load()
 	s.rec.AddT2(nT2)
@@ -471,7 +531,7 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 	// Step 4: evaluate local fields at the particles.
 	phi := make([]float64, len(pos))
 	sp = s.rec.Begin(metrics.PhaseEvalLocal)
-	blas.Parallel(nb, func(b int) {
+	_ = blas.ParallelCtx(ctx, nb, func(b int) {
 		idx := boxParticles(b)
 		if len(idx) == 0 {
 			return
@@ -496,15 +556,19 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			phi[j] = v
 		}
 	})
+	faults.FireSlice(FaultSiteEval, phi)
 	sp.End()
 	// Each (particle, circle point) evaluation runs M Fourier terms of the
 	// interior kernel at ~4 flops per term plus the weighted accumulate.
 	s.rec.AddFlops(metrics.PhaseEvalLocal, int64(len(pos))*int64(k)*int64(4*s.cfg.M+3))
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Step 5: near field, one-sided plus intra-box.
 	var nearPairs atomic.Int64
 	sp = s.rec.Begin(metrics.PhaseNear)
-	blas.Parallel(nb, func(b int) {
+	_ = blas.ParallelCtx(ctx, nb, func(b int) {
 		idx := boxParticles(b)
 		if len(idx) == 0 {
 			return
@@ -519,25 +583,36 @@ func (s *Solver) Potentials(pos []geom.Vec2, q []float64) ([]float64, error) {
 			src := boxParticles(sc.Index(n))
 			for _, j := range idx {
 				for _, i2 := range src {
-					phi[j] -= q[i2] * math.Log(pos[j].Dist(pos[i2]))
+					if r := pos[j].Dist(pos[i2]); r > 0 {
+						phi[j] -= q[i2] * math.Log(r)
+					}
 				}
 			}
 			local += int64(len(idx)) * int64(len(src))
 		}
 		for _, j := range idx {
 			for _, i2 := range idx {
-				if i2 != j {
-					phi[j] -= q[i2] * math.Log(pos[j].Dist(pos[i2]))
+				if i2 == j {
+					continue
+				}
+				// Coincident particles contribute nothing (self-exclusion
+				// semantics) instead of ln 0 = -Inf.
+				if r := pos[j].Dist(pos[i2]); r > 0 {
+					phi[j] -= q[i2] * math.Log(r)
 				}
 			}
 		}
 		local += int64(len(idx)) * int64(len(idx)-1)
 		nearPairs.Add(local)
 	})
+	faults.FireSlice(FaultSiteNear, phi)
 	sp.End()
 	np := nearPairs.Load()
 	s.rec.AddNearPairs(np)
 	s.rec.AddFlops(metrics.PhaseNear, np*direct.FlopsPerPair)
+	if err := ctxErr(); err != nil {
+		return nil, err
+	}
 	return phi, nil
 }
 
@@ -547,8 +622,13 @@ func DirectPotentials2(pos []geom.Vec2, q []float64) []float64 {
 	blas.Parallel(len(pos), func(i int) {
 		var v float64
 		for j := range pos {
-			if i != j {
-				v -= q[j] * math.Log(pos[i].Dist(pos[j]))
+			if i == j {
+				continue
+			}
+			// Skip coincident pairs, matching the solver's self-exclusion
+			// convention for duplicated positions.
+			if r := pos[i].Dist(pos[j]); r > 0 {
+				v -= q[j] * math.Log(r)
 			}
 		}
 		phi[i] = v

@@ -20,7 +20,9 @@ import (
 
 // Potentials returns phi[i] = sum_{j != i} q[j] / |pos[i]-pos[j]|, computed
 // serially with the naive double loop. It is the reference implementation;
-// everything else in the package must agree with it.
+// everything else in the package must agree with it. Coincident particle
+// pairs (zero distance) are treated like self-interactions and skipped, so
+// degenerate inputs yield finite potentials instead of Inf/NaN.
 func Potentials(pos []geom.Vec3, q []float64) []float64 {
 	phi := make([]float64, len(pos))
 	for i := range pos {
@@ -29,7 +31,9 @@ func Potentials(pos []geom.Vec3, q []float64) []float64 {
 			if i == j {
 				continue
 			}
-			s += q[j] / pos[i].Dist(pos[j])
+			if r := pos[i].Dist(pos[j]); r > 0 {
+				s += q[j] / r
+			}
 		}
 		phi[i] = s
 	}
@@ -80,7 +84,9 @@ func PotentialsParallel(pos []geom.Vec3, q []float64) []float64 {
 			if i == j {
 				continue
 			}
-			s += q[j] / pi.Dist(pos[j])
+			if r := pi.Dist(pos[j]); r > 0 {
+				s += q[j] / r
+			}
 		}
 		phi[i] = s
 	})
@@ -119,6 +125,9 @@ func Accelerations(pos []geom.Vec3, q []float64) []geom.Vec3 {
 						}
 						d := pos[j].Sub(pi)
 						r2 := d.Norm2()
+						if r2 == 0 {
+							continue // coincident particles: self-exclusion, not Inf
+						}
 						inv := 1 / (r2 * math.Sqrt(r2))
 						a = a.Add(d.Scale(q[j] * inv))
 					}
@@ -126,6 +135,9 @@ func Accelerations(pos []geom.Vec3, q []float64) []geom.Vec3 {
 					for j := jb; j < je; j++ {
 						d := pos[j].Sub(pi)
 						r2 := d.Norm2()
+						if r2 == 0 {
+							continue
+						}
 						inv := 1 / (r2 * math.Sqrt(r2))
 						a = a.Add(d.Scale(q[j] * inv))
 					}
@@ -158,7 +170,11 @@ func Pairwise(posA []geom.Vec3, qA, phiA []float64, posB []geom.Vec3, qB, phiB [
 		qi := qA[i]
 		var s float64
 		for j := range posB {
-			inv := 1 / pi.Dist(posB[j])
+			r := pi.Dist(posB[j])
+			if r == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / r
 			s += qB[j] * inv
 			phiB[j] += qi * inv
 		}
@@ -173,7 +189,11 @@ func Within(pos []geom.Vec3, q, phi []float64) {
 		pi := pos[i]
 		qi := q[i]
 		for j := i + 1; j < len(pos); j++ {
-			inv := 1 / pi.Dist(pos[j])
+			r := pi.Dist(pos[j])
+			if r == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / r
 			phi[i] += q[j] * inv
 			phi[j] += qi * inv
 		}

@@ -15,7 +15,9 @@ func Accumulate(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64
 		pi := posA[i]
 		var s float64
 		for j := range posB {
-			s += qB[j] / pi.Dist(posB[j])
+			if r := pi.Dist(posB[j]); r > 0 {
+				s += qB[j] / r
+			}
 		}
 		phiA[i] += s
 	}
@@ -30,6 +32,9 @@ func AccumulateForce(posA []geom.Vec3, accA []geom.Vec3, posB []geom.Vec3, qB []
 		for j := range posB {
 			d := posB[j].Sub(pi)
 			r2 := d.Norm2()
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
 			inv := 1 / (r2 * math.Sqrt(r2))
 			a = a.Add(d.Scale(qB[j] * inv))
 		}
@@ -45,6 +50,9 @@ func WithinForce(pos []geom.Vec3, q []float64, acc []geom.Vec3) {
 		for j := i + 1; j < len(pos); j++ {
 			d := pos[j].Sub(pi)
 			r2 := d.Norm2()
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
 			inv := 1 / (r2 * math.Sqrt(r2))
 			f := d.Scale(inv)
 			acc[i] = acc[i].Add(f.Scale(q[j]))

@@ -21,6 +21,9 @@ func PairwiseForce(posA []geom.Vec3, qA []float64, accA []geom.Vec3, posB []geom
 		for j := range posB {
 			d := posB[j].Sub(pi)
 			r2 := d.Norm2()
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
 			inv := 1 / (r2 * math.Sqrt(r2))
 			f := d.Scale(inv)
 			ai = ai.Add(f.Scale(qB[j]))

@@ -1,0 +1,24 @@
+package dpfmm
+
+// Fault-injection site names (see internal/faults): one per named phase of
+// the data-parallel pipeline, fired inside the phase's open metrics span so
+// an injected panic is attributed to that phase by the public API's
+// recovery boundary.
+const (
+	FaultSiteSort      = "dpfmm/sort"
+	FaultSiteLeafOuter = "dpfmm/leaf-outer"
+	FaultSiteT1        = "dpfmm/T1"
+	FaultSiteT3        = "dpfmm/T3"
+	FaultSiteGhost     = "dpfmm/ghost"
+	FaultSiteT2        = "dpfmm/T2"
+	FaultSiteEval      = "dpfmm/eval"
+	FaultSiteNear      = "dpfmm/near"
+)
+
+// FaultSites lists the sites in pipeline order for matrix tests. Every
+// ghost strategy opens a ghost span before its first data motion, so the
+// ghost site fires under all four strategies.
+var FaultSites = []string{
+	FaultSiteSort, FaultSiteLeafOuter, FaultSiteT1, FaultSiteT3,
+	FaultSiteGhost, FaultSiteT2, FaultSiteEval, FaultSiteNear,
+}

@@ -7,6 +7,7 @@ import (
 	"nbody/internal/core"
 	"nbody/internal/direct"
 	"nbody/internal/dp"
+	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
 )
@@ -26,6 +27,9 @@ func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.
 
 	sp := s.rec.Begin(metrics.PhaseSort)
 	pg, err := s.partitionParticles(pos, q)
+	if err == nil {
+		faults.Fire(FaultSiteSort)
+	}
 	sp.End()
 	if err != nil {
 		return nil, nil, err
@@ -43,25 +47,30 @@ func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.
 	}
 	sp = s.rec.Begin(metrics.PhaseLeafOuter)
 	s.leafOuter(pg, far[depth])
+	faults.Fire(FaultSiteLeafOuter)
 	sp.End()
 	for l := depth - 1; l >= 2; l-- {
 		sp = s.rec.Begin(metrics.PhaseT1)
 		s.upwardLevel(far[l+1], far[l])
+		faults.Fire(FaultSiteT1)
 		sp.End()
 	}
 	for l := 2; l <= depth; l++ {
 		if l > 2 {
 			sp = s.rec.Begin(metrics.PhaseT3)
 			s.t3Level(loc[l-1], loc[l])
+			faults.Fire(FaultSiteT3)
 			sp.End()
 		}
 		s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
 	}
 	sp = s.rec.Begin(metrics.PhaseEvalLocal)
 	s.evalLocalGrad(pg, loc[depth], ax, ay, az)
+	faults.Fire(FaultSiteEval)
 	sp.End()
 	sp = s.rec.Begin(metrics.PhaseNear)
 	s.nearFieldForces(pg, ax, ay, az)
+	faults.Fire(FaultSiteNear)
 	sp.End()
 	pg.gatherPhi()
 
@@ -125,6 +134,9 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 			for j := i + 1; j < cnt; j++ {
 				dx, dy, dz := xs[j]-xs[i], ys[j]-ys[i], zs[j]-zs[i]
 				r2 := dx*dx + dy*dy + dz*dz
+				if r2 == 0 {
+					continue // coincident particles: self-exclusion, not Inf
+				}
 				inv := 1 / math.Sqrt(r2)
 				inv3 := inv / r2
 				phi[i] += qs[j] * inv
@@ -188,6 +200,9 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 				for j := 0; j < scnt; j++ {
 					dx, dy, dz := sx[j]-xs[i], sy[j]-ys[i], sz[j]-zs[i]
 					r2 := dx*dx + dy*dy + dz*dz
+					if r2 == 0 {
+						continue // coincident particles: self-exclusion, not Inf
+					}
 					inv := 1 / math.Sqrt(r2)
 					inv3 := inv / r2
 					p += sq[j] * inv

@@ -5,6 +5,7 @@ import (
 
 	"nbody/internal/blas"
 	"nbody/internal/dp"
+	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
 	"nbody/internal/tree"
@@ -56,6 +57,7 @@ func (s *Solver) octMember(oct int, o geom.Coord3) bool {
 // aligned must satisfy aligned[c] = far[c+o] (established by shifting).
 func (s *Solver) applyOffsetLocal(aligned, loc *dp.Grid3, o geom.Coord3) {
 	sp := s.rec.Begin(metrics.PhaseT2)
+	faults.Fire(FaultSiteT2)
 	k := s.TS.K
 	t := s.TS.T2For(o)
 	eff := s.M.Cost.GemmEfficiency(k)
@@ -85,6 +87,7 @@ func (s *Solver) t2ShiftPerOffset(far, loc *dp.Grid3) {
 		aligned := far
 		if o != (geom.Coord3{}) {
 			gs := s.rec.Begin(metrics.PhaseGhost)
+			faults.Fire(FaultSiteGhost)
 			if o.X != 0 {
 				aligned = aligned.CShift(dp.AxisX, o.X)
 			}
@@ -111,6 +114,7 @@ func (s *Solver) t2SnakeUnitShifts(far, loc *dp.Grid3) {
 	visit := func(target geom.Coord3) {
 		if cur != target {
 			gs := s.rec.Begin(metrics.PhaseGhost)
+			faults.Fire(FaultSiteGhost)
 			for cur != target {
 				var axis dp.Axis
 				var step int
@@ -203,6 +207,7 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 	eff := s.M.Cost.GemmEfficiency(k)
 
 	gs := s.rec.Begin(metrics.PhaseGhost)
+	faults.Fire(FaultSiteGhost)
 	var offWords, localWords int64
 	ghosts := make([][]float64, far.NumVUsUsed())
 	far.ForEachVU(func(vu int, slab []float64) {
@@ -246,6 +251,7 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 
 	// Local conversion from the ghost buffer.
 	sp := s.rec.Begin(metrics.PhaseT2)
+	faults.Fire(FaultSiteT2)
 	var applied int64
 	loc.ForEachVU(func(vu int, slab []float64) {
 		buf := ghosts[vu]

@@ -43,7 +43,11 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 		for i := 0; i < cnt; i++ {
 			for j := i + 1; j < cnt; j++ {
 				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
-				inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 == 0 {
+					continue // coincident particles: self-exclusion, not Inf
+				}
+				inv := 1 / math.Sqrt(r2)
 				phi[i] += qs[j] * inv
 				phi[j] += qs[i] * inv
 			}
@@ -98,7 +102,9 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 				var acc float64
 				for j := 0; j < scnt; j++ {
 					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
-					acc += sq[j] / math.Sqrt(dx*dx+dy*dy+dz*dz)
+					if r2 := dx*dx + dy*dy + dz*dz; r2 > 0 {
+						acc += sq[j] / math.Sqrt(r2)
+					}
 				}
 				phi[i] += acc
 			}

@@ -34,7 +34,11 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 		for i := 0; i < cnt; i++ {
 			for j := i + 1; j < cnt; j++ {
 				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
-				inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 == 0 {
+					continue // coincident particles: self-exclusion, not Inf
+				}
+				inv := 1 / math.Sqrt(r2)
 				phi[i] += qs[j] * inv
 				phi[j] += qs[i] * inv
 			}
@@ -95,7 +99,11 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 				qi := qs[i]
 				for j := 0; j < scnt; j++ {
 					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
-					inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 == 0 {
+						continue // coincident particles: self-exclusion, not Inf
+					}
+					inv := 1 / math.Sqrt(r2)
 					acc += sq[j] * inv
 					sphi[j] += qi * inv // reciprocal contribution (Newton's third law)
 				}

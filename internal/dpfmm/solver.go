@@ -13,11 +13,13 @@
 package dpfmm
 
 import (
+	"context"
 	"fmt"
 
 	"nbody/internal/blas"
 	"nbody/internal/core"
 	"nbody/internal/dp"
+	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
 	"nbody/internal/tree"
@@ -122,6 +124,18 @@ func NewSolver(m *dp.Machine, root geom.Box3, cfg core.Config, strategy GhostStr
 // Potentials computes the potential at every particle on the simulated
 // machine.
 func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
+	return s.solvePotentials(nil, pos, q)
+}
+
+// PotentialsCtx is Potentials with cooperative cancellation. The
+// data-parallel pipeline checks ctx between phases (the simulated machine's
+// collective sweeps are not individually interruptible), so the latency
+// bound is one phase rather than one chunk.
+func (s *Solver) PotentialsCtx(ctx context.Context, pos []geom.Vec3, q []float64) ([]float64, error) {
+	return s.solvePotentials(ctx, pos, q)
+}
+
+func (s *Solver) solvePotentials(ctx context.Context, pos []geom.Vec3, q []float64) ([]float64, error) {
 	if len(pos) != len(q) {
 		return nil, fmt.Errorf("dpfmm: %d positions but %d charges", len(pos), len(q))
 	}
@@ -132,18 +146,35 @@ func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
 	// Particle handling: coordinate sort + communication-free reshape.
 	sp := s.rec.Begin(metrics.PhaseSort)
 	pg, err := s.partitionParticles(pos, q)
+	if err == nil {
+		faults.Fire(FaultSiteSort)
+	}
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
-	locLeaf := s.hierarchyPasses(pg, k, depth)
+	locLeaf, err := s.hierarchyPasses(ctx, pg, k, depth)
+	if err != nil {
+		return nil, err
+	}
 	sp = s.rec.Begin(metrics.PhaseEvalLocal)
 	s.evalLocal(pg, locLeaf)
+	faults.Fire(FaultSiteEval)
 	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	sp = s.rec.Begin(metrics.PhaseNear)
 	s.nearField(pg)
+	faults.Fire(FaultSiteNear)
 	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Un-reshape: scatter per-box potentials back to particle order.
 	sp = s.rec.Begin(metrics.PhaseSort)
@@ -156,10 +187,18 @@ func (s *Solver) Potentials(pos []geom.Vec3, q []float64) ([]float64, error) {
 	return phi, nil
 }
 
+// ctxErr is the between-phase cancellation check (nil ctx: free).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // hierarchyPasses runs steps 1-3 (leaf outer, upward, downward) and returns
 // the leaf-level local-field grid, using either per-level grids or the
-// paper's two-layer multigrid storage.
-func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
+// paper's two-layer multigrid storage. ctx is checked between phases.
+func (s *Solver) hierarchyPasses(ctx context.Context, pg *particleGrid, k, depth int) (*dp.Grid3, error) {
 	if !s.MultigridStorage {
 		far := make([]*dp.Grid3, depth+1)
 		loc := make([]*dp.Grid3, depth+1)
@@ -169,21 +208,33 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 		}
 		sp := s.rec.Begin(metrics.PhaseLeafOuter)
 		s.leafOuter(pg, far[depth])
+		faults.Fire(FaultSiteLeafOuter)
 		sp.End()
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		for l := depth - 1; l >= 2; l-- {
 			sp = s.rec.Begin(metrics.PhaseT1)
 			s.upwardLevel(far[l+1], far[l])
+			faults.Fire(FaultSiteT1)
 			sp.End()
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 		}
 		for l := 2; l <= depth; l++ {
 			if l > 2 {
 				sp = s.rec.Begin(metrics.PhaseT3)
 				s.t3Level(loc[l-1], loc[l])
+				faults.Fire(FaultSiteT3)
 				sp.End()
 			}
 			s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 		}
-		return loc[depth]
+		return loc[depth], nil
 	}
 
 	// Two-layer storage: leaf levels live in the Leaf layer, all coarser
@@ -194,16 +245,24 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 	locMG := NewMultigrid(s.M, depth, k)
 	sp := s.rec.Begin(metrics.PhaseLeafOuter)
 	s.leafOuter(pg, farMG.Leaf)
+	faults.Fire(FaultSiteLeafOuter)
 	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	cur := farMG.Leaf
 	for l := depth - 1; l >= 2; l-- {
 		parent := s.M.NewGrid3(1<<l, k)
 		sp = s.rec.Begin(metrics.PhaseT1)
 		s.upwardLevel(cur, parent)
+		faults.Fire(FaultSiteT1)
 		sp.End()
 		sp = s.rec.Begin(metrics.PhaseEmbed)
 		farMG.Embed(dp.RemapAliased, parent, l, true)
 		sp.End()
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		cur = parent
 	}
 	for l := 2; l <= depth; l++ {
@@ -224,17 +283,21 @@ func (s *Solver) hierarchyPasses(pg *particleGrid, k, depth int) *dp.Grid3 {
 			sp.End()
 			sp = s.rec.Begin(metrics.PhaseT3)
 			s.t3Level(locParent, locL)
+			faults.Fire(FaultSiteT3)
 			sp.End()
 		}
 		s.t2Level(farL, locL) // records PhaseGhost/PhaseT2 itself
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if l == depth {
-			return locL
+			return locL, nil
 		}
 		sp = s.rec.Begin(metrics.PhaseEmbed)
 		locMG.Embed(dp.RemapAliased, locL, l, true)
 		sp.End()
 	}
-	return nil // unreachable: depth >= 2 always returns inside the loop
+	return nil, nil // unreachable: depth >= 2 always returns inside the loop
 }
 
 // upwardLevel applies T1 from the child grid into the parent grid.

@@ -1,0 +1,140 @@
+// Package faults is a build-independent fault-injection harness for the
+// solve pipeline. Solver phases call Fire (or FireSlice) at named sites;
+// tests arm a site with a panic, a NaN poisoning, or a delay and then
+// drive a solve through the public API to prove the failure surfaces as a
+// typed error, the worker pool survives, and the next solve is clean.
+//
+// The harness is compiled into release binaries on purpose — no build tag —
+// so the code under test is the code that ships. The cost when disarmed is
+// one atomic load of a package-level bool per site, which is unmeasurable
+// against any phase worth naming (verified by the allocs/op and wall-time
+// guard benchmarks in CI).
+//
+// Site names follow "<solver>/<phase>": e.g. "core/T2", "core2/near",
+// "dpfmm/ghost". Each solver package documents its sites next to the Fire
+// calls; tests reference them through the solver's exported site list so a
+// renamed phase fails compilation, not silently.
+package faults
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind is what an armed site does when fired.
+type kind int
+
+const (
+	kindPanic kind = iota
+	kindNaN
+	kindDelay
+)
+
+type fault struct {
+	kind kind
+	val  any           // panic value (kindPanic)
+	d    time.Duration // sleep (kindDelay)
+	// remaining bounds how many firings trigger; Fire decrements it with a
+	// CAS loop so exactly count concurrent firers trigger, even when the
+	// site sits inside a parallel region.
+	remaining atomic.Int64
+}
+
+var (
+	// armed is the fast path: while false, Fire is a single atomic load.
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	sites map[string]*fault
+)
+
+// InjectPanic arms site to panic with val on its next firing.
+func InjectPanic(site string, val any) { arm(site, &fault{kind: kindPanic, val: val}) }
+
+// InjectNaN arms site to overwrite the slice passed to FireSlice with NaNs
+// on its next firing. Sites that only call Fire ignore a NaN arming.
+func InjectNaN(site string) { arm(site, &fault{kind: kindNaN}) }
+
+// InjectDelay arms site to sleep d on its next firing — for exercising
+// cancellation deadlines and slow-phase behavior deterministically.
+func InjectDelay(site string, d time.Duration) { arm(site, &fault{kind: kindDelay, d: d}) }
+
+func arm(site string, f *fault) {
+	f.remaining.Store(1)
+	mu.Lock()
+	if sites == nil {
+		sites = make(map[string]*fault)
+	}
+	sites[site] = f
+	mu.Unlock()
+	armed.Store(true)
+}
+
+// Reset disarms every site. Tests defer it so an armed fault never leaks
+// into another test.
+func Reset() {
+	mu.Lock()
+	sites = nil
+	mu.Unlock()
+	armed.Store(false)
+}
+
+// lookup claims one firing of site, or nil. The CAS loop makes the claim
+// exact under concurrency: an armed count of 1 triggers exactly once even
+// if every worker of a parallel region fires the site simultaneously.
+func lookup(site string) *fault {
+	mu.Lock()
+	f := sites[site]
+	mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	for {
+		r := f.remaining.Load()
+		if r <= 0 {
+			return nil
+		}
+		if f.remaining.CompareAndSwap(r, r-1) {
+			return f
+		}
+	}
+}
+
+// Fire triggers any fault armed at site. Disarmed (the production state) it
+// is one atomic load. A NaN arming is ignored — the site carries no data;
+// use FireSlice at sites that own a poisonable buffer.
+func Fire(site string) {
+	if !armed.Load() {
+		return
+	}
+	fire(site, nil)
+}
+
+// FireSlice is Fire for sites that own a float64 buffer: a NaN arming
+// poisons every element, modeling a corrupted kernel output that must be
+// caught (or washed out) downstream rather than crash anything.
+func FireSlice(site string, data []float64) {
+	if !armed.Load() {
+		return
+	}
+	fire(site, data)
+}
+
+func fire(site string, data []float64) {
+	f := lookup(site)
+	if f == nil {
+		return
+	}
+	switch f.kind {
+	case kindPanic:
+		panic(f.val)
+	case kindNaN:
+		for i := range data {
+			data[i] = math.NaN()
+		}
+	case kindDelay:
+		time.Sleep(f.d)
+	}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	Fire("x/y")
+	buf := []float64{1, 2, 3}
+	FireSlice("x/y", buf)
+	if buf[0] != 1 {
+		t.Fatal("disarmed FireSlice mutated data")
+	}
+}
+
+func TestPanicFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	InjectPanic("s", "bang")
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		Fire("s")
+		return nil
+	}()
+	if got != "bang" {
+		t.Fatalf("recovered %v, want bang", got)
+	}
+	Fire("s") // one-shot: second firing is a no-op
+}
+
+func TestPanicExactUnderConcurrency(t *testing.T) {
+	defer Reset()
+	InjectPanic("c", "bang")
+	var fired int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					atomic.AddInt32(&fired, 1)
+				}
+			}()
+			Fire("c")
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fired)
+	}
+}
+
+func TestNaNPoisonsSlice(t *testing.T) {
+	defer Reset()
+	InjectNaN("n")
+	buf := []float64{1, 2, 3}
+	FireSlice("n", buf)
+	for i, v := range buf {
+		if !math.IsNaN(v) {
+			t.Fatalf("buf[%d] = %v, want NaN", i, v)
+		}
+	}
+	// Plain Fire at a NaN-armed site must not panic.
+	InjectNaN("n2")
+	Fire("n2")
+}
+
+func TestDelay(t *testing.T) {
+	defer Reset()
+	InjectDelay("d", 30*time.Millisecond)
+	start := time.Now()
+	Fire("d")
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("delay fired in %v, want >= 30ms", el)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	InjectPanic("r", "bang")
+	Reset()
+	Fire("r")
+}

@@ -42,13 +42,15 @@ func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 // Norm2 returns the squared Euclidean length |v|^2.
 func (v Vec3) Norm2() float64 { return v.Dot(v) }
 
-// Normalize returns v/|v|. It panics on the zero vector, which is always a
-// caller bug in this codebase (directions are only taken of separations that
-// the algorithm guarantees are nonzero).
+// Normalize returns v/|v|, or the zero vector when v is zero. The zero case
+// arises on degenerate inputs (coincident particles feeding a zero
+// separation); returning zero keeps those solves finite — the near-field
+// kernels treat coincident pairs as self-interactions — instead of
+// propagating a panic or Inf through the pipeline.
 func (v Vec3) Normalize() Vec3 {
 	n := v.Norm()
 	if n == 0 {
-		panic("geom: normalizing zero vector")
+		return Vec3{}
 	}
 	return v.Scale(1 / n)
 }

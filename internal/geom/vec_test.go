@@ -69,13 +69,10 @@ func TestVec3NormAndNormalize(t *testing.T) {
 	}
 }
 
-func TestVec3NormalizeZeroPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on zero vector")
-		}
-	}()
-	Vec3{}.Normalize()
+func TestVec3NormalizeZeroIsZero(t *testing.T) {
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(zero) = %v, want zero vector", got)
+	}
 }
 
 func TestVec3Dist(t *testing.T) {

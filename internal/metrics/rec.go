@@ -27,6 +27,12 @@ type Rec struct {
 	particles atomic.Int64
 	depth     atomic.Int64
 	k         atomic.Int64
+
+	// active is the currently open phase plus one (0 = no open span). The
+	// solvers open at most one span at a time per Rec, so a plain store is
+	// enough; it lets a recovery boundary name the phase that was running
+	// when a panic unwound past its Span.End.
+	active atomic.Int32
 }
 
 // Span is one open phase interval. It is a value type: Begin/End pairs
@@ -44,6 +50,7 @@ func (r *Rec) Begin(p Phase) Span {
 	if r == nil {
 		return Span{}
 	}
+	r.active.Store(int32(p) + 1)
 	return Span{r: r, p: p, start: time.Now()}
 }
 
@@ -55,6 +62,31 @@ func (s Span) End() {
 	}
 	s.r.ns[s.p].Add(int64(time.Since(s.start)))
 	s.r.calls[s.p].Add(1)
+	s.r.active.CompareAndSwap(int32(s.p)+1, 0)
+}
+
+// ActivePhase returns the phase of the currently open span, if any. After a
+// panic unwinds past a Span.End, the span stays active, so a recovery
+// boundary can attribute the failure to the phase that was running.
+func (r *Rec) ActivePhase() (Phase, bool) {
+	if r == nil {
+		return 0, false
+	}
+	a := r.active.Load()
+	if a == 0 {
+		return 0, false
+	}
+	return Phase(a - 1), true
+}
+
+// ClearActive closes the active-phase marker without charging time, used by
+// recovery boundaries after reading ActivePhase so a stale marker does not
+// leak into the next solve.
+func (r *Rec) ClearActive() {
+	if r == nil {
+		return
+	}
+	r.active.Store(0)
 }
 
 // AddNs charges ns nanoseconds of wall time to phase p.
@@ -133,6 +165,7 @@ func (r *Rec) Reset() {
 	r.particles.Store(0)
 	r.depth.Store(0)
 	r.k.Store(0)
+	r.active.Store(0)
 }
 
 // ReadInto fills dst with a consistent-enough copy of the counters (each

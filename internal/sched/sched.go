@@ -23,6 +23,23 @@
 //     another job. In particular, nested Run calls cannot deadlock: the
 //     nested caller simply executes its job itself.
 //
+// Failure containment:
+//
+//   - A panic raised by the body on any participant (pool worker or the
+//     submitting caller) aborts the job: remaining chunks are abandoned,
+//     every in-flight participant is drained, and the first panic value is
+//     re-raised on the submitting goroutine. Pool workers survive the
+//     panic and return to the job channel, so a contained failure in one
+//     parallel region never wedges later regions.
+//
+//   - RunCtx/RunChunksCtx accept a context whose cancellation is checked
+//     in the chunk-claim loop of every participant: a canceled context
+//     stops the job within one chunk's work and the call returns ctx.Err().
+//
+//   - In both cases Run*/submit return only after no participant is still
+//     executing the body (the drain guarantee): callers may immediately
+//     reuse the buffers the body wrote without synchronization.
+//
 // On a single-core machine (Workers() == 1) every call degenerates to a
 // plain serial loop with no synchronization and no allocation.
 package sched
@@ -31,6 +48,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -40,13 +58,22 @@ import (
 // several chunks so dynamic claiming can rebalance uneven work, but not so
 // many that the atomic counter becomes contended. 8 keeps the claim
 // overhead under ~1% for the repository's box sweeps while still splitting
-// a level-4 sweep (4096 boxes) into 1/8-worker-sized pieces.
+// a level-4 sweep (4096 boxes) into 1/8-worker-sized pieces. It also sets
+// the cancellation granularity: a canceled context is noticed at the next
+// chunk boundary.
 const chunksPerWorker = 8
+
+// panicBox carries the first recovered panic of a job back to the
+// submitting goroutine, with the stack of the participant that raised it.
+type panicBox struct {
+	val   any
+	stack []byte
+}
 
 // job is one parallel region. Participants (the caller plus any pool
 // workers that pick the job up) claim [lo, hi) chunks from next until the
-// range is exhausted; the participant that completes the final index
-// signals fin.
+// range is exhausted or the job aborts; completion (or fully drained
+// abortion) closes fin.
 type job struct {
 	fnIdx   func(i int)
 	fnChunk func(lo, hi int)
@@ -54,8 +81,27 @@ type job struct {
 	chunk   int64
 	next    atomic.Int64
 	done    atomic.Int64
+
+	// ctx is the optional cancellation signal; nil jobs (Run/RunChunks)
+	// pay only a nil compare per chunk claim.
+	ctx context.Context
+
+	// aborted stops further chunk claiming after a panic or cancellation.
+	aborted atomic.Bool
+	// inflight counts participants currently inside participate; the last
+	// one to leave an aborted job closes fin, which is what lets submit
+	// guarantee no participant still runs the body after it returns.
+	inflight atomic.Int64
+	// panicVal holds the first recovered panic (CAS winner).
+	panicVal atomic.Pointer[panicBox]
+
+	finOnce sync.Once
 	fin     chan struct{}
 }
+
+// finish signals job completion exactly once, whether by normal range
+// exhaustion or by a drained abort.
+func (j *job) finish() { j.finOnce.Do(func() { close(j.fin) }) }
 
 var (
 	initOnce sync.Once
@@ -64,7 +110,8 @@ var (
 )
 
 // initPool sizes and starts the worker pool. Workers run forever; each
-// blocks on the job channel between parallel regions.
+// blocks on the job channel between parallel regions. A panic inside a job
+// body is recovered in participate, so workers are never lost to one.
 func initPool() {
 	poolSize = runtime.GOMAXPROCS(0)
 	if poolSize < 1 {
@@ -85,7 +132,7 @@ func initPool() {
 			labels := pprof.Labels("pool", "sched", "worker", fmt.Sprint(slot))
 			pprof.Do(context.Background(), labels, func(context.Context) {
 				for j := range jobs {
-					j.runTimed(slot)
+					j.participate(slot)
 				}
 			})
 		}(w)
@@ -105,7 +152,9 @@ func MaxParticipants() int { return Workers() + 1 }
 
 // Run executes fn(i) for every i in [0, n), distributing index chunks over
 // the worker pool. fn must be safe to call concurrently for distinct i.
-// Equivalent to the old blas.Parallel contract.
+// Equivalent to the old blas.Parallel contract. If fn panics on any
+// participant, the job is aborted and drained and the first panic value is
+// re-raised on the caller.
 func Run(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -125,7 +174,8 @@ func Run(n int, fn func(i int)) {
 // RunChunks executes body(lo, hi) over a partition of [0, n) into
 // contiguous chunks, distributing chunks over the worker pool. It is the
 // preferred form when the body wants per-chunk setup (scratch buffers,
-// local accumulators) amortized over many indices.
+// local accumulators) amortized over many indices. Panic semantics match
+// Run.
 func RunChunks(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -140,40 +190,147 @@ func RunChunks(n int, body func(lo, hi int)) {
 	submit(&job{fnChunk: body, n: int64(n)})
 }
 
+// RunCtx is Run with cooperative cancellation: every participant checks
+// ctx in its chunk-claim loop, so a canceled context stops the job within
+// one chunk's work and RunCtx returns ctx.Err(). Indices not yet claimed
+// when the job aborts are never executed; the caller must treat any output
+// of a canceled region as garbage. A nil ctx is equivalent to Run.
+func RunCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil {
+		Run(n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if Workers() == 1 || n == 1 {
+		return runSerialCtx(ctx, n, fn, nil)
+	}
+	return submit(&job{fnIdx: fn, n: int64(n), ctx: ctx})
+}
+
+// RunChunksCtx is RunChunks with cooperative cancellation, under the same
+// contract as RunCtx. The serial degenerate case still partitions [0, n)
+// into several chunks so cancellation latency stays bounded by one chunk.
+func RunChunksCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	if ctx == nil {
+		RunChunks(n, body)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if Workers() == 1 {
+		return runSerialCtx(ctx, n, nil, body)
+	}
+	return submit(&job{fnChunk: body, n: int64(n), ctx: ctx})
+}
+
+// runSerialCtx executes a cancellable region on the caller alone, checking
+// ctx between chunks of the same adaptive size a one-worker pool would use.
+func runSerialCtx(ctx context.Context, n int, fnIdx func(i int), fnChunk func(lo, hi int)) error {
+	if statsOn.Load() {
+		defer chargeSerial(now())
+	}
+	chunk := (n + chunksPerWorker - 1) / chunksPerWorker
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < n; lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if fnChunk != nil {
+			fnChunk(lo, hi)
+		} else {
+			for i := lo; i < hi; i++ {
+				fnIdx(i)
+			}
+		}
+	}
+	return nil
+}
+
 // submit sizes the job's chunks, wakes enough workers, participates, and
-// waits for completion.
-func submit(j *job) {
+// waits until the job has completed or has aborted with every participant
+// drained. A contained panic is re-raised here on the submitting
+// goroutine; a cancellation returns ctx.Err().
+func submit(j *job) error {
 	nchunks := int64(poolSize * chunksPerWorker)
 	j.chunk = (j.n + nchunks - 1) / nchunks
 	if j.chunk < 1 {
 		j.chunk = 1
 	}
-	j.fin = make(chan struct{}, 1)
+	j.fin = make(chan struct{})
 	// Wake at most as many workers as there are chunks beyond the one the
 	// caller will take itself.
 	wake := int((j.n + j.chunk - 1) / j.chunk)
 	if wake > poolSize-1 {
 		wake = poolSize - 1
 	}
+wakeLoop:
 	for w := 0; w < wake; w++ {
 		select {
 		case jobs <- j:
 		default:
-			w = wake // queue full: workers are saturated; caller still completes the job
+			// Queue full: workers are saturated; the caller still
+			// completes the job on its own.
+			break wakeLoop
 		}
 	}
-	j.runTimed(0)
+	j.participate(0)
 	<-j.fin
+	if pb := j.panicVal.Load(); pb != nil {
+		// Re-raise the first panic of the region on the submitting
+		// goroutine (the participant's stack was captured in pb.stack for
+		// debuggers; the value itself is what callers recover).
+		panic(pb.val)
+	}
+	if j.aborted.Load() && j.ctx != nil {
+		return j.ctx.Err()
+	}
+	return nil
 }
 
-// run claims and executes chunks until the job's range is exhausted,
-// returning the number of indices this participant executed. The
-// participant whose chunk completes the range signals fin exactly once
+// participate runs the job on behalf of one participant, containing any
+// panic the body raises: the first panic is recorded, the job aborts, and
+// the last participant to leave an aborted job closes fin. Pool workers
+// call it from their job loop, the submitting caller from submit; either
+// way the goroutine survives the panic.
+func (j *job) participate(slot int) {
+	j.inflight.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicVal.CompareAndSwap(nil, &panicBox{val: r, stack: debug.Stack()})
+			j.aborted.Store(true)
+		}
+		if j.inflight.Add(-1) == 0 && j.aborted.Load() {
+			j.finish()
+		}
+	}()
+	j.runTimed(slot)
+}
+
+// run claims and executes chunks until the job's range is exhausted or the
+// job aborts, returning the number of indices this participant executed.
+// The participant whose chunk completes the range signals fin exactly once
 // (done is incremented by exact chunk sizes, so only one participant can
-// observe done == n).
+// observe done == n). Aborted jobs signal fin from participate instead,
+// once every in-flight participant has drained.
 func (j *job) run() int64 {
 	var total int64
 	for {
+		if j.aborted.Load() {
+			break
+		}
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.aborted.Store(true)
+			break
+		}
 		lo := j.next.Add(j.chunk) - j.chunk
 		if lo >= j.n {
 			break
@@ -193,7 +350,7 @@ func (j *job) run() int64 {
 		total += hi - lo
 	}
 	if total > 0 && j.done.Add(total) == j.n {
-		j.fin <- struct{}{}
+		j.finish()
 	}
 	return total
 }

@@ -1,10 +1,24 @@
 package sched
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// TestMain forces a multi-worker pool before its lazy first-use sizing:
+// the CI container is single-core, and with GOMAXPROCS=1 every call takes
+// the serial fast path, leaving the pool, panic-containment, and drain
+// logic untested.
+func TestMain(m *testing.M) {
+	runtime.GOMAXPROCS(4)
+	m.Run()
+}
 
 func TestRunCoversEveryIndexOnce(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 4097} {
@@ -74,6 +88,241 @@ func TestWorkersPositive(t *testing.T) {
 	}
 	if MaxParticipants() != Workers()+1 {
 		t.Fatalf("MaxParticipants() = %d, want %d", MaxParticipants(), Workers()+1)
+	}
+}
+
+// TestFullQueueCompletesOnCaller reproduces the wake-loop bug: with every
+// pool worker blocked in another job and the job queue full, submit's wake
+// sends all hit the default case, and the early exit must break out of the
+// loop so the caller completes the job alone rather than mis-iterating.
+func TestFullQueueCompletesOnCaller(t *testing.T) {
+	if Workers() == 1 {
+		t.Skip("needs a worker pool")
+	}
+	gate := make(chan struct{})
+	var blocked atomic.Int32
+	blockers := make([]*job, Workers()-1)
+	for i := range blockers {
+		b := &job{n: 1, chunk: 1, fin: make(chan struct{})}
+		b.fnIdx = func(int) {
+			blocked.Add(1)
+			<-gate
+		}
+		blockers[i] = b
+		jobs <- b
+	}
+	for blocked.Load() != int32(len(blockers)) {
+		runtime.Gosched()
+	}
+	// Every worker is now parked inside a blocker; stuff the queue full of
+	// stale no-op jobs so the next submit's wake sends cannot land.
+	var stale int
+fill:
+	for {
+		select {
+		case jobs <- &job{fin: make(chan struct{})}:
+			stale++
+		default:
+			break fill
+		}
+	}
+	if stale != cap(jobs) {
+		t.Fatalf("filled %d jobs, want capacity %d", stale, cap(jobs))
+	}
+
+	done := make(chan struct{})
+	hits := make([]int32, 1000)
+	go func() {
+		defer close(done)
+		Run(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung with a full job queue")
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+
+	close(gate)
+	for _, b := range blockers {
+		<-b.fin
+	}
+	// Let the workers chew through the stale jobs before other tests rely
+	// on wake-ups landing.
+	for len(jobs) > 0 {
+		runtime.Gosched()
+	}
+}
+
+// TestPanicReRaisedOnCaller: a body panic on any participant must surface
+// as a panic on the submitting goroutine with the original value, and the
+// pool must keep working afterwards.
+func TestPanicReRaisedOnCaller(t *testing.T) {
+	for _, form := range []string{"run", "chunks"} {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			if form == "run" {
+				Run(1000, func(i int) {
+					if i == 417 {
+						panic("boom-417")
+					}
+				})
+			} else {
+				RunChunks(1000, func(lo, hi int) {
+					if lo <= 417 && 417 < hi {
+						panic("boom-417")
+					}
+				})
+			}
+			return nil
+		}()
+		if got != "boom-417" {
+			t.Fatalf("%s: recovered %v, want boom-417", form, got)
+		}
+		// Pool survives: a fresh region still covers every index.
+		var total int64
+		Run(500, func(int) { atomic.AddInt64(&total, 1) })
+		if total != 500 {
+			t.Fatalf("%s: post-panic Run covered %d/500", form, total)
+		}
+	}
+}
+
+// TestPanicOnEveryParticipant: all participants panic concurrently; exactly
+// one value is re-raised and submit does not hang on fin.
+func TestPanicOnEveryParticipant(t *testing.T) {
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		Run(10000, func(i int) { panic(i) })
+		return nil
+	}()
+	if _, ok := got.(int); !ok {
+		t.Fatalf("recovered %T(%v), want an index", got, got)
+	}
+}
+
+// TestDrainAfterPanic verifies the drain guarantee: once Run has re-raised
+// a panic, no participant is still executing the body, so the caller may
+// immediately reuse the body's buffers without synchronization. Run under
+// -race this fails loudly if a straggler is still writing.
+func TestDrainAfterPanic(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		buf := make([]int, 4096)
+		func() {
+			defer func() { recover() }()
+			Run(len(buf), func(i int) {
+				buf[i] = i
+				if i == 2048 {
+					panic("abort")
+				}
+			})
+		}()
+		// Unsynchronized reuse: legal only if the job fully drained.
+		for i := range buf {
+			buf[i] = -1
+		}
+	}
+}
+
+func TestRunCtxNilAndBackground(t *testing.T) {
+	var total int64
+	if err := RunCtx(nil, 1000, func(int) { atomic.AddInt64(&total, 1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := RunCtx(context.Background(), 1000, func(int) { atomic.AddInt64(&total, 1) }); err != nil {
+		t.Fatalf("background ctx: %v", err)
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d, want 2000", total)
+	}
+	if err := RunChunksCtx(context.Background(), 1000, func(lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	}); err != nil {
+		t.Fatalf("chunks background ctx: %v", err)
+	}
+	if total != 3000 {
+		t.Fatalf("total = %d, want 3000", total)
+	}
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := RunCtx(ctx, 100000, func(int) { atomic.AddInt64(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d indices ran under a pre-canceled context", ran)
+	}
+	err = RunChunksCtx(ctx, 100000, func(lo, hi int) { atomic.AddInt64(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("chunks err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d chunks ran under a pre-canceled context", ran)
+	}
+}
+
+// TestRunCtxCancelMidway cancels from inside the body and checks the region
+// stops within one chunk per participant instead of finishing the range.
+func TestRunCtxCancelMidway(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int64
+	err := RunCtx(ctx, n, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 100 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each participant may finish the chunk it already claimed; nothing
+	// beyond one chunk each may run after the cancel.
+	limit := int64(MaxParticipants()) * int64(n/chunksPerWorker+1)
+	if got := atomic.LoadInt64(&ran); got >= n || got > 100+limit {
+		t.Fatalf("ran %d of %d indices after cancel (limit %d)", got, n, 100+limit)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := RunChunksCtx(ctx, 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			time.Sleep(10 * time.Microsecond)
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// 2^16 indices at 10us each would be ~0.65s serial; cancellation must
+	// cut that to roughly one chunk per participant.
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+}
+
+// TestCtxErrorPropagatesCustomCause: whatever ctx.Err() reports is what the
+// call returns.
+func TestCtxErrorPropagatesCustomCause(t *testing.T) {
+	cause := fmt.Errorf("budget exhausted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	err := RunCtx(ctx, 1000, func(int) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := context.Cause(ctx); !errors.Is(c, cause) {
+		t.Fatalf("cause = %v, want %v", c, cause)
 	}
 }
 

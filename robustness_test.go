@@ -1,0 +1,477 @@
+package nbody_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nbody"
+	"nbody/internal/core"
+	"nbody/internal/core2"
+	"nbody/internal/direct"
+	"nbody/internal/dp"
+	"nbody/internal/dpfmm"
+	"nbody/internal/faults"
+	"nbody/internal/testutil"
+)
+
+// boundFast is the worst-case relative error of the D=5 configuration
+// against the direct reference (matching internal/testutil's differential
+// suite); the post-fault re-solve checks use it to prove the solver is not
+// just alive but still correct.
+const boundFast = 5e-2
+
+// faultPhase maps every fault site to the metrics phase name the resulting
+// InternalError must report.
+var faultPhase = map[string]string{
+	core.FaultSiteSort:          "sort",
+	core.FaultSiteLeafOuter:     "leaf-outer",
+	core.FaultSiteLeafOuterBody: "leaf-outer",
+	core.FaultSiteT1:            "upward-T1",
+	core.FaultSiteT2:            "convert-T2",
+	core.FaultSiteT3:            "downward-T3",
+	core.FaultSiteEval:          "eval-local",
+	core.FaultSiteNear:          "near-field",
+	core.FaultSiteNearBody:      "near-field",
+
+	core2.FaultSiteSort:      "sort",
+	core2.FaultSiteLeafOuter: "leaf-outer",
+	core2.FaultSiteT1:        "upward-T1",
+	core2.FaultSiteT2:        "convert-T2",
+	core2.FaultSiteT3:        "downward-T3",
+	core2.FaultSiteEval:      "eval-local",
+	core2.FaultSiteNear:      "near-field",
+
+	dpfmm.FaultSiteSort:      "sort",
+	dpfmm.FaultSiteLeafOuter: "leaf-outer",
+	dpfmm.FaultSiteT1:        "upward-T1",
+	dpfmm.FaultSiteT3:        "downward-T3",
+	dpfmm.FaultSiteGhost:     "ghost",
+	dpfmm.FaultSiteT2:        "convert-T2",
+	dpfmm.FaultSiteEval:      "eval-local",
+	dpfmm.FaultSiteNear:      "near-field",
+}
+
+// expectInternal asserts err is an *InternalError attributed to the phase
+// the site belongs to.
+func expectInternal(t *testing.T, site string, err error) {
+	t.Helper()
+	var ie *nbody.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("site %s: got %v (%T), want *InternalError", site, err, err)
+	}
+	if want := faultPhase[site]; ie.Phase != want {
+		t.Errorf("site %s: attributed to phase %q, want %q", site, ie.Phase, want)
+	}
+	if len(ie.Stack) == 0 {
+		t.Errorf("site %s: InternalError carries no stack", site)
+	}
+}
+
+// TestFaultInjectionAnderson injects a panic at every fault site of the
+// shared-memory pipeline, including the two in-worker body sites, and
+// proves each surfaces as an *InternalError naming the phase — then that
+// the very same solver completes a clean solve within differential bounds.
+func TestFaultInjectionAnderson(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(2048, 1)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+
+	sites := append([]string{}, core.FaultSites...)
+	sites = append(sites, core.FaultSiteLeafOuterBody, core.FaultSiteNearBody)
+	for _, site := range sites {
+		faults.InjectPanic(site, "injected: "+site)
+		_, err := a.Potentials(sys)
+		expectInternal(t, site, err)
+		faults.Reset()
+
+		phi, err := a.Potentials(sys)
+		if err != nil {
+			t.Fatalf("site %s: clean re-solve failed: %v", site, err)
+		}
+		testutil.CheckClose(t, site+" re-solve", phi, want, boundFast)
+	}
+}
+
+// TestFaultInjectionDataParallel is the same matrix on the simulated
+// machine, covering the ghost phase the shared-memory solver does not have.
+func TestFaultInjectionDataParallel(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(512, 2)
+	box := sys.BoundingBox()
+	d, err := nbody.NewDataParallel(8, box, nbody.Options{Depth: 3}, dpfmm.DirectUnaliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+
+	for _, site := range dpfmm.FaultSites {
+		faults.InjectPanic(site, "injected: "+site)
+		_, err := d.Potentials(sys)
+		expectInternal(t, site, err)
+		faults.Reset()
+
+		phi, err := d.Potentials(sys)
+		if err != nil {
+			t.Fatalf("site %s: clean re-solve failed: %v", site, err)
+		}
+		testutil.CheckClose(t, site+" re-solve", phi, want, boundFast)
+	}
+}
+
+func random2D(n int, seed int64) ([]nbody.Vec2, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]nbody.Vec2, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = nbody.Vec2{X: rng.Float64(), Y: rng.Float64()}
+		q[i] = rng.Float64()
+	}
+	return pos, q
+}
+
+// TestFaultInjectionAnderson2D runs the matrix on the 2-D pipeline.
+func TestFaultInjectionAnderson2D(t *testing.T) {
+	defer faults.Reset()
+	pos, q := random2D(1024, 3)
+	box := nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.0000001}
+	a, err := nbody.NewAnderson2D(box, nbody.Options2D{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nbody.DirectPotentials2D(pos, q)
+
+	for _, site := range core2.FaultSites {
+		faults.InjectPanic(site, "injected: "+site)
+		_, err := a.Potentials(pos, q)
+		expectInternal(t, site, err)
+		faults.Reset()
+
+		phi, err := a.Potentials(pos, q)
+		if err != nil {
+			t.Fatalf("site %s: clean re-solve failed: %v", site, err)
+		}
+		testutil.CheckClose(t, site+" re-solve", phi, want, 1e-3)
+	}
+}
+
+// TestFaultInjectionSimulationStep proves a panic during a leapfrog step
+// surfaces as an *InternalError wrapped in the step error, leaves the
+// simulation usable, and that the following step succeeds.
+func TestFaultInjectionSimulationStep(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(1024, 4)
+	box := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 100}
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := nbody.NewSimulation(sys, nil, a, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.InjectPanic(core.FaultSiteNear, "injected: step")
+	err = sim.Step(1)
+	var ie *nbody.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Step: got %v, want wrapped *InternalError", err)
+	}
+	faults.Reset()
+	if err := sim.Step(1); err != nil {
+		t.Fatalf("step after contained panic: %v", err)
+	}
+}
+
+// TestNaNInjectionThenCleanResolve poisons a mid-pipeline buffer with NaN
+// (silent corruption, not a panic), observes the poisoned output, and then
+// proves a clean re-solve into the same caller buffer is fully repaired —
+// the buffer-hygiene half of the safe-to-retry contract.
+func TestNaNInjectionThenCleanResolve(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(2048, 5)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+	phi := make([]float64, sys.Len())
+
+	faults.InjectNaN(core.FaultSiteLeafOuter)
+	if err := a.PotentialsInto(phi, sys); err != nil {
+		t.Fatalf("poisoned solve errored: %v", err)
+	}
+	poisoned := false
+	for _, v := range phi {
+		if math.IsNaN(v) {
+			poisoned = true
+			break
+		}
+	}
+	if !poisoned {
+		t.Fatal("NaN injection did not reach the output")
+	}
+	faults.Reset()
+	if err := a.PotentialsInto(phi, sys); err != nil {
+		t.Fatalf("clean re-solve: %v", err)
+	}
+	testutil.CheckClose(t, "post-NaN re-solve", phi, want, boundFast)
+}
+
+// TestCancellationAbortsSolve is the acceptance criterion for cancellation:
+// on the paper's K=12 depth-4 configuration, a context canceled a few
+// milliseconds in aborts the solve in a small fraction of the full solve
+// time, returning ctx.Err(), and the solver remains usable.
+func TestCancellationAbortsSolve(t *testing.T) {
+	n := 32768
+	if testing.Short() {
+		n = 8192
+	}
+	sys := nbody.NewUniformSystem(n, 6)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Degree: 5, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, n)
+
+	start := time.Now()
+	if err := a.PotentialsInto(phi, sys); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	// Pre-canceled context: nothing but validation and the sort prologue
+	// may run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.PotentialsIntoCtx(ctx, phi, sys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: got %v, want context.Canceled", err)
+	}
+
+	// Deadline mid-solve: must abort within one chunk of work, far below
+	// the full solve time.
+	ctx, cancel = context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err = a.PotentialsIntoCtx(ctx, phi, sys)
+	aborted := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: got %v, want context.DeadlineExceeded", err)
+	}
+	if full > 50*time.Millisecond && aborted > full/2 {
+		t.Errorf("canceled solve took %v, full solve %v: cancellation is not prompt", aborted, full)
+	}
+	t.Logf("full solve %v, canceled solve %v", full, aborted)
+
+	// The solver must still produce correct answers after an abort.
+	if err := a.PotentialsInto(phi, sys); err != nil {
+		t.Fatalf("solve after cancel: %v", err)
+	}
+}
+
+// TestValidate is the input-validation table: each malformed system must be
+// rejected with the right sentinel before any solving starts.
+func TestValidate(t *testing.T) {
+	box := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1}
+	ok := nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}
+	cases := []struct {
+		name string
+		sys  nbody.System
+		want error
+	}{
+		{"empty", nbody.System{}, nil},
+		{"valid", nbody.System{Positions: []nbody.Vec3{ok}, Charges: []float64{1}}, nil},
+		{"length mismatch", nbody.System{Positions: []nbody.Vec3{ok}, Charges: []float64{1, 2}}, nbody.ErrInvalidSystem},
+		{"NaN position", nbody.System{Positions: []nbody.Vec3{{X: math.NaN(), Y: 0.5, Z: 0.5}}, Charges: []float64{1}}, nbody.ErrInvalidSystem},
+		{"Inf position", nbody.System{Positions: []nbody.Vec3{{X: math.Inf(1), Y: 0.5, Z: 0.5}}, Charges: []float64{1}}, nbody.ErrInvalidSystem},
+		{"NaN charge", nbody.System{Positions: []nbody.Vec3{ok}, Charges: []float64{math.NaN()}}, nbody.ErrInvalidSystem},
+		{"Inf charge", nbody.System{Positions: []nbody.Vec3{ok}, Charges: []float64{math.Inf(-1)}}, nbody.ErrInvalidSystem},
+		{"out of domain", nbody.System{Positions: []nbody.Vec3{{X: 1.5, Y: 0.5, Z: 0.5}}, Charges: []float64{1}}, nbody.ErrOutOfDomain},
+		{"on upper face", nbody.System{Positions: []nbody.Vec3{{X: 1.0, Y: 0.5, Z: 0.5}}, Charges: []float64{1}}, nbody.ErrOutOfDomain},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sys.Validate(box)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEntryPointsReject proves the validation actually guards the public
+// entry points, not just the Validate method.
+func TestEntryPointsReject(t *testing.T) {
+	sys := nbody.NewUniformSystem(64, 7)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &nbody.System{
+		Positions: append([]nbody.Vec3{}, sys.Positions...),
+		Charges:   append([]float64{}, sys.Charges...),
+	}
+	bad.Positions[17] = nbody.Vec3{X: math.NaN()}
+	if _, err := a.Potentials(bad); !errors.Is(err, nbody.ErrInvalidSystem) {
+		t.Errorf("Potentials(NaN) = %v, want ErrInvalidSystem", err)
+	}
+	bad.Positions[17] = nbody.Vec3{X: 1e6, Y: 0.5, Z: 0.5}
+	if _, _, err := a.Accelerations(bad); !errors.Is(err, nbody.ErrOutOfDomain) {
+		t.Errorf("Accelerations(far) = %v, want ErrOutOfDomain", err)
+	}
+
+	d, err := nbody.NewDataParallel(8, box, nbody.Options{Depth: 3}, dpfmm.DirectUnaliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Potentials(bad); !errors.Is(err, nbody.ErrOutOfDomain) {
+		t.Errorf("DataParallel.Potentials(far) = %v, want ErrOutOfDomain", err)
+	}
+}
+
+// TestCoincidentParticles duplicates a block of positions exactly and
+// checks that both the direct reference and Anderson return finite
+// potentials and fields that agree — the coincident pair contributes
+// nothing (self-exclusion semantics) instead of Inf or a panic.
+func TestCoincidentParticles(t *testing.T) {
+	sys := nbody.NewUniformSystem(512, 8)
+	for i := 0; i < 64; i++ {
+		sys.Positions[256+i] = sys.Positions[i]
+	}
+	box := sys.BoundingBox()
+
+	want, err := nbody.Direct{}.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("direct phi[%d] = %v with duplicated positions", i, v)
+		}
+	}
+	acc := nbody.Direct{}.Accelerations(sys)
+	for i, a := range acc {
+		if math.IsNaN(a.X+a.Y+a.Z) || math.IsInf(a.X+a.Y+a.Z, 0) {
+			t.Fatalf("direct acc[%d] = %v with duplicated positions", i, a)
+		}
+	}
+
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := a.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckClose(t, "anderson duplicates vs direct", phi, want, boundFast)
+
+	accBuf := make([]nbody.Vec3, sys.Len())
+	if err := a.AccelerationsInto(phi, accBuf, sys); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range accBuf {
+		if math.IsNaN(v.X+v.Y+v.Z) || math.IsInf(v.X+v.Y+v.Z, 0) {
+			t.Fatalf("anderson acc[%d] = %v with duplicated positions", i, v)
+		}
+	}
+
+	// 2-D direct reference under the same degeneracy.
+	pos2, q2 := random2D(128, 9)
+	for i := 0; i < 16; i++ {
+		pos2[64+i] = pos2[i]
+	}
+	for i, v := range nbody.DirectPotentials2D(pos2, q2) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("direct2d phi[%d] = %v with duplicated positions", i, v)
+		}
+	}
+}
+
+// TestConstructorErrors is the table-driven error-path sweep over every
+// constructor: each invalid configuration must return an error (and a nil
+// solver), never panic.
+func TestConstructorErrors(t *testing.T) {
+	box3 := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1}
+	box2 := nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1}
+	cases := []struct {
+		name string
+		make func() (any, error)
+	}{
+		{"core.NewSolver no degree", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Depth: 3})
+		}},
+		{"core.NewSolver depth 1", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Degree: 5, Depth: 1})
+		}},
+		{"core.NewSolver separation -1", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Degree: 5, Depth: 3, Separation: -1})
+		}},
+		{"core.NewSolver radius ratio 0.5", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Degree: 5, Depth: 3, RadiusRatio: 0.5})
+		}},
+		{"core.NewSolver M -1", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Degree: 5, Depth: 3, M: -1})
+		}},
+		{"core.NewSolver supernodes separation 1", func() (any, error) {
+			return core.NewSolver(box3, core.Config{Degree: 5, Depth: 3, Separation: 1, Supernodes: true})
+		}},
+		{"NewAnderson depth 1", func() (any, error) {
+			return nbody.NewAnderson(box3, nbody.Options{Depth: 1})
+		}},
+		{"NewAnderson bad radius ratio", func() (any, error) {
+			return nbody.NewAnderson(box3, nbody.Options{Depth: 3, RadiusRatio: 0.1})
+		}},
+		{"NewAnderson2D K 2", func() (any, error) {
+			return nbody.NewAnderson2D(box2, nbody.Options2D{K: 2, Depth: 3})
+		}},
+		{"NewAnderson2D depth 1", func() (any, error) {
+			return nbody.NewAnderson2D(box2, nbody.Options2D{Depth: 1})
+		}},
+		{"NewAnderson2D M 9 K 16", func() (any, error) {
+			return nbody.NewAnderson2D(box2, nbody.Options2D{K: 16, M: 9, Depth: 3})
+		}},
+		{"dp.NewMachine nodes 3", func() (any, error) {
+			return dp.NewMachine(3, 4, dp.CostModel{})
+		}},
+		{"dp.NewMachine nodes 0", func() (any, error) {
+			return dp.NewMachine(0, 4, dp.CostModel{})
+		}},
+		{"dp.NewMachine vus 3", func() (any, error) {
+			return dp.NewMachine(8, 3, dp.CostModel{})
+		}},
+		{"NewDataParallel depth 0", func() (any, error) {
+			return nbody.NewDataParallel(8, box3, nbody.Options{}, dpfmm.DirectUnaliased)
+		}},
+		{"NewDataParallel nodes 5", func() (any, error) {
+			return nbody.NewDataParallel(5, box3, nbody.Options{Depth: 3}, dpfmm.DirectUnaliased)
+		}},
+		{"NewDataParallel supernodes", func() (any, error) {
+			return nbody.NewDataParallel(8, box3, nbody.Options{Depth: 3, Supernodes: true}, dpfmm.DirectUnaliased)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := tc.make()
+			if err == nil {
+				t.Fatalf("constructor accepted invalid config (got %T)", v)
+			}
+		})
+	}
+}

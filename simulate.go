@@ -1,6 +1,10 @@
 package nbody
 
-import "fmt"
+import (
+	"fmt"
+
+	"nbody/internal/metrics"
+)
 
 // Accelerator is any solver that can produce potentials and fields for a
 // system (Anderson and DataParallel qualify; Direct through the adapter
@@ -59,13 +63,38 @@ func NewSimulation(sys *System, vel []Vec3, solver Accelerator, dt float64) (*Si
 		return nil, fmt.Errorf("nbody: %d velocities for %d particles", len(vel), sys.Len())
 	}
 	s := &Simulation{System: sys, Velocities: vel, Solver: solver, DT: dt}
-	phi, acc, err := solver.Accelerations(sys)
-	if err != nil {
+	s.into, _ = solver.(AcceleratorInto)
+	s.phi = make([]float64, sys.Len())
+	s.acc = make([]Vec3, sys.Len())
+	if err := s.solve(); err != nil {
 		return nil, err
 	}
-	s.phi, s.acc = phi, acc
-	s.into, _ = solver.(AcceleratorInto)
 	return s, nil
+}
+
+// phaseRecorder is satisfied by the solvers whose panics can be attributed
+// to a pipeline phase (Anderson and DataParallel).
+type phaseRecorder interface{ activeRec() *metrics.Rec }
+
+// solve refreshes phi and acc from the solver, containing any panic the
+// solver lets escape: the panic becomes an *InternalError and the
+// simulation's own state (positions, velocities, step counter) is untouched,
+// so the caller may retry the step or abandon the run cleanly.
+func (s *Simulation) solve() (err error) {
+	var rec *metrics.Rec
+	if pr, ok := s.Solver.(phaseRecorder); ok {
+		rec = pr.activeRec()
+	}
+	defer recoverInternal(rec, &err)
+	if s.into != nil {
+		return s.into.AccelerationsInto(s.phi, s.acc, s.System)
+	}
+	phi, acc, err := s.Solver.Accelerations(s.System)
+	if err != nil {
+		return err
+	}
+	s.phi, s.acc = phi, acc
+	return nil
 }
 
 // Step advances the system by n leapfrog steps.
@@ -76,16 +105,8 @@ func (s *Simulation) Step(n int) error {
 			s.Velocities[i] = s.Velocities[i].Add(s.acc[i].Scale(dt / 2))
 			s.System.Positions[i] = s.System.Positions[i].Add(s.Velocities[i].Scale(dt))
 		}
-		if s.into != nil {
-			if err := s.into.AccelerationsInto(s.phi, s.acc, s.System); err != nil {
-				return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
-			}
-		} else {
-			phi, acc, err := s.Solver.Accelerations(s.System)
-			if err != nil {
-				return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
-			}
-			s.phi, s.acc = phi, acc
+		if err := s.solve(); err != nil {
+			return fmt.Errorf("nbody: step %d: %w", s.step+1, err)
 		}
 		for i := range s.Velocities {
 			s.Velocities[i] = s.Velocities[i].Add(s.acc[i].Scale(dt / 2))

@@ -1,6 +1,7 @@
 package nbody
 
 import (
+	"context"
 	"fmt"
 
 	"nbody/internal/bh"
@@ -114,49 +115,118 @@ func (a *Anderson) ensureSolver(n int) error {
 // Name identifies the solver in comparison tables.
 func (a *Anderson) Name() string { return "anderson" }
 
-// Potentials computes the potential at every particle of the system.
-func (a *Anderson) Potentials(s *System) ([]float64, error) {
-	if err := a.ensureSolver(s.Len()); err != nil {
+// prepare validates the system against the solver domain and lazily builds
+// the core solver — the shared prologue of every entry point.
+func (a *Anderson) prepare(s *System) error {
+	if err := s.Validate(a.box); err != nil {
+		return err
+	}
+	return a.ensureSolver(s.Len())
+}
+
+// activeRec exposes the phase recorder for panic attribution (nil before the
+// first solve builds the core solver).
+func (a *Anderson) activeRec() *metrics.Rec {
+	if a.solver == nil {
+		return nil
+	}
+	return a.solver.Rec()
+}
+
+// Potentials computes the potential at every particle of the system. Invalid
+// systems are rejected with ErrInvalidSystem or ErrOutOfDomain; an internal
+// panic is recovered and returned as an *InternalError naming the active
+// phase, after which the solver remains usable (see InternalError's
+// safe-to-retry contract).
+func (a *Anderson) Potentials(s *System) (phi []float64, err error) {
+	if err := a.prepare(s); err != nil {
 		return nil, err
 	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.Potentials(s.Positions, s.Charges)
 }
 
-// Accelerations computes potentials and the field +grad phi.
-func (a *Anderson) Accelerations(s *System) ([]float64, []Vec3, error) {
-	if err := a.ensureSolver(s.Len()); err != nil {
+// PotentialsCtx is Potentials with cancellation: a canceled or expired
+// context aborts the solve between phases and within the parallel sweeps of
+// each phase (within at most one work chunk), returning ctx.Err().
+func (a *Anderson) PotentialsCtx(ctx context.Context, s *System) (phi []float64, err error) {
+	if err := a.prepare(s); err != nil {
+		return nil, err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
+	return a.solver.PotentialsCtx(ctx, s.Positions, s.Charges)
+}
+
+// Accelerations computes potentials and the field +grad phi, under the same
+// validation and panic-containment contract as Potentials.
+func (a *Anderson) Accelerations(s *System) (phi []float64, acc []Vec3, err error) {
+	if err := a.prepare(s); err != nil {
 		return nil, nil, err
 	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.Accelerations(s.Positions, s.Charges)
+}
+
+// AccelerationsCtx is Accelerations with cancellation, under the same
+// latency bound as PotentialsCtx.
+func (a *Anderson) AccelerationsCtx(ctx context.Context, s *System) (phi []float64, acc []Vec3, err error) {
+	if err := a.prepare(s); err != nil {
+		return nil, nil, err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
+	return a.solver.AccelerationsCtx(ctx, s.Positions, s.Charges)
 }
 
 // PotentialsInto computes the potentials into the caller-owned slice phi
 // (length s.Len()). Repeated solves on one Anderson reuse all internal
 // buffers — steady state allocates nothing and is bitwise reproducible.
-// One solve at a time per solver.
-func (a *Anderson) PotentialsInto(phi []float64, s *System) error {
-	if err := a.ensureSolver(s.Len()); err != nil {
+// One solve at a time per solver. On an *InternalError return, phi may hold
+// partial results but no goroutine retains a reference to it; reuse or
+// retry is safe.
+func (a *Anderson) PotentialsInto(phi []float64, s *System) (err error) {
+	if err := a.prepare(s); err != nil {
 		return err
 	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.PotentialsInto(phi, s.Positions, s.Charges)
+}
+
+// PotentialsIntoCtx is PotentialsInto with cancellation.
+func (a *Anderson) PotentialsIntoCtx(ctx context.Context, phi []float64, s *System) (err error) {
+	if err := a.prepare(s); err != nil {
+		return err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
+	return a.solver.PotentialsIntoCtx(ctx, phi, s.Positions, s.Charges)
 }
 
 // AccelerationsInto computes potentials and fields into caller-owned slices
 // (each length s.Len()), under the same reuse contract as PotentialsInto.
 // This is the time-stepping path: Simulation uses it automatically.
-func (a *Anderson) AccelerationsInto(phi []float64, acc []Vec3, s *System) error {
-	if err := a.ensureSolver(s.Len()); err != nil {
+func (a *Anderson) AccelerationsInto(phi []float64, acc []Vec3, s *System) (err error) {
+	if err := a.prepare(s); err != nil {
 		return err
 	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.AccelerationsInto(phi, acc, s.Positions, s.Charges)
+}
+
+// AccelerationsIntoCtx is AccelerationsInto with cancellation.
+func (a *Anderson) AccelerationsIntoCtx(ctx context.Context, phi []float64, acc []Vec3, s *System) (err error) {
+	if err := a.prepare(s); err != nil {
+		return err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
+	return a.solver.AccelerationsIntoCtx(ctx, phi, acc, s.Positions, s.Charges)
 }
 
 // PotentialsAt evaluates the field of the system's charges at arbitrary
 // probe points inside the domain (no self-exclusion).
-func (a *Anderson) PotentialsAt(s *System, targets []Vec3) ([]float64, error) {
-	if err := a.ensureSolver(s.Len()); err != nil {
+func (a *Anderson) PotentialsAt(s *System, targets []Vec3) (phi []float64, err error) {
+	if err := a.prepare(s); err != nil {
 		return nil, err
 	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.PotentialsAt(s.Positions, s.Charges, targets)
 }
 
@@ -241,6 +311,7 @@ var (
 type DataParallel struct {
 	Machine *dpfmm.Solver
 	m       *dp.Machine
+	box     Box
 }
 
 // NewDataParallel builds the data-parallel solver on a machine of the given
@@ -258,19 +329,43 @@ func NewDataParallel(nodes int, box Box, opts Options, strategy dpfmm.GhostStrat
 	if err != nil {
 		return nil, err
 	}
-	return &DataParallel{Machine: s, m: m}, nil
+	return &DataParallel{Machine: s, m: m, box: box}, nil
 }
 
 // Name identifies the solver in comparison tables.
 func (d *DataParallel) Name() string { return "anderson-dp" }
 
-// Potentials solves on the simulated machine.
-func (d *DataParallel) Potentials(s *System) ([]float64, error) {
+// activeRec exposes the phase recorder for panic attribution.
+func (d *DataParallel) activeRec() *metrics.Rec { return d.Machine.Rec() }
+
+// Potentials solves on the simulated machine, under the same validation and
+// panic-containment contract as Anderson.Potentials.
+func (d *DataParallel) Potentials(s *System) (phi []float64, err error) {
+	if err := s.Validate(d.box); err != nil {
+		return nil, err
+	}
+	defer recoverInternal(d.Machine.Rec(), &err)
 	return d.Machine.Potentials(s.Positions, s.Charges)
 }
 
+// PotentialsCtx is Potentials with cancellation. The simulated machine's
+// collective sweeps are not individually interruptible, so cancellation is
+// observed between pipeline phases: the latency bound is one phase, not one
+// chunk.
+func (d *DataParallel) PotentialsCtx(ctx context.Context, s *System) (phi []float64, err error) {
+	if err := s.Validate(d.box); err != nil {
+		return nil, err
+	}
+	defer recoverInternal(d.Machine.Rec(), &err)
+	return d.Machine.PotentialsCtx(ctx, s.Positions, s.Charges)
+}
+
 // Accelerations computes potentials and fields on the simulated machine.
-func (d *DataParallel) Accelerations(s *System) ([]float64, []Vec3, error) {
+func (d *DataParallel) Accelerations(s *System) (phi []float64, acc []Vec3, err error) {
+	if err := s.Validate(d.box); err != nil {
+		return nil, nil, err
+	}
+	defer recoverInternal(d.Machine.Rec(), &err)
 	return d.Machine.Accelerations(s.Positions, s.Charges)
 }
 
@@ -285,6 +380,7 @@ func (d *DataParallel) ResetCounters() { d.m.ResetCounters() }
 // Anderson2D is the two-dimensional solver.
 type Anderson2D struct {
 	solver *core2.Solver
+	box    Box2D
 }
 
 // Options2D configures the 2-D solver.
@@ -308,12 +404,27 @@ func NewAnderson2D(box Box2D, opts Options2D) (*Anderson2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Anderson2D{solver: s}, nil
+	return &Anderson2D{solver: s, box: box}, nil
 }
 
-// Potentials computes phi_i = -sum q_j ln r_ij at every particle.
-func (a *Anderson2D) Potentials(pos []Vec2, q []float64) ([]float64, error) {
+// Potentials computes phi_i = -sum q_j ln r_ij at every particle, under the
+// same validation and panic-containment contract as the 3-D solver.
+func (a *Anderson2D) Potentials(pos []Vec2, q []float64) (phi []float64, err error) {
+	if err := validate2D(pos, q, a.box); err != nil {
+		return nil, err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
 	return a.solver.Potentials(pos, q)
+}
+
+// PotentialsCtx is Potentials with cancellation: a canceled context aborts
+// between phases and within parallel sweeps, returning ctx.Err().
+func (a *Anderson2D) PotentialsCtx(ctx context.Context, pos []Vec2, q []float64) (phi []float64, err error) {
+	if err := validate2D(pos, q, a.box); err != nil {
+		return nil, err
+	}
+	defer recoverInternal(a.solver.Rec(), &err)
+	return a.solver.PotentialsCtx(ctx, pos, q)
 }
 
 // Stats exposes the 2-D solver's per-phase instrumentation.
