@@ -15,7 +15,7 @@ import (
 	"time"
 
 	"nbody"
-	"nbody/internal/dpfmm"
+	"nbody/internal/cli"
 )
 
 func main() {
@@ -24,73 +24,38 @@ func main() {
 	var (
 		n        = flag.Int("n", 32768, "number of particles")
 		seed     = flag.Int64("seed", 1, "random seed")
-		dist     = flag.String("dist", "uniform", "distribution: uniform|plummer|neutral")
+		dist     = flag.String("dist", "uniform", cli.DistHelp)
 		solver   = flag.String("solver", "anderson", "solver: anderson|bh|direct|dp")
-		accuracy = flag.String("accuracy", "fast", "anderson preset: fast|balanced|accurate")
+		accuracy = flag.String("accuracy", "fast", cli.AccuracyHelp)
 		depth    = flag.Int("depth", 0, "hierarchy depth (0 = auto)")
 		theta    = flag.Float64("theta", 0.6, "Barnes-Hut opening angle")
 		nodes    = flag.Int("nodes", 16, "simulated nodes for -solver dp")
-		strategy = flag.String("strategy", "linearized-aliased",
-			"dp ghost strategy: direct-unaliased|linearized-unaliased|direct-aliased|linearized-aliased")
-		super = flag.Bool("supernodes", false, "enable supernodes (anderson)")
-		check = flag.Bool("check", false, "compare against the O(N^2) direct sum")
+		strategy = flag.String("strategy", "linearized-aliased", cli.StrategyHelp)
+		super    = flag.Bool("supernodes", false, "enable supernodes (anderson)")
+		check    = flag.Bool("check", false, "compare against the O(N^2) direct sum")
 	)
 	flag.Parse()
 
-	var sys *nbody.System
-	switch *dist {
-	case "uniform":
-		sys = nbody.NewUniformSystem(*n, *seed)
-	case "plummer":
-		sys = nbody.NewPlummerSystem(*n, *seed)
-	case "neutral":
-		sys = nbody.NewNeutralSystem(*n, *seed)
-	default:
-		log.Fatalf("unknown distribution %q", *dist)
+	sys, err := cli.System(*dist, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	box := sys.BoundingBox()
-
-	var acc nbody.Accuracy
-	switch *accuracy {
-	case "fast":
-		acc = nbody.Fast
-	case "balanced":
-		acc = nbody.Balanced
-	case "accurate":
-		acc = nbody.Accurate
-	default:
-		log.Fatalf("unknown accuracy %q", *accuracy)
+	acc, err := cli.Accuracy(*accuracy)
+	if err != nil {
+		log.Fatal(err)
 	}
-	opts := nbody.Options{Accuracy: acc, Depth: *depth, Supernodes: *super}
-
-	var (
-		s   nbody.Solver
-		err error
-	)
-	switch *solver {
-	case "anderson":
-		s, err = nbody.NewAnderson(box, opts)
-	case "bh":
-		s = nbody.NewBarnesHut(box, *theta)
-	case "direct":
-		s = nbody.NewDirect()
-	case "dp":
-		if opts.Depth == 0 {
-			opts.Depth = 4
-		}
-		strat, ok := map[string]dpfmm.GhostStrategy{
-			"direct-unaliased":     dpfmm.DirectUnaliased,
-			"linearized-unaliased": dpfmm.LinearizedUnaliased,
-			"direct-aliased":       dpfmm.DirectAliased,
-			"linearized-aliased":   dpfmm.LinearizedAliased,
-		}[*strategy]
-		if !ok {
-			log.Fatalf("unknown strategy %q", *strategy)
-		}
-		s, err = nbody.NewDataParallel(*nodes, box, opts, strat)
-	default:
-		log.Fatalf("unknown solver %q", *solver)
+	strat, err := cli.Strategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
 	}
+	spec := cli.Spec{
+		Kind:     *solver,
+		Opts:     nbody.Options{Accuracy: acc, Depth: *depth, Supernodes: *super},
+		Theta:    *theta,
+		Nodes:    *nodes,
+		Strategy: strat,
+	}
+	s, err := spec.New(sys.BoundingBox())
 	if err != nil {
 		log.Fatal(err)
 	}

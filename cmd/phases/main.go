@@ -16,11 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 
 	"nbody"
 	"nbody/internal/blas"
+	"nbody/internal/cli"
 	"nbody/internal/dpfmm"
 	"nbody/internal/metrics"
 	"nbody/internal/sched"
@@ -81,50 +81,11 @@ func main() {
 }
 
 func run(solver string, n, depth, degree int, nodes int, seed int64, solves int) (*metrics.Snapshot, error) {
-	sys := nbody.NewUniformSystem(n, seed)
-	box := sys.BoundingBox()
-	switch solver {
-	case "core":
-		a, err := nbody.NewAnderson(box, nbody.Options{Degree: degree, Depth: depth})
-		if err != nil {
-			return nil, err
-		}
-		var d metrics.AllocDelta
-		d.Start()
-		for i := 0; i < solves; i++ {
-			if _, err := a.Potentials(sys); err != nil {
-				return nil, err
-			}
-		}
-		st := a.Stats()
-		d.CaptureInto(st)
-		return st, nil
-	case "dp":
-		d, err := nbody.NewDataParallel(nodes, box, nbody.Options{Degree: degree, Depth: depth}, dpfmm.LinearizedAliased)
-		if err != nil {
-			return nil, err
-		}
-		var probe metrics.AllocDelta
-		probe.Start()
-		for i := 0; i < solves; i++ {
-			if _, err := d.Potentials(sys); err != nil {
-				return nil, err
-			}
-		}
-		st := d.Machine.Stats()
-		probe.CaptureInto(st)
-		return st, nil
-	case "2d":
-		rng := rand.New(rand.NewSource(seed))
-		pos := make([]nbody.Vec2, n)
-		q := make([]float64, n)
-		for i := range pos {
-			pos[i] = nbody.Vec2{X: rng.Float64(), Y: rng.Float64()}
-			q[i] = rng.Float64() - 0.5
-		}
-		a, err := nbody.NewAnderson2D(
-			nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.001},
-			nbody.Options2D{Depth: depth})
+	// The 2-D solver has its own particle and options types; everything else
+	// goes through the shared flag → solver selection in internal/cli.
+	if solver == "2d" {
+		pos, q := cli.System2D(n, seed)
+		a, err := nbody.NewAnderson2D(cli.Box2DUnit(), nbody.Options2D{Depth: depth})
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +99,36 @@ func run(solver string, n, depth, degree int, nodes int, seed int64, solves int)
 		st := a.Stats()
 		d.CaptureInto(st)
 		return st, nil
-	default:
+	}
+
+	if solver != "core" && solver != "dp" {
 		return nil, fmt.Errorf("unknown solver %q (core | dp | 2d)", solver)
 	}
+	sys := nbody.NewUniformSystem(n, seed)
+	spec := cli.Spec{
+		Kind:     solver,
+		Opts:     nbody.Options{Degree: degree, Depth: depth},
+		Nodes:    nodes,
+		Strategy: dpfmm.LinearizedAliased,
+	}
+	s, err := spec.New(sys.BoundingBox())
+	if err != nil {
+		return nil, err
+	}
+	var probe metrics.AllocDelta
+	probe.Start()
+	for i := 0; i < solves; i++ {
+		if _, err := s.Potentials(sys); err != nil {
+			return nil, err
+		}
+	}
+	var st *metrics.Snapshot
+	switch sv := s.(type) {
+	case *nbody.Anderson:
+		st = sv.Stats()
+	case *nbody.DataParallel:
+		st = sv.Machine.Stats()
+	}
+	probe.CaptureInto(st)
+	return st, nil
 }

@@ -19,6 +19,11 @@ var (
 	// ErrOutOfDomain marks systems with finite particles lying outside the
 	// solver's fixed domain box (the hierarchy cannot place them).
 	ErrOutOfDomain = errors.New("nbody: particle outside solver domain")
+	// ErrInvalidOptions marks solver options rejected at construction:
+	// negative or otherwise nonsensical Degree, M, Depth, Separation, or
+	// RadiusRatio values, caught by NewAnderson / NewDataParallel /
+	// NewAnderson2D before any plan building starts.
+	ErrInvalidOptions = errors.New("nbody: invalid solver options")
 )
 
 // InternalError is a panic from inside a solve, recovered at the public API

@@ -1,0 +1,118 @@
+// Package cli centralizes the flag plumbing shared by the repo's commands
+// (cmd/nbody, cmd/phases, cmd/tables): mapping flag strings to particle
+// systems, accuracy presets, ghost strategies, and — through Spec — the
+// solver-selection switch itself. The commands keep their own flag sets and
+// reporting; the construction logic lives here once so the three main.go
+// files stop diverging.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nbody"
+	"nbody/internal/dpfmm"
+)
+
+// Canonical usage strings for the shared flags, so help output stays
+// consistent across commands.
+const (
+	DistHelp     = "distribution: uniform|plummer|neutral"
+	AccuracyHelp = "anderson preset: fast|balanced|accurate"
+	StrategyHelp = "dp ghost strategy: direct-unaliased|linearized-unaliased|direct-aliased|linearized-aliased"
+)
+
+// System builds the particle distribution named by dist.
+func System(dist string, n int, seed int64) (*nbody.System, error) {
+	switch dist {
+	case "uniform":
+		return nbody.NewUniformSystem(n, seed), nil
+	case "plummer":
+		return nbody.NewPlummerSystem(n, seed), nil
+	case "neutral":
+		return nbody.NewNeutralSystem(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q (%s)", dist, DistHelp)
+	}
+}
+
+// System2D builds the uniform 2-D test system the 2-D solver paths use: unit
+// square, charges in [-0.5, 0.5).
+func System2D(n int, seed int64) ([]nbody.Vec2, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]nbody.Vec2, n)
+	q := make([]float64, n)
+	for i := range pos {
+		pos[i] = nbody.Vec2{X: rng.Float64(), Y: rng.Float64()}
+		q[i] = rng.Float64() - 0.5
+	}
+	return pos, q
+}
+
+// Box2DUnit is the root box commands use with System2D: the unit square with
+// a hair of slack so boundary particles stay inside.
+func Box2DUnit() nbody.Box2D {
+	return nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.001}
+}
+
+// Accuracy maps a preset name to the public accuracy knob.
+func Accuracy(name string) (nbody.Accuracy, error) {
+	switch name {
+	case "fast":
+		return nbody.Fast, nil
+	case "balanced":
+		return nbody.Balanced, nil
+	case "accurate":
+		return nbody.Accurate, nil
+	default:
+		return 0, fmt.Errorf("unknown accuracy %q (%s)", name, AccuracyHelp)
+	}
+}
+
+// Strategy maps a ghost-strategy name to the dpfmm constant.
+func Strategy(name string) (dpfmm.GhostStrategy, error) {
+	switch name {
+	case "direct-unaliased":
+		return dpfmm.DirectUnaliased, nil
+	case "linearized-unaliased":
+		return dpfmm.LinearizedUnaliased, nil
+	case "direct-aliased":
+		return dpfmm.DirectAliased, nil
+	case "linearized-aliased":
+		return dpfmm.LinearizedAliased, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (%s)", name, StrategyHelp)
+	}
+}
+
+// Spec is one flag-driven solver selection: the kind string plus everything
+// any kind might need. Unused fields are ignored by the other kinds.
+type Spec struct {
+	Kind     string        // anderson (alias core) | bh | direct | dp
+	Opts     nbody.Options // anderson and dp
+	Theta    float64       // bh
+	Nodes    int           // dp
+	Strategy dpfmm.GhostStrategy
+}
+
+// New builds the selected solver against the given root box. The dp kind
+// defaults a zero Opts.Depth to 4 (the data-parallel solver has no automatic
+// depth heuristic).
+func (sp Spec) New(box nbody.Box) (nbody.Solver, error) {
+	switch sp.Kind {
+	case "anderson", "core":
+		return nbody.NewAnderson(box, sp.Opts)
+	case "bh":
+		return nbody.NewBarnesHut(box, sp.Theta), nil
+	case "direct":
+		return nbody.NewDirect(), nil
+	case "dp":
+		opts := sp.Opts
+		if opts.Depth == 0 {
+			opts.Depth = 4
+		}
+		return nbody.NewDataParallel(sp.Nodes, box, opts, sp.Strategy)
+	default:
+		return nil, fmt.Errorf("unknown solver %q (anderson | bh | direct | dp)", sp.Kind)
+	}
+}

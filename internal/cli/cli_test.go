@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"testing"
+
+	"nbody"
+	"nbody/internal/dpfmm"
+)
+
+func TestSystemDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "plummer", "neutral"} {
+		sys, err := System(dist, 100, 1)
+		if err != nil {
+			t.Fatalf("System(%q): %v", dist, err)
+		}
+		if sys.Len() != 100 {
+			t.Errorf("System(%q): %d particles, want 100", dist, sys.Len())
+		}
+	}
+	if _, err := System("gaussian", 100, 1); err == nil {
+		t.Error("System accepted an unknown distribution")
+	}
+}
+
+func TestAccuracyAndStrategy(t *testing.T) {
+	if a, err := Accuracy("balanced"); err != nil || a != nbody.Balanced {
+		t.Errorf("Accuracy(balanced) = %v, %v", a, err)
+	}
+	if _, err := Accuracy("ludicrous"); err == nil {
+		t.Error("Accuracy accepted an unknown preset")
+	}
+	if s, err := Strategy("direct-aliased"); err != nil || s != dpfmm.DirectAliased {
+		t.Errorf("Strategy(direct-aliased) = %v, %v", s, err)
+	}
+	if _, err := Strategy("telepathic"); err == nil {
+		t.Error("Strategy accepted an unknown strategy")
+	}
+}
+
+func TestSpecBuildsEveryKind(t *testing.T) {
+	sys := nbody.NewUniformSystem(256, 1)
+	box := sys.BoundingBox()
+	for _, kind := range []string{"anderson", "core", "bh", "direct", "dp"} {
+		spec := Spec{Kind: kind, Opts: nbody.Options{Depth: 2}, Theta: 0.6,
+			Nodes: 8, Strategy: dpfmm.LinearizedAliased}
+		s, err := spec.New(box)
+		if err != nil {
+			t.Fatalf("Spec{%q}.New: %v", kind, err)
+		}
+		if _, err := s.Potentials(sys); err != nil {
+			t.Errorf("Spec{%q} solver failed to solve: %v", kind, err)
+		}
+	}
+	if _, err := (Spec{Kind: "magic"}).New(box); err == nil {
+		t.Error("Spec accepted an unknown kind")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nbody/internal/blas"
 	"nbody/internal/geom"
+	"nbody/internal/pipeline"
 )
 
 // PotentialsAt evaluates the potential field of the sources (pos, q) at an
@@ -29,52 +31,60 @@ func (s *Solver) PotentialsAt(pos []geom.Vec3, q []float64, targets []geom.Vec3)
 			return nil, fmt.Errorf("core: target %v outside domain %v", p, s.hier.Root)
 		}
 	}
-	sp := s.rec.Begin(PhaseSort)
-	s.prepare(pos, q)
-	sp.End()
-	sp = s.rec.Begin(PhaseLeafOuter)
-	s.leafOuter()
-	sp.End()
-	sp = s.rec.Begin(PhaseUpward)
-	s.upward()
-	sp.End()
-	s.downward() // records PhaseT3/PhaseT2 spans per level itself
+	// The hierarchy prefix of the declared pipeline (sort through the last
+	// T2 conversion) is shared with solve; only the evaluation differs.
+	s.in.pos, s.in.q = pos, q
+	defer s.clearSolveState()
+	if err := pipeline.Run(nil, &s.rec, "core", s.phases[:s.nHier]); err != nil {
+		return nil, err
+	}
 
+	phi := make([]float64, len(targets))
+	eval := []pipeline.Phase{{Name: PhaseEvalLocal, Site: FaultSiteEval,
+		Slice: func() []float64 { return phi },
+		Run: func(context.Context) error {
+			s.evalAt(targets, phi)
+			return nil
+		}}}
+	if err := pipeline.Run(nil, &s.rec, "core", eval); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// evalAt evaluates the solved field at arbitrary target points: the local
+// expansion of each target's leaf box plus direct summation over its
+// near-field source particles.
+func (s *Solver) evalAt(targets []geom.Vec3, phi []float64) {
 	depth := s.cfg.Depth
 	k := s.ts.K
 	loc := s.loc[depth]
-	phi := make([]float64, len(targets))
 	rule := s.cfg.Rule
 	m := s.cfg.M
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
 	n := s.part.Grid
-	sp = s.rec.Begin(PhaseEvalLocal)
-	{
-		blas.Parallel(len(targets), func(i int) {
-			x := targets[i]
-			c := s.hier.LeafOf(x)
-			b := c.Index(n)
-			center := s.hier.Box(depth, c).Center
-			v := EvalInner(rule, m, center, a, loc[b*k:(b+1)*k], x)
-			// Near field: the target's own box plus its near offsets, as
-			// contiguous ranges of the box-sorted source mirrors.
-			sum := func(bi int) {
-				lo, hi := s.part.Start[bi], s.part.Start[bi+1]
-				for j := lo; j < hi; j++ {
-					v += s.qS[j] / x.Dist(s.posS[j])
-				}
+	blas.Parallel(len(targets), func(i int) {
+		x := targets[i]
+		c := s.hier.LeafOf(x)
+		b := c.Index(n)
+		center := s.hier.Box(depth, c).Center
+		v := EvalInner(rule, m, center, a, loc[b*k:(b+1)*k], x)
+		// Near field: the target's own box plus its near offsets, as
+		// contiguous ranges of the box-sorted source mirrors.
+		sum := func(bi int) {
+			lo, hi := s.part.Start[bi], s.part.Start[bi+1]
+			for j := lo; j < hi; j++ {
+				v += s.qS[j] / x.Dist(s.posS[j])
 			}
-			sum(b)
-			for _, o := range s.nearOff {
-				sc := c.Add(o)
-				if !sc.In(n) {
-					continue
-				}
-				sum(sc.Index(n))
+		}
+		sum(b)
+		for _, o := range s.nearOff {
+			sc := c.Add(o)
+			if !sc.In(n) {
+				continue
 			}
-			phi[i] = v
-		})
-	}
-	sp.End()
-	return phi, nil
+			sum(sc.Index(n))
+		}
+		phi[i] = v
+	})
 }

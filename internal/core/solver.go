@@ -7,9 +7,9 @@ import (
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
-	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
 	"nbody/internal/tree"
 )
 
@@ -72,6 +72,19 @@ type Solver struct {
 	// parChunks; a Solver runs one solve at a time, so a plain field is
 	// enough.
 	ctx context.Context
+
+	// phases is the declared pipeline (see buildPhases), built once here so
+	// steady-state solves run through pipeline.Run without allocating; in
+	// binds the in-flight solve's inputs and outputs for the phase bodies,
+	// and nHier marks the end of the hierarchy phases for PotentialsAt.
+	phases []pipeline.Phase
+	nHier  int
+	in     struct {
+		pos []geom.Vec3
+		q   []float64
+		phi []float64
+		acc []geom.Vec3
+	}
 }
 
 // NewSolver builds a solver for the domain root with the given
@@ -88,9 +101,7 @@ func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{cfg: ncfg, hier: h}
-	sp := s.rec.Begin(PhaseSetup)
-	s.ts = NewTranslationSet(ncfg)
-	sp.End()
+	pipeline.Setup(&s.rec, func() { s.ts = NewTranslationSet(ncfg) })
 	nmat := int64(2*8) + int64(len(tree.UnionInteractiveOffsets(ncfg.Separation)))
 	s.rec.AddFlops(PhaseSetup, nmat*TranslationMatrixFlops(s.ts.K, ncfg.M))
 	for oct := 0; oct < 8; oct++ {
@@ -125,6 +136,7 @@ func NewSolver(root geom.Box3, cfg Config) (*Solver, error) {
 			s.t2Plan[l] = s.buildT2Plan(l)
 		}
 	}
+	s.buildPhases()
 	return s, nil
 }
 
@@ -241,14 +253,6 @@ func (s *Solver) parChunks(n int, body func(lo, hi int)) {
 	_ = blas.ParallelChunksCtx(s.ctx, n, body)
 }
 
-// ctxErr is the between-phase cancellation check.
-func (s *Solver) ctxErr() error {
-	if s.ctx == nil {
-		return nil
-	}
-	return s.ctx.Err()
-}
-
 func (s *Solver) solveCtx(ctx context.Context, pos []geom.Vec3, q []float64, phi []float64, acc []geom.Vec3) error {
 	if len(pos) != len(q) {
 		return fmt.Errorf("core: %d positions but %d charges", len(pos), len(q))
@@ -266,60 +270,16 @@ func (s *Solver) solveCtx(ctx context.Context, pos []geom.Vec3, q []float64, phi
 	}
 	s.rec.SetShape(len(pos), s.cfg.Depth, s.ts.K)
 	s.ctx = ctx
-	defer func() { s.ctx = nil }()
+	s.in.pos, s.in.q, s.in.phi, s.in.acc = pos, q, phi, acc
+	defer s.clearSolveState()
+	return pipeline.Run(ctx, &s.rec, "core", s.phases)
+}
 
-	sp := s.rec.Begin(PhaseSort)
-	s.prepare(pos, q)
-	faults.Fire(FaultSiteSort)
-	sp.End()
-	if err := s.ctxErr(); err != nil {
-		return err
-	}
-	sp = s.rec.Begin(PhaseLeafOuter)
-	s.leafOuter()
-	faults.FireSlice(FaultSiteLeafOuter, s.far[s.cfg.Depth])
-	sp.End()
-	if err := s.ctxErr(); err != nil {
-		return err
-	}
-	sp = s.rec.Begin(PhaseUpward)
-	s.upward()
-	faults.FireSlice(FaultSiteT1, s.far[2])
-	sp.End()
-	if err := s.ctxErr(); err != nil {
-		return err
-	}
-	if err := s.downward(); err != nil { // records PhaseT3/PhaseT2 per level
-		return err
-	}
-	sp = s.rec.Begin(PhaseEvalLocal)
-	s.evalLocal(acc != nil)
-	faults.FireSlice(FaultSiteEval, s.phiS)
-	sp.End()
-	if err := s.ctxErr(); err != nil {
-		return err
-	}
-	sp = s.rec.Begin(PhaseNear)
-	s.nearField(acc != nil)
-	faults.FireSlice(FaultSiteNear, s.phiS)
-	sp.End()
-	if err := s.ctxErr(); err != nil {
-		return err
-	}
-
-	// Scatter the box-ordered results back to particle order (the inverse
-	// reshape; charged to the sort phase like the forward one).
-	sp = s.rec.Begin(PhaseSort)
-	for i, j := range s.part.Perm {
-		phi[j] = s.phiS[i]
-	}
-	if acc != nil {
-		for i, j := range s.part.Perm {
-			acc[j] = s.accS[i]
-		}
-	}
-	sp.End()
-	return nil
+// clearSolveState drops the in-flight solve's bindings so the Solver does
+// not retain caller slices (or a canceled context) between solves.
+func (s *Solver) clearSolveState() {
+	s.ctx = nil
+	s.in.pos, s.in.q, s.in.phi, s.in.acc = nil, nil, nil, nil
 }
 
 // prepare runs the per-solve setup on reused buffers: the counting-sort
@@ -399,7 +359,7 @@ func (s *Solver) leafOuter() {
 	g := s.far[s.cfg.Depth]
 	var pairs int64
 	s.par(n*n*n, func(b int) {
-		faults.Fire(FaultSiteLeafOuterBody)
+		pipeline.Fire(FaultSiteLeafOuterBody)
 		lo, hi := s.part.Start[b], s.part.Start[b+1]
 		if lo == hi {
 			return
@@ -448,37 +408,6 @@ func (s *Solver) upward() {
 			s.rec.AddFlops(PhaseUpward, blas.DgemmFlops(k, k, np*np*np))
 		}
 	}
-}
-
-// downward is step 3: for each level l = 2..depth, shift the parent's local
-// field in with T3 and convert the interactive field with T2 (optionally
-// through supernodes). The two translations are timed separately (the
-// paper's tables report the conversion, by far the dominant term, on its
-// own line).
-func (s *Solver) downward() error {
-	for l := 2; l <= s.cfg.Depth; l++ {
-		if l > 2 {
-			sp := s.rec.Begin(PhaseT3)
-			s.applyT3(s.loc[l-1], s.loc[l], l)
-			faults.FireSlice(FaultSiteT3, s.loc[l])
-			sp.End()
-			if err := s.ctxErr(); err != nil {
-				return err
-			}
-		}
-		sp := s.rec.Begin(PhaseT2)
-		if s.cfg.Supernodes && l > 2 {
-			s.applyT2Supernodes(s.far[l-1], s.far[l], s.loc[l], l)
-		} else {
-			s.applyT2(s.far[l], s.loc[l], l)
-		}
-		faults.FireSlice(FaultSiteT2, s.loc[l])
-		sp.End()
-		if err := s.ctxErr(); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // applyT3 shifts parent inner approximations to children.
@@ -643,7 +572,7 @@ func (s *Solver) nearField(wantForce bool) {
 	n := s.part.Grid
 	var pairs int64
 	s.par(n*n*n, func(b int) {
-		faults.Fire(FaultSiteNearBody)
+		pipeline.Fire(FaultSiteNearBody)
 		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
 		if tLo == tHi {
 			return
@@ -700,7 +629,7 @@ func (s *Solver) nearFieldSym(wantForce bool) {
 		if b&63 == 0 && s.ctx != nil && s.ctx.Err() != nil {
 			break
 		}
-		faults.Fire(FaultSiteNearBody)
+		pipeline.Fire(FaultSiteNearBody)
 		tLo, tHi := s.part.Start[b], s.part.Start[b+1]
 		if tLo == tHi {
 			continue

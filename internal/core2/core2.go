@@ -28,15 +28,17 @@ import (
 
 	"nbody/internal/blas"
 	"nbody/internal/direct"
-	"nbody/internal/faults"
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
 	"nbody/internal/sphere"
 	"nbody/internal/tree"
 )
 
 // Fault-injection site names (see internal/faults): one per named phase of
-// the 2-D pipeline, fired inside the phase's open metrics span.
+// the 2-D pipeline, fired by the phase runner (internal/pipeline) when the
+// phase completes without error.
 const (
 	FaultSiteSort      = "core2/sort"
 	FaultSiteLeafOuter = "core2/leaf-outer"
@@ -192,9 +194,7 @@ func NewSolver(root geom.Box2, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{cfg: ncfg, hier: h, rule: sphere.Circle(ncfg.K)}
-	sp := s.rec.Begin(metrics.PhaseSetup)
-	s.buildMatrices()
-	sp.End()
+	pipeline.Setup(&s.rec, s.buildMatrices)
 	for qd := 0; qd < 4; qd++ {
 		s.interactive[qd] = tree.InteractiveOffsets2(ncfg.Separation, qd)
 		if ncfg.Supernodes {
@@ -336,43 +336,19 @@ func (s *Solver) solve(ctx context.Context, pos []geom.Vec2, q []float64) ([]flo
 			return nil, fmt.Errorf("core2: particle %v outside domain", p)
 		}
 	}
-	ctxErr := func() error {
-		if ctx == nil {
-			return nil
-		}
-		return ctx.Err()
-	}
 	depth := s.cfg.Depth
 	k := s.cfg.K
 	n := s.hier.GridSize(depth)
 	s.rec.SetShape(len(pos), depth, k)
 
-	// Partition (counting sort to leaf boxes).
-	sp := s.rec.Begin(metrics.PhaseSort)
+	// Per-solve state the phases close over: the counting-sort permutation,
+	// the per-level far/monopole/local storage, and the output. Allocation
+	// is untimed, as before the phase-runner refactor.
 	nb := n * n
 	start := make([]int, nb+1)
 	boxOf := make([]int, len(pos))
-	for i, p := range pos {
-		b := s.hier.LeafOf(p).Index(n)
-		boxOf[i] = b
-		start[b+1]++
-	}
-	for b := 0; b < nb; b++ {
-		start[b+1] += start[b]
-	}
 	perm := make([]int, len(pos))
-	fill := make([]int, nb)
-	for i := range pos {
-		b := boxOf[i]
-		perm[start[b]+fill[b]] = i
-		fill[b]++
-	}
 	boxParticles := func(b int) []int { return perm[start[b]:start[b+1]] }
-	faults.Fire(FaultSiteSort)
-	sp.End()
-	if err := ctxErr(); err != nil {
-		return nil, err
-	}
 
 	// Far-field storage: residual values and monopoles per level.
 	far := make([][]float64, depth+1)
@@ -384,233 +360,238 @@ func (s *Solver) solve(ctx context.Context, pos []geom.Vec2, q []float64) ([]flo
 		mono[l] = make([]float64, gl*gl)
 		loc[l] = make([]float64, gl*gl*k)
 	}
-
-	// Step 1: leaf outer representations.
+	phi := make([]float64, len(pos))
 	a := s.cfg.RadiusRatio * s.hier.BoxSide(depth)
-	sp = s.rec.Begin(metrics.PhaseLeafOuter)
-	_ = blas.ParallelCtx(ctx, nb, func(b int) {
-		idx := boxParticles(b)
-		if len(idx) == 0 {
-			return
-		}
-		c := geom.Coord2FromIndex(b, n)
-		center := s.hier.Box(depth, c).Center
-		var totQ float64
-		for _, j := range idx {
-			totQ += q[j]
-		}
-		mono[depth][b] = totQ
-		g := far[depth][b*k : (b+1)*k]
-		for i, si := range s.rule.Points {
-			p := center.Add(si.Scale(a))
-			var v float64
-			for _, j := range idx {
-				v -= q[j] * math.Log(p.Dist(pos[j]))
+
+	phases := []pipeline.Phase{
+		// Partition (counting sort to leaf boxes).
+		{Name: metrics.PhaseSort, Site: FaultSiteSort, Run: func(context.Context) error {
+			for i, p := range pos {
+				b := s.hier.LeafOf(p).Index(n)
+				boxOf[i] = b
+				start[b+1]++
 			}
-			g[i] = v + totQ*math.Log(a)
-		}
-	})
-	faults.FireSlice(FaultSiteLeafOuter, far[depth])
-	sp.End()
-	s.rec.AddFlops(metrics.PhaseLeafOuter, int64(len(pos))*int64(k)*direct.FlopsPerPair)
-	if err := ctxErr(); err != nil {
-		return nil, err
+			for b := 0; b < nb; b++ {
+				start[b+1] += start[b]
+			}
+			fill := make([]int, nb)
+			for i := range pos {
+				b := boxOf[i]
+				perm[start[b]+fill[b]] = i
+				fill[b]++
+			}
+			return nil
+		}},
+		// Step 1: leaf outer representations.
+		{Name: metrics.PhaseLeafOuter, Site: FaultSiteLeafOuter,
+			Slice: func() []float64 { return far[depth] },
+			Run: func(ctx context.Context) error {
+				err := blas.ParallelCtx(ctx, nb, func(b int) {
+					idx := boxParticles(b)
+					if len(idx) == 0 {
+						return
+					}
+					c := geom.Coord2FromIndex(b, n)
+					center := s.hier.Box(depth, c).Center
+					var totQ float64
+					for _, j := range idx {
+						totQ += q[j]
+					}
+					mono[depth][b] = totQ
+					g := far[depth][b*k : (b+1)*k]
+					for i, si := range s.rule.Points {
+						p := center.Add(si.Scale(a))
+						var v float64
+						for _, j := range idx {
+							v -= q[j] * math.Log(p.Dist(pos[j]))
+						}
+						g[i] = v + totQ*math.Log(a)
+					}
+				})
+				s.rec.AddFlops(metrics.PhaseLeafOuter, int64(len(pos))*int64(k)*direct.FlopsPerPair)
+				return err
+			}},
+		// Step 2: upward pass. Matrices are in child-side units, so they are
+		// level-independent, but the log terms reference the child-level
+		// radius: rescaling a by 2 per level changes h by Q ln 2 ... the
+		// matrices already absorb this because h values are built against the
+		// level's own radius and the kernels are scale-free in a/r. The Q ln a
+		// bookkeeping is handled by the translation vectors (built in units of
+		// the child side, adding Q ln(aP/a_child-units) consistently).
+		{Name: metrics.PhaseT1, Site: FaultSiteT1,
+			Slice: func() []float64 { return far[2] },
+			Run: func(ctx context.Context) error {
+				for l := depth - 1; l >= 2; l-- {
+					np := s.hier.GridSize(l)
+					nc := s.hier.GridSize(l + 1)
+					if err := blas.ParallelCtx(ctx, np*np, func(pb int) {
+						pc := geom.Coord2FromIndex(pb, np)
+						dst := far[l][pb*k : (pb+1)*k]
+						for qd := 0; qd < 4; qd++ {
+							cb := pc.Child(qd).Index(nc)
+							s.t1[qd].apply(mono[l+1][cb], far[l+1][cb*k:(cb+1)*k], dst)
+							mono[l][pb] += mono[l+1][cb]
+						}
+					}); err != nil {
+						return err
+					}
+					s.rec.AddFlops(metrics.PhaseT1, 4*int64(np*np)*translationFlops(k))
+				}
+				return nil
+			}},
 	}
 
-	// Step 2: upward pass. Matrices are in child-side units, so they are
-	// level-independent, but the log terms reference the child-level
-	// radius: rescaling a by 2 per level changes h by Q ln 2 ... the
-	// matrices already absorb this because h values are built against the
-	// level's own radius and the kernels are scale-free in a/r. The Q ln a
-	// bookkeeping is handled by the translation vectors (built in units of
-	// the child side, adding Q ln(aP/a_child-units) consistently).
-	sp = s.rec.Begin(metrics.PhaseT1)
-	for l := depth - 1; l >= 2; l-- {
-		np := s.hier.GridSize(l)
-		nc := s.hier.GridSize(l + 1)
-		_ = blas.ParallelCtx(ctx, np*np, func(pb int) {
-			pc := geom.Coord2FromIndex(pb, np)
-			dst := far[l][pb*k : (pb+1)*k]
-			for qd := 0; qd < 4; qd++ {
-				cb := pc.Child(qd).Index(nc)
-				s.t1[qd].apply(mono[l+1][cb], far[l+1][cb*k:(cb+1)*k], dst)
-				mono[l][pb] += mono[l+1][cb]
-			}
-		})
-		s.rec.AddFlops(metrics.PhaseT1, 4*int64(np*np)*translationFlops(k))
-	}
-	faults.FireSlice(FaultSiteT1, far[2])
-	sp.End()
-	if err := ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Step 3: downward pass.
-	var t2Count atomic.Int64
+	// Step 3: downward pass, one T3/T2 phase pair per level.
 	for l := 2; l <= depth; l++ {
 		gl := s.hier.GridSize(l)
+		gp := s.hier.GridSize(l - 1)
 		if l > 2 {
-			gp := s.hier.GridSize(l - 1)
-			spT3 := s.rec.Begin(metrics.PhaseT3)
-			_ = blas.ParallelCtx(ctx, gl*gl, func(cb int) {
-				cc := geom.Coord2FromIndex(cb, gl)
-				pb := cc.Parent().Index(gp)
-				blas.Dgemv(s.t3[cc.Quadrant()], loc[l-1][pb*k:(pb+1)*k], loc[l][cb*k:(cb+1)*k])
-			})
-			faults.FireSlice(FaultSiteT3, loc[l])
-			spT3.End()
-			s.rec.AddFlops(metrics.PhaseT3, int64(gl*gl)*blas.DgemvFlops(k, k))
-			if err := ctxErr(); err != nil {
-				return nil, err
-			}
+			phases = append(phases, pipeline.Phase{
+				Name: metrics.PhaseT3, Site: FaultSiteT3,
+				Slice: func() []float64 { return loc[l] },
+				Run: func(ctx context.Context) error {
+					err := blas.ParallelCtx(ctx, gl*gl, func(cb int) {
+						cc := geom.Coord2FromIndex(cb, gl)
+						pb := cc.Parent().Index(gp)
+						blas.Dgemv(s.t3[cc.Quadrant()], loc[l-1][pb*k:(pb+1)*k], loc[l][cb*k:(cb+1)*k])
+					})
+					s.rec.AddFlops(metrics.PhaseT3, int64(gl*gl)*blas.DgemvFlops(k, k))
+					return err
+				}})
 		}
 		// The T2 log vectors are built in box-side units; the absolute
 		// distance is (units * side), so each source contributes an extra
 		// -Q ln(side) to every inner value at this level.
 		lnSide := math.Log(s.hier.BoxSide(l))
 		useSuper := s.cfg.Supernodes && l > 2
-		gp := s.hier.GridSize(l - 1)
-		spT2 := s.rec.Begin(metrics.PhaseT2)
-		_ = blas.ParallelCtx(ctx, gl*gl, func(cb int) {
-			cc := geom.Coord2FromIndex(cb, gl)
-			qd := cc.Quadrant()
-			dst := loc[l][cb*k : (cb+1)*k]
-			var msum float64
-			var applied int64
-			if useSuper {
-				pc := cc.Parent()
-				for _, tt := range s.supers[qd].ParentOffsets {
-					sp := pc.Add(tt)
-					if !sp.In(gp) {
-						continue
+		phases = append(phases, pipeline.Phase{
+			Name: metrics.PhaseT2, Site: FaultSiteT2,
+			Slice: func() []float64 { return loc[l] },
+			Run: func(ctx context.Context) error {
+				var t2Count atomic.Int64
+				err := blas.ParallelCtx(ctx, gl*gl, func(cb int) {
+					cc := geom.Coord2FromIndex(cb, gl)
+					qd := cc.Quadrant()
+					dst := loc[l][cb*k : (cb+1)*k]
+					var msum float64
+					var applied int64
+					if useSuper {
+						pc := cc.Parent()
+						for _, tt := range s.supers[qd].ParentOffsets {
+							sp := pc.Add(tt)
+							if !sp.In(gp) {
+								continue
+							}
+							pb := sp.Index(gp)
+							s.t2Super[qd][tt].apply(mono[l-1][pb], far[l-1][pb*k:(pb+1)*k], dst)
+							msum += mono[l-1][pb]
+							applied++
+						}
+						for _, o := range s.supers[qd].ChildOffsets {
+							sc := cc.Add(o)
+							if !sc.In(gl) {
+								continue
+							}
+							sb := sc.Index(gl)
+							s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
+							msum += mono[l][sb]
+							applied++
+						}
+					} else {
+						for _, o := range s.interactive[qd] {
+							sc := cc.Add(o)
+							if !sc.In(gl) {
+								continue
+							}
+							sb := sc.Index(gl)
+							s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
+							msum += mono[l][sb]
+							applied++
+						}
 					}
-					pb := sp.Index(gp)
-					s.t2Super[qd][tt].apply(mono[l-1][pb], far[l-1][pb*k:(pb+1)*k], dst)
-					msum += mono[l-1][pb]
-					applied++
-				}
-				for _, o := range s.supers[qd].ChildOffsets {
-					sc := cc.Add(o)
-					if !sc.In(gl) {
-						continue
+					if msum != 0 {
+						for i := range dst {
+							dst[i] -= msum * lnSide
+						}
 					}
-					sb := sc.Index(gl)
-					s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
-					msum += mono[l][sb]
-					applied++
-				}
-			} else {
-				for _, o := range s.interactive[qd] {
-					sc := cc.Add(o)
-					if !sc.In(gl) {
-						continue
-					}
-					sb := sc.Index(gl)
-					s.t2[s.t2Index(o)].apply(mono[l][sb], far[l][sb*k:(sb+1)*k], dst)
-					msum += mono[l][sb]
-					applied++
-				}
-			}
-			if msum != 0 {
-				for i := range dst {
-					dst[i] -= msum * lnSide
-				}
-			}
-			t2Count.Add(applied)
-		})
-		faults.FireSlice(FaultSiteT2, loc[l])
-		spT2.End()
-		if err := ctxErr(); err != nil {
-			return nil, err
-		}
-	}
-	nT2 := t2Count.Load()
-	s.rec.AddT2(nT2)
-	s.rec.AddFlops(metrics.PhaseT2, nT2*translationFlops(k))
-
-	// Step 4: evaluate local fields at the particles.
-	phi := make([]float64, len(pos))
-	sp = s.rec.Begin(metrics.PhaseEvalLocal)
-	_ = blas.ParallelCtx(ctx, nb, func(b int) {
-		idx := boxParticles(b)
-		if len(idx) == 0 {
-			return
-		}
-		c := geom.Coord2FromIndex(b, n)
-		center := s.hier.Box(depth, c).Center
-		g := loc[depth][b*k : (b+1)*k]
-		for _, j := range idx {
-			d := pos[j].Sub(center)
-			r := d.Norm()
-			var v float64
-			if r == 0 {
-				for i := range s.rule.Points {
-					v += s.rule.W[i] * g[i]
-				}
-			} else {
-				th := d.Angle()
-				for i := range s.rule.Points {
-					v += s.rule.W[i] * g[i] * innerKernel2(s.cfg.M, a, r, th-s.rule.Angles[i])
-				}
-			}
-			phi[j] = v
-		}
-	})
-	faults.FireSlice(FaultSiteEval, phi)
-	sp.End()
-	// Each (particle, circle point) evaluation runs M Fourier terms of the
-	// interior kernel at ~4 flops per term plus the weighted accumulate.
-	s.rec.AddFlops(metrics.PhaseEvalLocal, int64(len(pos))*int64(k)*int64(4*s.cfg.M+3))
-	if err := ctxErr(); err != nil {
-		return nil, err
+					t2Count.Add(applied)
+				})
+				nT2 := t2Count.Load()
+				s.rec.AddT2(nT2)
+				s.rec.AddFlops(metrics.PhaseT2, nT2*translationFlops(k))
+				return err
+			}})
 	}
 
-	// Step 5: near field, one-sided plus intra-box.
-	var nearPairs atomic.Int64
-	sp = s.rec.Begin(metrics.PhaseNear)
-	_ = blas.ParallelCtx(ctx, nb, func(b int) {
-		idx := boxParticles(b)
-		if len(idx) == 0 {
-			return
-		}
-		c := geom.Coord2FromIndex(b, n)
-		var local int64
-		for _, o := range s.nearOff {
-			sc := c.Add(o)
-			if !sc.In(n) {
-				continue
-			}
-			src := boxParticles(sc.Index(n))
-			for _, j := range idx {
-				for _, i2 := range src {
-					if r := pos[j].Dist(pos[i2]); r > 0 {
-						phi[j] -= q[i2] * math.Log(r)
+	phases = append(phases,
+		// Step 4: evaluate local fields at the particles.
+		pipeline.Phase{Name: metrics.PhaseEvalLocal, Site: FaultSiteEval,
+			Slice: func() []float64 { return phi },
+			Run: func(ctx context.Context) error {
+				err := blas.ParallelCtx(ctx, nb, func(b int) {
+					idx := boxParticles(b)
+					if len(idx) == 0 {
+						return
 					}
-				}
-			}
-			local += int64(len(idx)) * int64(len(src))
-		}
-		for _, j := range idx {
-			for _, i2 := range idx {
-				if i2 == j {
-					continue
-				}
-				// Coincident particles contribute nothing (self-exclusion
-				// semantics) instead of ln 0 = -Inf.
-				if r := pos[j].Dist(pos[i2]); r > 0 {
-					phi[j] -= q[i2] * math.Log(r)
-				}
-			}
-		}
-		local += int64(len(idx)) * int64(len(idx)-1)
-		nearPairs.Add(local)
-	})
-	faults.FireSlice(FaultSiteNear, phi)
-	sp.End()
-	np := nearPairs.Load()
-	s.rec.AddNearPairs(np)
-	s.rec.AddFlops(metrics.PhaseNear, np*direct.FlopsPerPair)
-	if err := ctxErr(); err != nil {
+					c := geom.Coord2FromIndex(b, n)
+					center := s.hier.Box(depth, c).Center
+					g := loc[depth][b*k : (b+1)*k]
+					for _, j := range idx {
+						d := pos[j].Sub(center)
+						r := d.Norm()
+						var v float64
+						if r == 0 {
+							for i := range s.rule.Points {
+								v += s.rule.W[i] * g[i]
+							}
+						} else {
+							th := d.Angle()
+							for i := range s.rule.Points {
+								v += s.rule.W[i] * g[i] * innerKernel2(s.cfg.M, a, r, th-s.rule.Angles[i])
+							}
+						}
+						phi[j] = v
+					}
+				})
+				// Each (particle, circle point) evaluation runs M Fourier
+				// terms of the interior kernel at ~4 flops per term plus the
+				// weighted accumulate.
+				s.rec.AddFlops(metrics.PhaseEvalLocal, int64(len(pos))*int64(k)*int64(4*s.cfg.M+3))
+				return err
+			}},
+		// Step 5: near field, one-sided plus intra-box.
+		pipeline.Phase{Name: metrics.PhaseNear, Site: FaultSiteNear,
+			Slice: func() []float64 { return phi },
+			Run: func(ctx context.Context) error {
+				var nearPairs atomic.Int64
+				err := blas.ParallelCtx(ctx, nb, func(b int) {
+					idx := boxParticles(b)
+					if len(idx) == 0 {
+						return
+					}
+					c := geom.Coord2FromIndex(b, n)
+					var local int64
+					for _, o := range s.nearOff {
+						sc := c.Add(o)
+						if !sc.In(n) {
+							continue
+						}
+						src := boxParticles(sc.Index(n))
+						kernels.LogAccumulate(pos, q, phi, idx, src)
+						local += int64(len(idx)) * int64(len(src))
+					}
+					kernels.LogWithin(pos, q, phi, idx)
+					local += int64(len(idx)) * int64(len(idx)-1)
+					nearPairs.Add(local)
+				})
+				np := nearPairs.Load()
+				s.rec.AddNearPairs(np)
+				s.rec.AddFlops(metrics.PhaseNear, np*direct.FlopsPerPair)
+				return err
+			}},
+	)
+
+	if err := pipeline.Run(ctx, &s.rec, "core2", phases); err != nil {
 		return nil, err
 	}
 	return phi, nil

@@ -16,6 +16,7 @@ import (
 
 	"nbody/internal/blas"
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 )
 
 // Potentials returns phi[i] = sum_{j != i} q[j] / |pos[i]-pos[j]|, computed
@@ -163,41 +164,16 @@ func PotentialAt(x geom.Vec3, pos []geom.Vec3, q []float64) float64 {
 // Pairwise computes the mutual interaction between two disjoint particle
 // sets, accumulating potentials on both sides (the box-box near-field
 // kernel with Newton's third law, Figure 10). The two slices must not
-// alias.
+// alias. The inner loop lives in internal/kernels, shared with the
+// hierarchical solvers' near fields.
 func Pairwise(posA []geom.Vec3, qA, phiA []float64, posB []geom.Vec3, qB, phiB []float64) {
-	for i := range posA {
-		pi := posA[i]
-		qi := qA[i]
-		var s float64
-		for j := range posB {
-			r := pi.Dist(posB[j])
-			if r == 0 {
-				continue // coincident particles: self-exclusion, not Inf
-			}
-			inv := 1 / r
-			s += qB[j] * inv
-			phiB[j] += qi * inv
-		}
-		phiA[i] += s
-	}
+	kernels.Pairwise(posA, qA, phiA, posB, qB, phiB)
 }
 
 // Within accumulates the interactions among the particles of one set into
 // phi (the intra-box term of the near field).
 func Within(pos []geom.Vec3, q, phi []float64) {
-	for i := range pos {
-		pi := pos[i]
-		qi := q[i]
-		for j := i + 1; j < len(pos); j++ {
-			r := pi.Dist(pos[j])
-			if r == 0 {
-				continue // coincident particles: self-exclusion, not Inf
-			}
-			inv := 1 / r
-			phi[i] += q[j] * inv
-			phi[j] += qi * inv
-		}
-	}
+	kernels.Within(pos, q, phi)
 }
 
 // FlopsPerPair is the conventional floating-point operation count charged

@@ -1,9 +1,8 @@
 package direct
 
 import (
-	"math"
-
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 )
 
 // Accumulate adds to phiA the potentials induced at posA by the source set
@@ -11,52 +10,17 @@ import (
 // used when target boxes are processed in parallel and Newton's-third-law
 // write-back would race.
 func Accumulate(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) {
-	for i := range posA {
-		pi := posA[i]
-		var s float64
-		for j := range posB {
-			if r := pi.Dist(posB[j]); r > 0 {
-				s += qB[j] / r
-			}
-		}
-		phiA[i] += s
-	}
+	kernels.Accumulate(posA, phiA, posB, qB)
 }
 
 // AccumulateForce adds to accA the field induced at posA by the source set,
 // with the (y-x)/r^3 convention of Accelerations.
 func AccumulateForce(posA []geom.Vec3, accA []geom.Vec3, posB []geom.Vec3, qB []float64) {
-	for i := range posA {
-		pi := posA[i]
-		a := accA[i]
-		for j := range posB {
-			d := posB[j].Sub(pi)
-			r2 := d.Norm2()
-			if r2 == 0 {
-				continue // coincident particles: self-exclusion, not Inf
-			}
-			inv := 1 / (r2 * math.Sqrt(r2))
-			a = a.Add(d.Scale(qB[j] * inv))
-		}
-		accA[i] = a
-	}
+	kernels.AccumulateForce(posA, accA, posB, qB)
 }
 
 // WithinForce accumulates the intra-set accelerations (self-interactions
 // excluded) into acc.
 func WithinForce(pos []geom.Vec3, q []float64, acc []geom.Vec3) {
-	for i := range pos {
-		pi := pos[i]
-		for j := i + 1; j < len(pos); j++ {
-			d := pos[j].Sub(pi)
-			r2 := d.Norm2()
-			if r2 == 0 {
-				continue // coincident particles: self-exclusion, not Inf
-			}
-			inv := 1 / (r2 * math.Sqrt(r2))
-			f := d.Scale(inv)
-			acc[i] = acc[i].Add(f.Scale(q[j]))
-			acc[j] = acc[j].Sub(f.Scale(q[i]))
-		}
-	}
+	kernels.WithinForce(pos, q, acc)
 }

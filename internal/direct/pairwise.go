@@ -1,9 +1,8 @@
 package direct
 
 import (
-	"math"
-
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 )
 
 // PairwiseForce is the force counterpart of Pairwise: it adds the mutual
@@ -14,21 +13,5 @@ import (
 // kernel, halving the evaluated pair count relative to the one-sided form
 // (which parallel sweeps need for race freedom). The sets must not alias.
 func PairwiseForce(posA []geom.Vec3, qA []float64, accA []geom.Vec3, posB []geom.Vec3, qB []float64, accB []geom.Vec3) {
-	for i := range posA {
-		pi := posA[i]
-		qi := qA[i]
-		ai := accA[i]
-		for j := range posB {
-			d := posB[j].Sub(pi)
-			r2 := d.Norm2()
-			if r2 == 0 {
-				continue // coincident particles: self-exclusion, not Inf
-			}
-			inv := 1 / (r2 * math.Sqrt(r2))
-			f := d.Scale(inv)
-			ai = ai.Add(f.Scale(qB[j]))
-			accB[j] = accB[j].Sub(f.Scale(qi))
-		}
-		accA[i] = ai
-	}
+	kernels.PairwiseForce(posA, qA, accA, posB, qB, accB)
 }

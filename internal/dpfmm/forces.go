@@ -1,15 +1,16 @@
 package dpfmm
 
 import (
+	"context"
 	"fmt"
-	"math"
 
 	"nbody/internal/core"
 	"nbody/internal/direct"
 	"nbody/internal/dp"
-	"nbody/internal/faults"
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
 )
 
 // Accelerations computes potentials and the field +grad phi at every
@@ -25,61 +26,56 @@ func (s *Solver) Accelerations(pos []geom.Vec3, q []float64) ([]float64, []geom.
 	depth := s.Cfg.Depth
 	s.rec.SetShape(len(pos), depth, k)
 
-	sp := s.rec.Begin(metrics.PhaseSort)
-	pg, err := s.partitionParticles(pos, q)
-	if err == nil {
-		faults.Fire(FaultSiteSort)
-	}
-	sp.End()
-	if err != nil {
-		return nil, nil, err
-	}
-	// Acceleration accumulators, same 4-D layout as phi.
-	ax := s.M.NewGrid3(pg.count.N, pg.cap)
-	ay := s.M.NewGrid3(pg.count.N, pg.cap)
-	az := s.M.NewGrid3(pg.count.N, pg.cap)
-
-	far := make([]*dp.Grid3, depth+1)
-	loc := make([]*dp.Grid3, depth+1)
-	for l := 2; l <= depth; l++ {
-		far[l] = s.M.NewGrid3(1<<l, k)
-		loc[l] = s.M.NewGrid3(1<<l, k)
-	}
-	sp = s.rec.Begin(metrics.PhaseLeafOuter)
-	s.leafOuter(pg, far[depth])
-	faults.Fire(FaultSiteLeafOuter)
-	sp.End()
-	for l := depth - 1; l >= 2; l-- {
-		sp = s.rec.Begin(metrics.PhaseT1)
-		s.upwardLevel(far[l+1], far[l])
-		faults.Fire(FaultSiteT1)
-		sp.End()
-	}
-	for l := 2; l <= depth; l++ {
-		if l > 2 {
-			sp = s.rec.Begin(metrics.PhaseT3)
-			s.t3Level(loc[l-1], loc[l])
-			faults.Fire(FaultSiteT3)
-			sp.End()
-		}
-		s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
-	}
-	sp = s.rec.Begin(metrics.PhaseEvalLocal)
-	s.evalLocalGrad(pg, loc[depth], ax, ay, az)
-	faults.Fire(FaultSiteEval)
-	sp.End()
-	sp = s.rec.Begin(metrics.PhaseNear)
-	s.nearFieldForces(pg, ax, ay, az)
-	faults.Fire(FaultSiteNear)
-	sp.End()
-	pg.gatherPhi()
-
+	var pg *particleGrid
+	var locLeaf *dp.Grid3
+	// Acceleration accumulators, same 4-D layout as phi; allocated once the
+	// sorted particle grid's shape is known.
+	var ax, ay, az *dp.Grid3
 	phi := make([]float64, len(pos))
 	acc := make([]geom.Vec3, len(pos))
-	for i := range pg.index {
-		phi[pg.index[i]] = pg.phiOut[i]
-		c, sl := pg.boxOf[i], pg.slot[i]
-		acc[pg.index[i]] = geom.Vec3{X: ax.At(c)[sl], Y: ay.At(c)[sl], Z: az.At(c)[sl]}
+
+	// Forces always use per-level grids (the multigrid storage scheme is a
+	// potentials-pipeline experiment), so the hierarchy phases come from
+	// levelPhases directly.
+	phases := []pipeline.Phase{{Name: metrics.PhaseSort, Site: FaultSiteSort,
+		Run: func(context.Context) error {
+			g, err := s.partitionParticles(pos, q)
+			if err != nil {
+				return err
+			}
+			pg = g
+			ax = s.M.NewGrid3(pg.count.N, pg.cap)
+			ay = s.M.NewGrid3(pg.count.N, pg.cap)
+			az = s.M.NewGrid3(pg.count.N, pg.cap)
+			return nil
+		}}}
+	phases = append(phases, s.levelPhases(&pg, &locLeaf, k, depth)...)
+	phases = append(phases,
+		pipeline.Phase{Name: metrics.PhaseEvalLocal, Site: FaultSiteEval,
+			Run: func(context.Context) error {
+				s.evalLocalGrad(pg, locLeaf, ax, ay, az)
+				return nil
+			}},
+		pipeline.Phase{Name: metrics.PhaseNear, Site: FaultSiteNear,
+			Run: func(context.Context) error {
+				s.nearFieldForces(pg, ax, ay, az)
+				return nil
+			}},
+		// Un-reshape: scatter per-box potentials and fields back to
+		// particle order.
+		pipeline.Phase{Name: metrics.PhaseSort, Site: FaultSiteScatter,
+			Run: func(context.Context) error {
+				pg.gatherPhi()
+				for i := range pg.index {
+					phi[pg.index[i]] = pg.phiOut[i]
+					c, sl := pg.boxOf[i], pg.slot[i]
+					acc[pg.index[i]] = geom.Vec3{X: ax.At(c)[sl], Y: ay.At(c)[sl], Z: az.At(c)[sl]}
+				}
+				return nil
+			}},
+	)
+	if err := pipeline.Run(nil, &s.rec, "dpfmm", phases); err != nil {
+		return nil, nil, err
 	}
 	return phi, acc, nil
 }
@@ -130,25 +126,8 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
 		qs, phi := pg.pq.At(c), pg.phi.At(c)
 		gx, gy, gz := ax.At(c), ay.At(c), az.At(c)
-		for i := 0; i < cnt; i++ {
-			for j := i + 1; j < cnt; j++ {
-				dx, dy, dz := xs[j]-xs[i], ys[j]-ys[i], zs[j]-zs[i]
-				r2 := dx*dx + dy*dy + dz*dz
-				if r2 == 0 {
-					continue // coincident particles: self-exclusion, not Inf
-				}
-				inv := 1 / math.Sqrt(r2)
-				inv3 := inv / r2
-				phi[i] += qs[j] * inv
-				phi[j] += qs[i] * inv
-				gx[i] += qs[j] * dx * inv3
-				gy[i] += qs[j] * dy * inv3
-				gz[i] += qs[j] * dz * inv3
-				gx[j] -= qs[i] * dx * inv3
-				gy[j] -= qs[i] * dy * inv3
-				gz[j] -= qs[i] * dz * inv3
-			}
-		}
+		kernels.WithinForceSoA(xs[:cnt], ys[:cnt], zs[:cnt], qs[:cnt], phi[:cnt],
+			gx[:cnt], gy[:cnt], gz[:cnt])
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)*direct.FlopsPerPair, eff)
 		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
@@ -195,26 +174,9 @@ func (s *Solver) nearFieldForces(pg *particleGrid, ax, ay, az *dp.Grid3) {
 			gx, gy, gz := ax.At(c), ay.At(c), az.At(c)
 			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
 			sq := tq.At(c)
-			for i := 0; i < cnt; i++ {
-				var p, fx, fy, fz float64
-				for j := 0; j < scnt; j++ {
-					dx, dy, dz := sx[j]-xs[i], sy[j]-ys[i], sz[j]-zs[i]
-					r2 := dx*dx + dy*dy + dz*dz
-					if r2 == 0 {
-						continue // coincident particles: self-exclusion, not Inf
-					}
-					inv := 1 / math.Sqrt(r2)
-					inv3 := inv / r2
-					p += sq[j] * inv
-					fx += sq[j] * dx * inv3
-					fy += sq[j] * dy * inv3
-					fz += sq[j] * dz * inv3
-				}
-				phi[i] += p
-				gx[i] += fx
-				gy[i] += fy
-				gz[i] += fz
-			}
+			kernels.AccumulateForceSoA(xs[:cnt], ys[:cnt], zs[:cnt], phi[:cnt],
+				gx[:cnt], gy[:cnt], gz[:cnt],
+				sx[:scnt], sy[:scnt], sz[:scnt], sq[:scnt])
 			s.M.ChargeCompute(layout.VUOf(c), 2*int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
 			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})

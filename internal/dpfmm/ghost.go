@@ -5,9 +5,9 @@ import (
 
 	"nbody/internal/blas"
 	"nbody/internal/dp"
-	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
 	"nbody/internal/tree"
 )
 
@@ -56,28 +56,27 @@ func (s *Solver) octMember(oct int, o geom.Coord3) bool {
 // whose octant includes offset o and whose source c+o is inside the domain.
 // aligned must satisfy aligned[c] = far[c+o] (established by shifting).
 func (s *Solver) applyOffsetLocal(aligned, loc *dp.Grid3, o geom.Coord3) {
-	sp := s.rec.Begin(metrics.PhaseT2)
-	faults.Fire(FaultSiteT2)
-	k := s.TS.K
-	t := s.TS.T2For(o)
-	eff := s.M.Cost.GemmEfficiency(k)
-	n := loc.N
-	layout := loc.Layout
-	var applied int64
-	loc.ForEachBox(func(c geom.Coord3, dst []float64) {
-		if !s.member(c.Octant(), o) {
-			return
-		}
-		if !c.Add(o).In(n) {
-			return // masked: the shifted data wrapped around the domain
-		}
-		blas.Dgemv(t, aligned.At(c), dst)
-		atomicAdd(&applied, 1)
-		s.M.ChargeCompute(layout.VUOf(c), blas.DgemmFlops(k, k, 1), eff)
+	pipeline.Step(&s.rec, metrics.PhaseT2, FaultSiteT2, func() {
+		k := s.TS.K
+		t := s.TS.T2For(o)
+		eff := s.M.Cost.GemmEfficiency(k)
+		n := loc.N
+		layout := loc.Layout
+		var applied int64
+		loc.ForEachBox(func(c geom.Coord3, dst []float64) {
+			if !s.member(c.Octant(), o) {
+				return
+			}
+			if !c.Add(o).In(n) {
+				return // masked: the shifted data wrapped around the domain
+			}
+			blas.Dgemv(t, aligned.At(c), dst)
+			atomicAdd(&applied, 1)
+			s.M.ChargeCompute(layout.VUOf(c), blas.DgemmFlops(k, k, 1), eff)
+		})
+		s.rec.AddT2(applied)
+		s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
 	})
-	s.rec.AddT2(applied)
-	s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
-	sp.End()
 }
 
 // t2ShiftPerOffset is the DirectUnaliased strategy: one whole-array
@@ -86,18 +85,17 @@ func (s *Solver) t2ShiftPerOffset(far, loc *dp.Grid3) {
 	for _, o := range tree.UnionInteractiveOffsets(s.Cfg.Separation) {
 		aligned := far
 		if o != (geom.Coord3{}) {
-			gs := s.rec.Begin(metrics.PhaseGhost)
-			faults.Fire(FaultSiteGhost)
-			if o.X != 0 {
-				aligned = aligned.CShift(dp.AxisX, o.X)
-			}
-			if o.Y != 0 {
-				aligned = aligned.CShift(dp.AxisY, o.Y)
-			}
-			if o.Z != 0 {
-				aligned = aligned.CShift(dp.AxisZ, o.Z)
-			}
-			gs.End()
+			pipeline.Step(&s.rec, metrics.PhaseGhost, FaultSiteGhost, func() {
+				if o.X != 0 {
+					aligned = aligned.CShift(dp.AxisX, o.X)
+				}
+				if o.Y != 0 {
+					aligned = aligned.CShift(dp.AxisY, o.Y)
+				}
+				if o.Z != 0 {
+					aligned = aligned.CShift(dp.AxisZ, o.Z)
+				}
+			})
 		}
 		s.applyOffsetLocal(aligned, loc, o)
 	}
@@ -113,25 +111,24 @@ func (s *Solver) t2SnakeUnitShifts(far, loc *dp.Grid3) {
 	cur := geom.Coord3{}
 	visit := func(target geom.Coord3) {
 		if cur != target {
-			gs := s.rec.Begin(metrics.PhaseGhost)
-			faults.Fire(FaultSiteGhost)
-			for cur != target {
-				var axis dp.Axis
-				var step int
-				switch {
-				case cur.X != target.X:
-					axis, step = dp.AxisX, sign(target.X-cur.X)
-					cur.X += step
-				case cur.Y != target.Y:
-					axis, step = dp.AxisY, sign(target.Y-cur.Y)
-					cur.Y += step
-				default:
-					axis, step = dp.AxisZ, sign(target.Z-cur.Z)
-					cur.Z += step
+			pipeline.Step(&s.rec, metrics.PhaseGhost, FaultSiteGhost, func() {
+				for cur != target {
+					var axis dp.Axis
+					var step int
+					switch {
+					case cur.X != target.X:
+						axis, step = dp.AxisX, sign(target.X-cur.X)
+						cur.X += step
+					case cur.Y != target.Y:
+						axis, step = dp.AxisY, sign(target.Y-cur.Y)
+						cur.Y += step
+					default:
+						axis, step = dp.AxisZ, sign(target.Z-cur.Z)
+						cur.Z += step
+					}
+					traveling = traveling.CShift(axis, step)
 				}
-				traveling = traveling.CShift(axis, step)
-			}
-			gs.End()
+			})
 		}
 		if cur.ChebDist(geom.Coord3{}) > s.Cfg.Separation {
 			s.applyOffsetLocal(traveling, loc, cur)
@@ -206,84 +203,82 @@ func (s *Solver) t2Ghost(far, loc *dp.Grid3) {
 	px, py, _ := far.Layout.VUGrid()
 	eff := s.M.Cost.GemmEfficiency(k)
 
-	gs := s.rec.Begin(metrics.PhaseGhost)
-	faults.Fire(FaultSiteGhost)
-	var offWords, localWords int64
 	ghosts := make([][]float64, far.NumVUsUsed())
-	far.ForEachVU(func(vu int, slab []float64) {
-		buf := make([]float64, gx*gy*gz*k)
-		vx := vu % px
-		vy := vu / px % py
-		vz := vu / (px * py)
-		var off, local int64
-		for lz := 0; lz < gz; lz++ {
-			for ly := 0; ly < gy; ly++ {
-				for lx := 0; lx < gx; lx++ {
-					gc := geom.Coord3{
-						X: vx*sx + lx - g,
-						Y: vy*sy + ly - g,
-						Z: vz*sz + lz - g,
-					}
-					if !gc.In(n) {
-						continue // outside the domain: stays zero
-					}
-					dst := buf[((lz*gy+ly)*gx+lx)*k:]
-					copy(dst[:k], far.At(gc))
-					if far.Layout.VUOf(gc) == vu {
-						local += int64(k)
-					} else {
-						off += int64(k)
+	pipeline.Step(&s.rec, metrics.PhaseGhost, FaultSiteGhost, func() {
+		var offWords, localWords int64
+		far.ForEachVU(func(vu int, slab []float64) {
+			buf := make([]float64, gx*gy*gz*k)
+			vx := vu % px
+			vy := vu / px % py
+			vz := vu / (px * py)
+			var off, local int64
+			for lz := 0; lz < gz; lz++ {
+				for ly := 0; ly < gy; ly++ {
+					for lx := 0; lx < gx; lx++ {
+						gc := geom.Coord3{
+							X: vx*sx + lx - g,
+							Y: vy*sy + ly - g,
+							Z: vz*sz + lz - g,
+						}
+						if !gc.In(n) {
+							continue // outside the domain: stays zero
+						}
+						dst := buf[((lz*gy+ly)*gx+lx)*k:]
+						copy(dst[:k], far.At(gc))
+						if far.Layout.VUOf(gc) == vu {
+							local += int64(k)
+						} else {
+							off += int64(k)
+						}
 					}
 				}
 			}
+			ghosts[vu] = buf
+			atomicAdd(&offWords, off)
+			atomicAdd(&localWords, local)
+		})
+		calls := int64(6) // linearized: dimension-wise, 2 hops per axis
+		if s.Strategy == DirectAliased {
+			calls = 6*1 + 12*2 + 8*3 // per-region axis-shift sequences
 		}
-		ghosts[vu] = buf
-		atomicAdd(&offWords, off)
-		atomicAdd(&localWords, local)
+		s.M.AccountGhostFetch(calls, offWords, localWords)
+		s.rec.AddBytes(metrics.PhaseGhost, offWords*8)
 	})
-	calls := int64(6) // linearized: dimension-wise, 2 hops per axis
-	if s.Strategy == DirectAliased {
-		calls = 6*1 + 12*2 + 8*3 // per-region axis-shift sequences
-	}
-	s.M.AccountGhostFetch(calls, offWords, localWords)
-	s.rec.AddBytes(metrics.PhaseGhost, offWords*8)
-	gs.End()
 
 	// Local conversion from the ghost buffer.
-	sp := s.rec.Begin(metrics.PhaseT2)
-	faults.Fire(FaultSiteT2)
-	var applied int64
-	loc.ForEachVU(func(vu int, slab []float64) {
-		buf := ghosts[vu]
-		vx := vu % px
-		vy := vu / px % py
-		vz := vu / (px * py)
-		var flops, nt int64
-		for lz := 0; lz < sz; lz++ {
-			for ly := 0; ly < sy; ly++ {
-				for lx := 0; lx < sx; lx++ {
-					c := geom.Coord3{X: vx*sx + lx, Y: vy*sy + ly, Z: vz*sz + lz}
-					oct := c.Octant()
-					dst := slab[loc.LocalIndex(lx, ly, lz):]
-					dst = dst[:k]
-					for _, o := range s.interactive[oct] {
-						if !c.Add(o).In(n) {
-							continue
+	pipeline.Step(&s.rec, metrics.PhaseT2, FaultSiteT2, func() {
+		var applied int64
+		loc.ForEachVU(func(vu int, slab []float64) {
+			buf := ghosts[vu]
+			vx := vu % px
+			vy := vu / px % py
+			vz := vu / (px * py)
+			var flops, nt int64
+			for lz := 0; lz < sz; lz++ {
+				for ly := 0; ly < sy; ly++ {
+					for lx := 0; lx < sx; lx++ {
+						c := geom.Coord3{X: vx*sx + lx, Y: vy*sy + ly, Z: vz*sz + lz}
+						oct := c.Octant()
+						dst := slab[loc.LocalIndex(lx, ly, lz):]
+						dst = dst[:k]
+						for _, o := range s.interactive[oct] {
+							if !c.Add(o).In(n) {
+								continue
+							}
+							src := buf[(((lz+g+o.Z)*gy+(ly+g+o.Y))*gx+(lx+g+o.X))*k:]
+							blas.Dgemv(s.TS.T2For(o), src[:k], dst)
+							flops += blas.DgemmFlops(k, k, 1)
+							nt++
 						}
-						src := buf[(((lz+g+o.Z)*gy+(ly+g+o.Y))*gx+(lx+g+o.X))*k:]
-						blas.Dgemv(s.TS.T2For(o), src[:k], dst)
-						flops += blas.DgemmFlops(k, k, 1)
-						nt++
 					}
 				}
 			}
-		}
-		atomicAdd(&applied, nt)
-		s.M.ChargeCompute(vu, flops, eff)
+			atomicAdd(&applied, nt)
+			s.M.ChargeCompute(vu, flops, eff)
+		})
+		s.rec.AddT2(applied)
+		s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
 	})
-	s.rec.AddT2(applied)
-	s.rec.AddFlops(metrics.PhaseT2, applied*blas.DgemmFlops(k, k, 1))
-	sp.End()
 }
 
 func atomicAdd(p *int64, v int64) { atomic.AddInt64(p, v) }

@@ -1,11 +1,10 @@
 package dpfmm
 
 import (
-	"math"
-
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 	"nbody/internal/metrics"
 )
 
@@ -40,18 +39,7 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 		}
 		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
 		qs, phi := pg.pq.At(c), pg.phi.At(c)
-		for i := 0; i < cnt; i++ {
-			for j := i + 1; j < cnt; j++ {
-				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
-				r2 := dx*dx + dy*dy + dz*dz
-				if r2 == 0 {
-					continue // coincident particles: self-exclusion, not Inf
-				}
-				inv := 1 / math.Sqrt(r2)
-				phi[i] += qs[j] * inv
-				phi[j] += qs[i] * inv
-			}
-		}
+		kernels.WithinPotentialSoA(xs[:cnt], ys[:cnt], zs[:cnt], qs[:cnt], phi[:cnt])
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
 		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
@@ -98,16 +86,8 @@ func (s *Solver) nearFieldOneSided(pg *particleGrid) {
 			phi := pg.phi.At(c)
 			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
 			sq := tq.At(c)
-			for i := 0; i < cnt; i++ {
-				var acc float64
-				for j := 0; j < scnt; j++ {
-					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
-					if r2 := dx*dx + dy*dy + dz*dz; r2 > 0 {
-						acc += sq[j] / math.Sqrt(r2)
-					}
-				}
-				phi[i] += acc
-			}
+			kernels.AccumulatePotentialSoA(xs[:cnt], ys[:cnt], zs[:cnt], phi[:cnt],
+				sx[:scnt], sy[:scnt], sz[:scnt], sq[:scnt])
 			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
 			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})

@@ -1,11 +1,10 @@
 package dpfmm
 
 import (
-	"math"
-
 	"nbody/internal/direct"
 	"nbody/internal/dp"
 	"nbody/internal/geom"
+	"nbody/internal/kernels"
 	"nbody/internal/metrics"
 )
 
@@ -31,18 +30,7 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 		}
 		xs, ys, zs := pg.px.At(c), pg.py.At(c), pg.pz.At(c)
 		qs, phi := pg.pq.At(c), pg.phi.At(c)
-		for i := 0; i < cnt; i++ {
-			for j := i + 1; j < cnt; j++ {
-				dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
-				r2 := dx*dx + dy*dy + dz*dz
-				if r2 == 0 {
-					continue // coincident particles: self-exclusion, not Inf
-				}
-				inv := 1 / math.Sqrt(r2)
-				phi[i] += qs[j] * inv
-				phi[j] += qs[i] * inv
-			}
-		}
+		kernels.WithinPotentialSoA(xs[:cnt], ys[:cnt], zs[:cnt], qs[:cnt], phi[:cnt])
 		s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(cnt-1)/2*direct.FlopsPerPair, eff)
 		atomicAdd(&pairs, int64(cnt)*int64(cnt-1)/2)
 	})
@@ -94,21 +82,8 @@ func (s *Solver) nearFieldSymmetric(pg *particleGrid) {
 			qs, phi := pg.pq.At(c), pg.phi.At(c)
 			sx, sy, sz := tx.At(c), ty.At(c), tz.At(c)
 			sq, sphi := tq.At(c), tphi.At(c)
-			for i := 0; i < cnt; i++ {
-				var acc float64
-				qi := qs[i]
-				for j := 0; j < scnt; j++ {
-					dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
-					r2 := dx*dx + dy*dy + dz*dz
-					if r2 == 0 {
-						continue // coincident particles: self-exclusion, not Inf
-					}
-					inv := 1 / math.Sqrt(r2)
-					acc += sq[j] * inv
-					sphi[j] += qi * inv // reciprocal contribution (Newton's third law)
-				}
-				phi[i] += acc
-			}
+			kernels.PairwisePotentialSoA(xs[:cnt], ys[:cnt], zs[:cnt], qs[:cnt], phi[:cnt],
+				sx[:scnt], sy[:scnt], sz[:scnt], sq[:scnt], sphi[:scnt])
 			s.M.ChargeCompute(layout.VUOf(c), int64(cnt)*int64(scnt)*direct.FlopsPerPair, eff)
 			atomicAdd(&pairs, int64(cnt)*int64(scnt))
 		})

@@ -19,9 +19,9 @@ import (
 	"nbody/internal/blas"
 	"nbody/internal/core"
 	"nbody/internal/dp"
-	"nbody/internal/faults"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
 	"nbody/internal/tree"
 )
 
@@ -143,161 +143,42 @@ func (s *Solver) solvePotentials(ctx context.Context, pos []geom.Vec3, q []float
 	depth := s.Cfg.Depth
 	s.rec.SetShape(len(pos), depth, k)
 
-	// Particle handling: coordinate sort + communication-free reshape.
-	sp := s.rec.Begin(metrics.PhaseSort)
-	pg, err := s.partitionParticles(pos, q)
-	if err == nil {
-		faults.Fire(FaultSiteSort)
-	}
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-
-	locLeaf, err := s.hierarchyPasses(ctx, pg, k, depth)
-	if err != nil {
-		return nil, err
-	}
-	sp = s.rec.Begin(metrics.PhaseEvalLocal)
-	s.evalLocal(pg, locLeaf)
-	faults.Fire(FaultSiteEval)
-	sp.End()
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	sp = s.rec.Begin(metrics.PhaseNear)
-	s.nearField(pg)
-	faults.Fire(FaultSiteNear)
-	sp.End()
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-
-	// Un-reshape: scatter per-box potentials back to particle order.
-	sp = s.rec.Begin(metrics.PhaseSort)
-	pg.gatherPhi()
+	// Per-solve state the phases publish and consume: the partitioned
+	// particle grid, the leaf-level local field, and the output.
+	var pg *particleGrid
+	var locLeaf *dp.Grid3
 	phi := make([]float64, len(pos))
-	for i := range pg.index {
-		phi[pg.index[i]] = pg.phiOut[i]
-	}
-	sp.End()
-	return phi, nil
-}
 
-// ctxErr is the between-phase cancellation check (nil ctx: free).
-func ctxErr(ctx context.Context) error {
-	if ctx == nil {
-		return nil
-	}
-	return ctx.Err()
-}
-
-// hierarchyPasses runs steps 1-3 (leaf outer, upward, downward) and returns
-// the leaf-level local-field grid, using either per-level grids or the
-// paper's two-layer multigrid storage. ctx is checked between phases.
-func (s *Solver) hierarchyPasses(ctx context.Context, pg *particleGrid, k, depth int) (*dp.Grid3, error) {
-	if !s.MultigridStorage {
-		far := make([]*dp.Grid3, depth+1)
-		loc := make([]*dp.Grid3, depth+1)
-		for l := 2; l <= depth; l++ {
-			far[l] = s.M.NewGrid3(1<<l, k)
-			loc[l] = s.M.NewGrid3(1<<l, k)
-		}
-		sp := s.rec.Begin(metrics.PhaseLeafOuter)
-		s.leafOuter(pg, far[depth])
-		faults.Fire(FaultSiteLeafOuter)
-		sp.End()
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		for l := depth - 1; l >= 2; l-- {
-			sp = s.rec.Begin(metrics.PhaseT1)
-			s.upwardLevel(far[l+1], far[l])
-			faults.Fire(FaultSiteT1)
-			sp.End()
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-		}
-		for l := 2; l <= depth; l++ {
-			if l > 2 {
-				sp = s.rec.Begin(metrics.PhaseT3)
-				s.t3Level(loc[l-1], loc[l])
-				faults.Fire(FaultSiteT3)
-				sp.End()
-			}
-			s.t2Level(far[l], loc[l]) // records PhaseGhost/PhaseT2 itself
-			if err := ctxErr(ctx); err != nil {
-				return nil, err
-			}
-		}
-		return loc[depth], nil
-	}
-
-	// Two-layer storage: leaf levels live in the Leaf layer, all coarser
-	// levels embedded in the Nonleaf layer; traversal phases work on
-	// level-sized temporaries moved by Multigrid-embed/extract (the
-	// Multigrid-reduce / Multigrid-distribute operators of Section 3.3.2).
-	farMG := NewMultigrid(s.M, depth, k)
-	locMG := NewMultigrid(s.M, depth, k)
-	sp := s.rec.Begin(metrics.PhaseLeafOuter)
-	s.leafOuter(pg, farMG.Leaf)
-	faults.Fire(FaultSiteLeafOuter)
-	sp.End()
-	if err := ctxErr(ctx); err != nil {
+	// Particle handling: coordinate sort + communication-free reshape,
+	// then steps 1-3 (leaf outer, upward, downward) under the selected
+	// storage scheme, then evaluation, near field, and the un-reshape.
+	phases := []pipeline.Phase{s.sortPhase(&pg, pos, q)}
+	phases = append(phases, s.hierarchyPhases(&pg, &locLeaf, k, depth)...)
+	phases = append(phases,
+		pipeline.Phase{Name: metrics.PhaseEvalLocal, Site: FaultSiteEval,
+			Run: func(context.Context) error {
+				s.evalLocal(pg, locLeaf)
+				return nil
+			}},
+		pipeline.Phase{Name: metrics.PhaseNear, Site: FaultSiteNear,
+			Run: func(context.Context) error {
+				s.nearField(pg)
+				return nil
+			}},
+		// Un-reshape: scatter per-box potentials back to particle order.
+		pipeline.Phase{Name: metrics.PhaseSort, Site: FaultSiteScatter,
+			Run: func(context.Context) error {
+				pg.gatherPhi()
+				for i := range pg.index {
+					phi[pg.index[i]] = pg.phiOut[i]
+				}
+				return nil
+			}},
+	)
+	if err := pipeline.Run(ctx, &s.rec, "dpfmm", phases); err != nil {
 		return nil, err
 	}
-	cur := farMG.Leaf
-	for l := depth - 1; l >= 2; l-- {
-		parent := s.M.NewGrid3(1<<l, k)
-		sp = s.rec.Begin(metrics.PhaseT1)
-		s.upwardLevel(cur, parent)
-		faults.Fire(FaultSiteT1)
-		sp.End()
-		sp = s.rec.Begin(metrics.PhaseEmbed)
-		farMG.Embed(dp.RemapAliased, parent, l, true)
-		sp.End()
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		cur = parent
-	}
-	for l := 2; l <= depth; l++ {
-		var farL *dp.Grid3
-		if l == depth {
-			farL = farMG.Leaf
-		} else {
-			farL = s.M.NewGrid3(1<<l, k)
-			sp = s.rec.Begin(metrics.PhaseExtract)
-			farMG.Extract(dp.RemapAliased, farL, l, true)
-			sp.End()
-		}
-		locL := s.M.NewGrid3(1<<l, k)
-		if l > 2 {
-			locParent := s.M.NewGrid3(1<<(l-1), k)
-			sp = s.rec.Begin(metrics.PhaseExtract)
-			locMG.Extract(dp.RemapAliased, locParent, l-1, true)
-			sp.End()
-			sp = s.rec.Begin(metrics.PhaseT3)
-			s.t3Level(locParent, locL)
-			faults.Fire(FaultSiteT3)
-			sp.End()
-		}
-		s.t2Level(farL, locL) // records PhaseGhost/PhaseT2 itself
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		if l == depth {
-			return locL, nil
-		}
-		sp = s.rec.Begin(metrics.PhaseEmbed)
-		locMG.Embed(dp.RemapAliased, locL, l, true)
-		sp.End()
-	}
-	return nil, nil // unreachable: depth >= 2 always returns inside the loop
+	return phi, nil
 }
 
 // upwardLevel applies T1 from the child grid into the parent grid.

@@ -9,7 +9,6 @@ import (
 
 	"nbody/internal/core"
 	"nbody/internal/direct"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
@@ -122,11 +121,7 @@ func ClaimScalingN(nodes int) (*ScalingResult, error) {
 		{4096, 3}, {32768, 4}, {262144, 5},
 	} {
 		pos, q := uniformSystem(cfg.n, 11)
-		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, unitBox(), core.Config{Degree: 5, Depth: cfg.depth}, dpfmm.LinearizedAliased)
+		m, s, err := newDP(nodes, unitBox(), core.Config{Degree: 5, Depth: cfg.depth}, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}
@@ -158,11 +153,7 @@ func ClaimScalingP(n, depth int) (*ScalingResult, error) {
 	}
 	pos, q := uniformSystem(n, 12)
 	for _, nodes := range []int{4, 16, 64} {
-		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, unitBox(), core.Config{Degree: 5, Depth: depth}, dpfmm.LinearizedAliased)
+		m, s, err := newDP(nodes, unitBox(), core.Config{Degree: 5, Depth: depth}, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}

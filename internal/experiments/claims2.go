@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"nbody/internal/core"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 )
@@ -92,11 +91,7 @@ func ClaimReshape(n int) (*ReshapeClaim, error) {
 			}
 			q[i] = 1
 		}
-		m, err := dp.NewMachine(8, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, root, core.Config{Degree: 5, Depth: 4}, dpfmm.LinearizedAliased)
+		_, s, err := newDP(8, root, core.Config{Degree: 5, Depth: 4}, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}

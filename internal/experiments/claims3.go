@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"nbody/internal/core"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 )
@@ -54,11 +53,7 @@ func ClaimLoadBalance(n int) (*LoadBalanceClaim, error) {
 			}
 			q[i] = 1
 		}
-		m, err := dp.NewMachine(8, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, root, core.Config{Degree: 5, Depth: 4}, dpfmm.LinearizedAliased)
+		m, s, err := newDP(8, root, core.Config{Degree: 5, Depth: 4}, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}

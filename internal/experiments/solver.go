@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"nbody/internal/core"
+	"nbody/internal/dp"
+	"nbody/internal/dpfmm"
+	"nbody/internal/geom"
+)
+
+// newDP builds the simulated machine (nodes x 4 VUs, default cost model) and
+// a data-parallel solver on it in one call — the pairing every experiment
+// constructs. The commands' equivalent plumbing lives in internal/cli, which
+// experiments cannot import (it pulls in the public nbody package, which the
+// root package's own tests would then import cyclically).
+func newDP(nodes int, root geom.Box3, cfg core.Config, strategy dpfmm.GhostStrategy) (*dp.Machine, *dpfmm.Solver, error) {
+	m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := dpfmm.NewSolver(m, root, cfg, strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, s, nil
+}

@@ -9,7 +9,6 @@ import (
 	"nbody/internal/bh"
 	"nbody/internal/core"
 	"nbody/internal/direct"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 	"nbody/internal/metrics"
@@ -80,11 +79,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 		{"anderson D=5 K=12 (dp)", core.Config{Degree: 5, Depth: cfg.Depth}},
 		{"anderson D=11 K=72 (dp)", core.Config{Degree: 11, Depth: cfg.Depth - 1}},
 	} {
-		m, err := dp.NewMachine(cfg.Nodes, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, root, c.cfg, dpfmm.LinearizedAliased)
+		m, s, err := newDP(cfg.Nodes, root, c.cfg, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"nbody/internal/core"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 	"nbody/internal/tree"
@@ -44,11 +43,7 @@ func Table3(nodes, depth int) (*Table3Result, error) {
 		{Degree: 5, Depth: depth},  // K = 12
 		{Degree: 11, Depth: depth}, // K = 72
 	} {
-		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, root, cc, dpfmm.LinearizedAliased)
+		m, s, err := newDP(nodes, root, cc, dpfmm.LinearizedAliased)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"nbody/internal/core"
-	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/geom"
 )
@@ -44,11 +43,7 @@ func Table4(nodes, depth int) (*Table4Result, error) {
 	for _, strat := range []dpfmm.GhostStrategy{
 		DirectUnaliasedStrategy, LinearizedUnaliasedStrategy, DirectAliasedStrategy, LinearizedAliasedStrategy,
 	} {
-		m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
-		if err != nil {
-			return nil, err
-		}
-		s, err := dpfmm.NewSolver(m, root, cfg, strat)
+		m, s, err := newDP(nodes, root, cfg, strat)
 		if err != nil {
 			return nil, err
 		}

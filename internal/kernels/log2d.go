@@ -1,0 +1,40 @@
+package kernels
+
+import (
+	"math"
+
+	"nbody/internal/geom"
+)
+
+// The 2-D kernels evaluate the logarithmic potential phi = -q ln r used by
+// the core2 solver. Particles are addressed through index lists into the
+// shared pos/q/phi arrays (the counting-sort permutation slices), matching
+// core2's box layout.
+
+// LogAccumulate adds to phi[j] (j in tgt) the -q ln r contribution of every
+// source particle in src, one-sided. Coincident pairs are skipped.
+func LogAccumulate(pos []geom.Vec2, q, phi []float64, tgt, src []int) {
+	for _, j := range tgt {
+		for _, i2 := range src {
+			if r := pos[j].Dist(pos[i2]); r > 0 {
+				phi[j] -= q[i2] * math.Log(r)
+			}
+		}
+	}
+}
+
+// LogWithin accumulates the intra-box -q ln r interactions of the particles
+// in idx, skipping self-pairs. Coincident particles contribute nothing
+// (self-exclusion semantics) instead of ln 0 = -Inf.
+func LogWithin(pos []geom.Vec2, q, phi []float64, idx []int) {
+	for _, j := range idx {
+		for _, i2 := range idx {
+			if i2 == j {
+				continue
+			}
+			if r := pos[j].Dist(pos[i2]); r > 0 {
+				phi[j] -= q[i2] * math.Log(r)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package kernels
+
+import "math"
+
+// The SoA kernels operate on the data-parallel FMM's per-box particle
+// planes: parallel xs/ys/zs coordinate slices already trimmed to the box's
+// occupancy (len(xs) is the particle count). Target attributes come first,
+// traveling-source attributes (sx/sy/sz/sq, and sphi for the symmetric
+// walk) second.
+
+// WithinPotentialSoA accumulates the intra-box potentials symmetrically,
+// visiting each unordered pair once.
+func WithinPotentialSoA(xs, ys, zs, qs, phi []float64) {
+	cnt := len(xs)
+	for i := 0; i < cnt; i++ {
+		for j := i + 1; j < cnt; j++ {
+			dx, dy, dz := xs[i]-xs[j], ys[i]-ys[j], zs[i]-zs[j]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / math.Sqrt(r2)
+			phi[i] += qs[j] * inv
+			phi[j] += qs[i] * inv
+		}
+	}
+}
+
+// AccumulatePotentialSoA adds to phi the potentials induced at the target
+// box by a traveling source box, one-sided (sources untouched, so parallel
+// target boxes never race).
+func AccumulatePotentialSoA(xs, ys, zs, phi, sx, sy, sz, sq []float64) {
+	cnt, scnt := len(xs), len(sx)
+	for i := 0; i < cnt; i++ {
+		var acc float64
+		for j := 0; j < scnt; j++ {
+			dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
+			if r2 := dx*dx + dy*dy + dz*dz; r2 > 0 {
+				acc += sq[j] / math.Sqrt(r2)
+			}
+		}
+		phi[i] += acc
+	}
+}
+
+// PairwisePotentialSoA is the symmetric traveling kernel (Figure 10 of the
+// paper): each target particle receives the source box's contribution, and
+// the reciprocal contribution is deposited into the traveling accumulator
+// sphi, to be shifted home by the caller after the walk.
+func PairwisePotentialSoA(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi []float64) {
+	cnt, scnt := len(xs), len(sx)
+	for i := 0; i < cnt; i++ {
+		var acc float64
+		qi := qs[i]
+		for j := 0; j < scnt; j++ {
+			dx, dy, dz := xs[i]-sx[j], ys[i]-sy[j], zs[i]-sz[j]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / math.Sqrt(r2)
+			acc += sq[j] * inv
+			sphi[j] += qi * inv // reciprocal contribution (Newton's third law)
+		}
+		phi[i] += acc
+	}
+}
+
+// WithinForceSoA accumulates intra-box potentials and fields symmetrically,
+// with the (y-x)/r^3 convention of the force kernels.
+func WithinForceSoA(xs, ys, zs, qs, phi, gx, gy, gz []float64) {
+	cnt := len(xs)
+	for i := 0; i < cnt; i++ {
+		for j := i + 1; j < cnt; j++ {
+			dx, dy, dz := xs[j]-xs[i], ys[j]-ys[i], zs[j]-zs[i]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			phi[i] += qs[j] * inv
+			phi[j] += qs[i] * inv
+			gx[i] += qs[j] * dx * inv3
+			gy[i] += qs[j] * dy * inv3
+			gz[i] += qs[j] * dz * inv3
+			gx[j] -= qs[i] * dx * inv3
+			gy[j] -= qs[i] * dy * inv3
+			gz[j] -= qs[i] * dz * inv3
+		}
+	}
+}
+
+// AccumulateForceSoA adds to phi and the field planes the one-sided
+// contribution of a traveling source box.
+func AccumulateForceSoA(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq []float64) {
+	cnt, scnt := len(xs), len(sx)
+	for i := 0; i < cnt; i++ {
+		var p, fx, fy, fz float64
+		for j := 0; j < scnt; j++ {
+			dx, dy, dz := sx[j]-xs[i], sy[j]-ys[i], sz[j]-zs[i]
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 {
+				continue // coincident particles: self-exclusion, not Inf
+			}
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv / r2
+			p += sq[j] * inv
+			fx += sq[j] * dx * inv3
+			fy += sq[j] * dy * inv3
+			fz += sq[j] * dz * inv3
+		}
+		phi[i] += p
+		gx[i] += fx
+		gy[i] += fy
+		gz[i] += fz
+	}
+}

@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"nbody/internal/faults"
+	"nbody/internal/metrics"
+)
+
+func phaseNames(evs []Event) []metrics.Phase {
+	var out []metrics.Phase
+	for _, ev := range evs {
+		out = append(out, ev.Phase)
+	}
+	return out
+}
+
+// TestRunOrderAndSpans checks that phases run in declaration order, each
+// under a span charged to its metrics phase.
+func TestRunOrderAndSpans(t *testing.T) {
+	var rec metrics.Rec
+	var order []string
+	ps := []Phase{
+		{Name: metrics.PhaseSort, Site: "t/sort",
+			Run: func(context.Context) error { order = append(order, "sort"); return nil }},
+		{Name: metrics.PhaseNear, Site: "t/near",
+			Run: func(context.Context) error { order = append(order, "near"); return nil }},
+	}
+	if err := Run(context.Background(), &rec, "t", ps); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "sort" || order[1] != "near" {
+		t.Fatalf("order = %v", order)
+	}
+	var snap metrics.Snapshot
+	rec.ReadInto(&snap)
+	if snap.Calls[metrics.PhaseSort] != 1 || snap.Calls[metrics.PhaseNear] != 1 {
+		t.Fatalf("span calls: sort %d near %d", snap.Calls[metrics.PhaseSort], snap.Calls[metrics.PhaseNear])
+	}
+}
+
+// TestRunErrorAborts checks that a phase error stops the pipeline before
+// later phases run and before the failing phase's fault site fires.
+func TestRunErrorAborts(t *testing.T) {
+	defer faults.Reset()
+	faults.InjectNaN("t/fail")
+	var rec metrics.Rec
+	boom := errors.New("boom")
+	buf := []float64{1}
+	ran := false
+	ps := []Phase{
+		{Name: metrics.PhaseSort, Site: "t/fail", Slice: func() []float64 { return buf },
+			Run: func(context.Context) error { return boom }},
+		{Name: metrics.PhaseNear, Site: "t/after",
+			Run: func(context.Context) error { ran = true; return nil }},
+	}
+	if err := Run(context.Background(), &rec, "t", ps); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran {
+		t.Fatal("phase after error still ran")
+	}
+	if math.IsNaN(buf[0]) {
+		t.Fatal("fault site fired despite phase error")
+	}
+}
+
+// TestRunFiresSliceOnSuccess checks the NaN-injection path: a successful
+// phase fires its site with the lazily resolved output slice.
+func TestRunFiresSliceOnSuccess(t *testing.T) {
+	defer faults.Reset()
+	faults.InjectNaN("t/ok")
+	var rec metrics.Rec
+	var buf []float64
+	ps := []Phase{{Name: metrics.PhaseSort, Site: "t/ok",
+		Slice: func() []float64 { return buf },
+		Run: func(context.Context) error {
+			buf = []float64{1, 2} // regrown inside the phase, like prepare()
+			return nil
+		}}}
+	if err := Run(context.Background(), &rec, "t", ps); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !math.IsNaN(buf[0]) {
+		t.Fatal("NaN injection missed the regrown slice")
+	}
+}
+
+// TestRunCtxCheckedBetweenPhases checks the between-phase cancellation
+// contract: a context canceled during phase 1 stops phase 2 from running.
+func TestRunCtxCheckedBetweenPhases(t *testing.T) {
+	var rec metrics.Rec
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	ps := []Phase{
+		{Name: metrics.PhaseSort, Site: "t/sort",
+			Run: func(context.Context) error { cancel(); return nil }},
+		{Name: metrics.PhaseNear, Site: "t/near",
+			Run: func(context.Context) error { ran = true; return nil }},
+	}
+	if err := Run(ctx, &rec, "t", ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("phase ran after cancellation")
+	}
+}
+
+// TestRunPreCanceled checks that a pre-canceled context stops the pipeline
+// before any phase body runs.
+func TestRunPreCanceled(t *testing.T) {
+	var rec metrics.Rec
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	ps := []Phase{{Name: metrics.PhaseSort, Site: "t/sort",
+		Run: func(context.Context) error { ran = true; return nil }}}
+	if err := Run(ctx, &rec, "t", ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("phase body ran under pre-canceled context")
+	}
+}
+
+// TestRunContainsPanic checks panic containment and phase attribution via
+// the open-span marker.
+func TestRunContainsPanic(t *testing.T) {
+	var rec metrics.Rec
+	ps := []Phase{{Name: metrics.PhaseT2, Site: "t/t2",
+		Run: func(context.Context) error { panic("kaboom") }}}
+	err := Run(context.Background(), &rec, "t", ps)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Pipeline != "t" || pe.Phase != metrics.PhaseT2.String() || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("missing stack")
+	}
+	if _, open := rec.ActivePhase(); open {
+		t.Fatal("active-span marker left set after recovery")
+	}
+}
+
+// TestPanicErrorUnwrap checks that errors.Is reaches through PanicError to
+// an error panic value (the fault harness panics with sentinel errors).
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("injected")
+	var rec metrics.Rec
+	ps := []Phase{{Name: metrics.PhaseSort, Site: "t/sort",
+		Run: func(context.Context) error { panic(sentinel) }}}
+	err := Run(context.Background(), &rec, "t", ps)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through PanicError failed: %v", err)
+	}
+}
+
+// TestCompositePhase checks that a composite phase runs without a
+// runner-owned span and that its nested Steps record their own.
+func TestCompositePhase(t *testing.T) {
+	var rec metrics.Rec
+	ps := []Phase{{Name: metrics.PhaseT2, Composite: true,
+		Sub: []SubStep{{metrics.PhaseGhost, "t/ghost"}, {metrics.PhaseT2, "t/t2"}},
+		Run: func(context.Context) error {
+			Step(&rec, metrics.PhaseGhost, "t/ghost", func() {})
+			Step(&rec, metrics.PhaseT2, "t/t2", func() {})
+			return nil
+		}}}
+	if err := Run(context.Background(), &rec, "t", ps); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var snap metrics.Snapshot
+	rec.ReadInto(&snap)
+	if snap.Calls[metrics.PhaseGhost] != 1 || snap.Calls[metrics.PhaseT2] != 1 {
+		t.Fatalf("nested span calls: ghost %d t2 %d",
+			snap.Calls[metrics.PhaseGhost], snap.Calls[metrics.PhaseT2])
+	}
+}
+
+// TestStepPanicAttribution checks that a panic inside a nested Step is
+// attributed to the step's phase, not the composite's.
+func TestStepPanicAttribution(t *testing.T) {
+	var rec metrics.Rec
+	ps := []Phase{{Name: metrics.PhaseT2, Composite: true,
+		Run: func(context.Context) error {
+			Step(&rec, metrics.PhaseGhost, "t/ghost", func() { panic("shift") })
+			return nil
+		}}}
+	err := Run(context.Background(), &rec, "t", ps)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Phase != metrics.PhaseGhost.String() {
+		t.Fatalf("phase = %q, want ghost", pe.Phase)
+	}
+}
+
+// TestObserverEvents checks the observer sees runner phases and nested
+// steps with their declared sites.
+func TestObserverEvents(t *testing.T) {
+	var evs []Event
+	SetObserver(func(ev Event) { evs = append(evs, ev) })
+	defer SetObserver(nil)
+	var rec metrics.Rec
+	ps := []Phase{
+		{Name: metrics.PhaseSort, Site: "t/sort", Run: func(context.Context) error { return nil }},
+		{Name: metrics.PhaseT2, Composite: true,
+			Sub: []SubStep{{metrics.PhaseGhost, "t/ghost"}},
+			Run: func(context.Context) error {
+				Step(&rec, metrics.PhaseGhost, "t/ghost", func() {})
+				return nil
+			}},
+	}
+	if err := Run(context.Background(), &rec, "t", ps); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Event{
+		{Pipeline: "t", Phase: metrics.PhaseSort, Site: "t/sort"},
+		{Pipeline: "t", Phase: metrics.PhaseT2, Composite: true},
+		{Phase: metrics.PhaseGhost, Site: "t/ghost", Nested: true},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("events %v", phaseNames(evs))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+// TestRunZeroAlloc guards the steady-state contract: running a prebuilt
+// pipeline allocates nothing (core's solve benchmark depends on this).
+func TestRunZeroAlloc(t *testing.T) {
+	var rec metrics.Rec
+	buf := []float64{0}
+	ps := []Phase{
+		{Name: metrics.PhaseSort, Site: "t/sort", Run: func(context.Context) error { return nil }},
+		{Name: metrics.PhaseNear, Site: "t/near", Slice: func() []float64 { return buf },
+			Run: func(context.Context) error { return nil }},
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := Run(ctx, &rec, "t", ps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocates %.1f per call, want 0", allocs)
+	}
+}

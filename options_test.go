@@ -1,0 +1,118 @@
+package nbody_test
+
+import (
+	"errors"
+	"testing"
+
+	nbody "nbody"
+)
+
+func unitBoxT() nbody.Box {
+	return nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1.001}
+}
+
+// TestOptionsValidation checks that nonsensical Options are rejected at
+// construction with ErrInvalidOptions — not deep inside plan building on
+// the first solve.
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts nbody.Options
+		ok   bool
+	}{
+		{"zero value", nbody.Options{}, true},
+		{"explicit depth", nbody.Options{Depth: 3}, true},
+		{"explicit degree", nbody.Options{Degree: 5, Depth: 3}, true},
+		{"negative degree", nbody.Options{Degree: -5}, false},
+		{"negative M", nbody.Options{M: -1}, false},
+		{"negative depth", nbody.Options{Depth: -2}, false},
+		{"depth one", nbody.Options{Depth: 1}, false},
+		{"negative separation", nbody.Options{Separation: -1}, false},
+		{"negative radius ratio", nbody.Options{RadiusRatio: -0.9}, false},
+		{"radius ratio below sphere bound", nbody.Options{RadiusRatio: 0.1}, false},
+		{"supernodes need separation 2", nbody.Options{Depth: 3, Supernodes: true, Separation: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := nbody.NewAnderson(unitBoxT(), tc.opts)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("NewAnderson(%+v) = %v, want ok", tc.opts, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewAnderson(%+v) succeeded, want error", tc.opts)
+			}
+			if !errors.Is(err, nbody.ErrInvalidOptions) {
+				t.Errorf("error %v does not wrap ErrInvalidOptions", err)
+			}
+			if s != nil {
+				t.Error("non-nil solver returned with error")
+			}
+		})
+	}
+}
+
+// TestOptionsValidationDataParallel checks the same eager rejection on the
+// data-parallel constructor, including its explicit-depth requirement.
+func TestOptionsValidationDataParallel(t *testing.T) {
+	cases := []struct {
+		name string
+		opts nbody.Options
+	}{
+		{"missing depth", nbody.Options{}},
+		{"negative degree", nbody.Options{Degree: -1, Depth: 3}},
+		{"negative separation", nbody.Options{Depth: 3, Separation: -2}},
+		{"negative radius ratio", nbody.Options{Depth: 3, RadiusRatio: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := nbody.NewDataParallel(8, unitBoxT(), tc.opts, 0)
+			if err == nil {
+				t.Fatalf("NewDataParallel(%+v) succeeded, want error", tc.opts)
+			}
+			if !errors.Is(err, nbody.ErrInvalidOptions) {
+				t.Errorf("error %v does not wrap ErrInvalidOptions", err)
+			}
+		})
+	}
+}
+
+// TestOptionsValidation2D checks the 2-D constructor's eager rejection.
+func TestOptionsValidation2D(t *testing.T) {
+	box := nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.001}
+	cases := []struct {
+		name string
+		opts nbody.Options2D
+		ok   bool
+	}{
+		{"valid", nbody.Options2D{Depth: 3}, true},
+		{"negative K", nbody.Options2D{K: -4, Depth: 3}, false},
+		{"tiny K", nbody.Options2D{K: 2, Depth: 3}, false},
+		{"negative M", nbody.Options2D{M: -1, Depth: 3}, false},
+		{"M too large for K", nbody.Options2D{K: 16, M: 9, Depth: 3}, false},
+		{"negative depth", nbody.Options2D{Depth: -3}, false},
+		{"depth one", nbody.Options2D{Depth: 1}, false},
+		{"negative separation", nbody.Options2D{Depth: 3, Separation: -1}, false},
+		{"negative radius ratio", nbody.Options2D{Depth: 3, RadiusRatio: -0.5}, false},
+		{"radius ratio below circle bound", nbody.Options2D{Depth: 3, RadiusRatio: 0.2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := nbody.NewAnderson2D(box, tc.opts)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("NewAnderson2D(%+v) = %v, want ok", tc.opts, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewAnderson2D(%+v) succeeded, want error", tc.opts)
+			}
+			if !errors.Is(err, nbody.ErrInvalidOptions) {
+				t.Errorf("error %v does not wrap ErrInvalidOptions", err)
+			}
+		})
+	}
+}

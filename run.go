@@ -1,0 +1,51 @@
+package nbody
+
+import (
+	"errors"
+
+	"nbody/internal/metrics"
+	"nbody/internal/pipeline"
+)
+
+// run executes one public solve entry point: prep (validation plus any lazy
+// solver construction), then fn under panic containment. A panic escaping
+// fn — or a pipeline.PanicError the phase runner already contained — is
+// returned as an *InternalError attributed to the recorder's active phase.
+// Every public wrapper in this package is an instantiation of this helper;
+// the validate → recover → solve sequence lives only here.
+func run[T any](prep func() error, rec func() *metrics.Rec, fn func() (T, error)) (out T, err error) {
+	if err = prep(); err != nil {
+		return out, err
+	}
+	defer recoverInternal(rec(), &err)
+	out, err = fn()
+	err = internalize(err)
+	return out, err
+}
+
+// runErr is run for entry points that return only an error.
+func runErr(prep func() error, rec func() *metrics.Rec, fn func() error) error {
+	_, err := run(prep, rec, func() (struct{}, error) { return struct{}{}, fn() })
+	return err
+}
+
+// phiAcc pairs the two outputs of an acceleration solve for the generic
+// run helper.
+type phiAcc struct {
+	phi []float64
+	acc []Vec3
+}
+
+// internalize converts a pipeline.PanicError — a panic the phase runner
+// contained inside a solve — into the exported *InternalError type. Other
+// errors (including nil) pass through unchanged.
+func internalize(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *pipeline.PanicError
+	if errors.As(err, &pe) {
+		return &InternalError{Phase: pe.Phase, Value: pe.Value, Stack: pe.Stack}
+	}
+	return err
+}

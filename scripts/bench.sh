@@ -8,9 +8,14 @@
 #
 # Results depend on the host; the committed BENCH_PR*.json files record the
 # reference runs documented in EXPERIMENTS.md.
+#
+# After writing the record, the script gates on the most recent previous
+# BENCH_PR*.json: the headline solve (SolveK12Depth4) must be within 10% of
+# the previous ns/op and must not allocate more per op, or the script exits
+# nonzero (failing CI).
 set -eu
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 solve_txt="$(mktemp)"
 gemm_txt="$(mktemp)"
 phases_json="$(mktemp)"
@@ -45,3 +50,48 @@ END {
 ' "$solve_txt" "$gemm_txt"
 
 echo "wrote $out"
+
+# Regression gate against the most recent previous record (version-sorted,
+# excluding the record just written). Only slowdowns fail: getting faster or
+# leaner is always fine.
+prev=""
+for f in $(ls BENCH_PR*.json 2>/dev/null | sort -V); do
+    [ "$f" = "$out" ] && continue
+    prev="$f"
+done
+if [ -z "$prev" ]; then
+    echo "bench gate: no previous BENCH_PR*.json, skipping"
+    exit 0
+fi
+
+awk -v prev="$prev" -v cur="$out" '
+function field(line, key,   re) {
+    re = "\"" key "\": [0-9]+"
+    if (match(line, re))
+        return substr(line, RSTART + length(key) + 4, RLENGTH - length(key) - 4)
+    return ""
+}
+function scan(file, res,   line) {
+    while ((getline line < file) > 0) {
+        if (line ~ /"name": "BenchmarkSolveK12Depth4"/) {
+            res["ns"] = field(line, "ns_op")
+            res["allocs"] = field(line, "allocs_op")
+        }
+    }
+    close(file)
+}
+BEGIN {
+    scan(prev, p); scan(cur, c)
+    if (p["ns"] == "" || c["ns"] == "") {
+        printf "bench gate: SolveK12Depth4 missing from %s or %s\n", prev, cur
+        exit 1
+    }
+    ratio = c["ns"] / p["ns"]
+    printf "bench gate vs %s: SolveK12Depth4 %d -> %d ns/op (%+.1f%%), %d -> %d allocs/op\n", \
+        prev, p["ns"], c["ns"], 100 * (ratio - 1), p["allocs"], c["allocs"]
+    fail = 0
+    if (ratio > 1.10) { print "bench gate: FAIL ns/op regressed more than 10%"; fail = 1 }
+    if (c["allocs"] + 0 > p["allocs"] + 0) { print "bench gate: FAIL allocs/op regressed"; fail = 1 }
+    if (!fail) print "bench gate: OK"
+    exit fail
+}'

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Static check keeping the phase-runner refactor honest: solvers declare
+# their phases through internal/pipeline, which owns the metrics spans and
+# fault-injection sites. Outside the runner itself (and the instrumented
+# layers internal/metrics / internal/faults), no non-test source may open a
+# span or fire a fault site directly. Run from the repository root:
+#
+#   scripts/check_pipeline.sh
+set -eu
+
+bad=$(grep -rn --include='*.go' \
+        -e 'metrics\.Span' -e '\.Begin(' -e 'faults\.Fire' \
+        cmd internal ./*.go \
+    | grep -v '_test\.go:' \
+    | grep -v '^internal/pipeline/' \
+    | grep -v '^internal/metrics/' \
+    | grep -v '^internal/faults/' \
+    || true)
+
+if [ -n "$bad" ]; then
+    echo "check_pipeline: direct span/fault-site use outside internal/pipeline:" >&2
+    echo "$bad" >&2
+    echo "declare the work as a pipeline.Phase (or pipeline.Step) instead" >&2
+    exit 1
+fi
+echo "check_pipeline: OK"

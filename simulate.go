@@ -80,20 +80,26 @@ type phaseRecorder interface{ activeRec() *metrics.Rec }
 // solver lets escape: the panic becomes an *InternalError and the
 // simulation's own state (positions, velocities, step counter) is untouched,
 // so the caller may retry the step or abandon the run cleanly.
-func (s *Simulation) solve() (err error) {
-	var rec *metrics.Rec
+func (s *Simulation) solve() error {
+	return runErr(func() error { return nil }, s.activeRec, func() error {
+		if s.into != nil {
+			return s.into.AccelerationsInto(s.phi, s.acc, s.System)
+		}
+		phi, acc, err := s.Solver.Accelerations(s.System)
+		if err != nil {
+			return err
+		}
+		s.phi, s.acc = phi, acc
+		return nil
+	})
+}
+
+// activeRec exposes the underlying solver's phase recorder when it has one
+// (nil otherwise), for panic attribution in solve.
+func (s *Simulation) activeRec() *metrics.Rec {
 	if pr, ok := s.Solver.(phaseRecorder); ok {
-		rec = pr.activeRec()
+		return pr.activeRec()
 	}
-	defer recoverInternal(rec, &err)
-	if s.into != nil {
-		return s.into.AccelerationsInto(s.phi, s.acc, s.System)
-	}
-	phi, acc, err := s.Solver.Accelerations(s.System)
-	if err != nil {
-		return err
-	}
-	s.phi, s.acc = phi, acc
 	return nil
 }
 

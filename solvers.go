@@ -63,6 +63,38 @@ type Options struct {
 	DisableAggregation bool
 }
 
+// validate rejects nonsensical option values at construction time, wrapping
+// ErrInvalidOptions, so a misconfigured solver fails in NewAnderson /
+// NewDataParallel rather than deep inside plan building on the first solve.
+func (o Options) validate() error {
+	switch {
+	case o.Degree < 0:
+		return fmt.Errorf("%w: negative Degree %d", ErrInvalidOptions, o.Degree)
+	case o.M < 0:
+		return fmt.Errorf("%w: negative M %d", ErrInvalidOptions, o.M)
+	case o.Depth < 0:
+		return fmt.Errorf("%w: negative Depth %d", ErrInvalidOptions, o.Depth)
+	case o.Depth == 1:
+		return fmt.Errorf("%w: Depth 1 has no interactive field (need Depth >= 2, or 0 for automatic)", ErrInvalidOptions)
+	case o.Separation < 0:
+		return fmt.Errorf("%w: negative Separation %d", ErrInvalidOptions, o.Separation)
+	case o.RadiusRatio < 0:
+		return fmt.Errorf("%w: negative RadiusRatio %g", ErrInvalidOptions, o.RadiusRatio)
+	}
+	// Dry-run the core normalizer so invalid parameter combinations (a
+	// RadiusRatio too small to enclose a box, an unsupported Separation,
+	// a Degree with no integration rule) also fail here. The probe depth
+	// stands in when the real depth is chosen at first solve.
+	depth := o.Depth
+	if depth == 0 {
+		depth = 2
+	}
+	if _, err := o.coreConfig(depth).Normalized(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	return nil
+}
+
 func (o Options) coreConfig(depth int) core.Config {
 	deg := o.Degree
 	if deg == 0 {
@@ -86,8 +118,12 @@ type Anderson struct {
 	solver *core.Solver
 }
 
-// NewAnderson builds an Anderson solver over the given domain.
+// NewAnderson builds an Anderson solver over the given domain. Invalid
+// options are rejected here with an error wrapping ErrInvalidOptions.
 func NewAnderson(box Box, opts Options) (*Anderson, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	a := &Anderson{box: box, opts: opts}
 	if opts.Depth != 0 {
 		s, err := core.NewSolver(box, opts.coreConfig(opts.Depth))
@@ -138,43 +174,39 @@ func (a *Anderson) activeRec() *metrics.Rec {
 // panic is recovered and returned as an *InternalError naming the active
 // phase, after which the solver remains usable (see InternalError's
 // safe-to-retry contract).
-func (a *Anderson) Potentials(s *System) (phi []float64, err error) {
-	if err := a.prepare(s); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.Potentials(s.Positions, s.Charges)
+func (a *Anderson) Potentials(s *System) ([]float64, error) {
+	return run(func() error { return a.prepare(s) }, a.activeRec, func() ([]float64, error) {
+		return a.solver.Potentials(s.Positions, s.Charges)
+	})
 }
 
 // PotentialsCtx is Potentials with cancellation: a canceled or expired
 // context aborts the solve between phases and within the parallel sweeps of
 // each phase (within at most one work chunk), returning ctx.Err().
-func (a *Anderson) PotentialsCtx(ctx context.Context, s *System) (phi []float64, err error) {
-	if err := a.prepare(s); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.PotentialsCtx(ctx, s.Positions, s.Charges)
+func (a *Anderson) PotentialsCtx(ctx context.Context, s *System) ([]float64, error) {
+	return run(func() error { return a.prepare(s) }, a.activeRec, func() ([]float64, error) {
+		return a.solver.PotentialsCtx(ctx, s.Positions, s.Charges)
+	})
 }
 
 // Accelerations computes potentials and the field +grad phi, under the same
 // validation and panic-containment contract as Potentials.
-func (a *Anderson) Accelerations(s *System) (phi []float64, acc []Vec3, err error) {
-	if err := a.prepare(s); err != nil {
-		return nil, nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.Accelerations(s.Positions, s.Charges)
+func (a *Anderson) Accelerations(s *System) ([]float64, []Vec3, error) {
+	r, err := run(func() error { return a.prepare(s) }, a.activeRec, func() (phiAcc, error) {
+		phi, acc, err := a.solver.Accelerations(s.Positions, s.Charges)
+		return phiAcc{phi, acc}, err
+	})
+	return r.phi, r.acc, err
 }
 
 // AccelerationsCtx is Accelerations with cancellation, under the same
 // latency bound as PotentialsCtx.
-func (a *Anderson) AccelerationsCtx(ctx context.Context, s *System) (phi []float64, acc []Vec3, err error) {
-	if err := a.prepare(s); err != nil {
-		return nil, nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.AccelerationsCtx(ctx, s.Positions, s.Charges)
+func (a *Anderson) AccelerationsCtx(ctx context.Context, s *System) ([]float64, []Vec3, error) {
+	r, err := run(func() error { return a.prepare(s) }, a.activeRec, func() (phiAcc, error) {
+		phi, acc, err := a.solver.AccelerationsCtx(ctx, s.Positions, s.Charges)
+		return phiAcc{phi, acc}, err
+	})
+	return r.phi, r.acc, err
 }
 
 // PotentialsInto computes the potentials into the caller-owned slice phi
@@ -183,51 +215,41 @@ func (a *Anderson) AccelerationsCtx(ctx context.Context, s *System) (phi []float
 // One solve at a time per solver. On an *InternalError return, phi may hold
 // partial results but no goroutine retains a reference to it; reuse or
 // retry is safe.
-func (a *Anderson) PotentialsInto(phi []float64, s *System) (err error) {
-	if err := a.prepare(s); err != nil {
-		return err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.PotentialsInto(phi, s.Positions, s.Charges)
+func (a *Anderson) PotentialsInto(phi []float64, s *System) error {
+	return runErr(func() error { return a.prepare(s) }, a.activeRec, func() error {
+		return a.solver.PotentialsInto(phi, s.Positions, s.Charges)
+	})
 }
 
 // PotentialsIntoCtx is PotentialsInto with cancellation.
-func (a *Anderson) PotentialsIntoCtx(ctx context.Context, phi []float64, s *System) (err error) {
-	if err := a.prepare(s); err != nil {
-		return err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.PotentialsIntoCtx(ctx, phi, s.Positions, s.Charges)
+func (a *Anderson) PotentialsIntoCtx(ctx context.Context, phi []float64, s *System) error {
+	return runErr(func() error { return a.prepare(s) }, a.activeRec, func() error {
+		return a.solver.PotentialsIntoCtx(ctx, phi, s.Positions, s.Charges)
+	})
 }
 
 // AccelerationsInto computes potentials and fields into caller-owned slices
 // (each length s.Len()), under the same reuse contract as PotentialsInto.
 // This is the time-stepping path: Simulation uses it automatically.
-func (a *Anderson) AccelerationsInto(phi []float64, acc []Vec3, s *System) (err error) {
-	if err := a.prepare(s); err != nil {
-		return err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.AccelerationsInto(phi, acc, s.Positions, s.Charges)
+func (a *Anderson) AccelerationsInto(phi []float64, acc []Vec3, s *System) error {
+	return runErr(func() error { return a.prepare(s) }, a.activeRec, func() error {
+		return a.solver.AccelerationsInto(phi, acc, s.Positions, s.Charges)
+	})
 }
 
 // AccelerationsIntoCtx is AccelerationsInto with cancellation.
-func (a *Anderson) AccelerationsIntoCtx(ctx context.Context, phi []float64, acc []Vec3, s *System) (err error) {
-	if err := a.prepare(s); err != nil {
-		return err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.AccelerationsIntoCtx(ctx, phi, acc, s.Positions, s.Charges)
+func (a *Anderson) AccelerationsIntoCtx(ctx context.Context, phi []float64, acc []Vec3, s *System) error {
+	return runErr(func() error { return a.prepare(s) }, a.activeRec, func() error {
+		return a.solver.AccelerationsIntoCtx(ctx, phi, acc, s.Positions, s.Charges)
+	})
 }
 
 // PotentialsAt evaluates the field of the system's charges at arbitrary
 // probe points inside the domain (no self-exclusion).
-func (a *Anderson) PotentialsAt(s *System, targets []Vec3) (phi []float64, err error) {
-	if err := a.prepare(s); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.PotentialsAt(s.Positions, s.Charges, targets)
+func (a *Anderson) PotentialsAt(s *System, targets []Vec3) ([]float64, error) {
+	return run(func() error { return a.prepare(s) }, a.activeRec, func() ([]float64, error) {
+		return a.solver.PotentialsAt(s.Positions, s.Charges, targets)
+	})
 }
 
 // Stats exposes the per-phase instrumentation of all solves so far.
@@ -319,7 +341,10 @@ type DataParallel struct {
 // opts.
 func NewDataParallel(nodes int, box Box, opts Options, strategy dpfmm.GhostStrategy) (*DataParallel, error) {
 	if opts.Depth == 0 {
-		return nil, fmt.Errorf("nbody: data-parallel solver needs an explicit Depth")
+		return nil, fmt.Errorf("%w: data-parallel solver needs an explicit Depth", ErrInvalidOptions)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	m, err := dp.NewMachine(nodes, 4, dp.CostModel{})
 	if err != nil {
@@ -340,33 +365,29 @@ func (d *DataParallel) activeRec() *metrics.Rec { return d.Machine.Rec() }
 
 // Potentials solves on the simulated machine, under the same validation and
 // panic-containment contract as Anderson.Potentials.
-func (d *DataParallel) Potentials(s *System) (phi []float64, err error) {
-	if err := s.Validate(d.box); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(d.Machine.Rec(), &err)
-	return d.Machine.Potentials(s.Positions, s.Charges)
+func (d *DataParallel) Potentials(s *System) ([]float64, error) {
+	return run(func() error { return s.Validate(d.box) }, d.activeRec, func() ([]float64, error) {
+		return d.Machine.Potentials(s.Positions, s.Charges)
+	})
 }
 
 // PotentialsCtx is Potentials with cancellation. The simulated machine's
 // collective sweeps are not individually interruptible, so cancellation is
 // observed between pipeline phases: the latency bound is one phase, not one
 // chunk.
-func (d *DataParallel) PotentialsCtx(ctx context.Context, s *System) (phi []float64, err error) {
-	if err := s.Validate(d.box); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(d.Machine.Rec(), &err)
-	return d.Machine.PotentialsCtx(ctx, s.Positions, s.Charges)
+func (d *DataParallel) PotentialsCtx(ctx context.Context, s *System) ([]float64, error) {
+	return run(func() error { return s.Validate(d.box) }, d.activeRec, func() ([]float64, error) {
+		return d.Machine.PotentialsCtx(ctx, s.Positions, s.Charges)
+	})
 }
 
 // Accelerations computes potentials and fields on the simulated machine.
-func (d *DataParallel) Accelerations(s *System) (phi []float64, acc []Vec3, err error) {
-	if err := s.Validate(d.box); err != nil {
-		return nil, nil, err
-	}
-	defer recoverInternal(d.Machine.Rec(), &err)
-	return d.Machine.Accelerations(s.Positions, s.Charges)
+func (d *DataParallel) Accelerations(s *System) ([]float64, []Vec3, error) {
+	r, err := run(func() error { return s.Validate(d.box) }, d.activeRec, func() (phiAcc, error) {
+		phi, acc, err := d.Machine.Accelerations(s.Positions, s.Charges)
+		return phiAcc{phi, acc}, err
+	})
+	return r.phi, r.acc, err
 }
 
 // Report assembles the Table 1 metrics of everything run so far.
@@ -392,8 +413,30 @@ type Options2D struct {
 	RadiusRatio float64
 }
 
-// NewAnderson2D builds the 2-D solver.
+// validate rejects nonsensical 2-D option values at construction, wrapping
+// ErrInvalidOptions like the 3-D counterpart.
+func (o Options2D) validate() error {
+	switch {
+	case o.K < 0:
+		return fmt.Errorf("%w: negative K %d", ErrInvalidOptions, o.K)
+	case o.M < 0:
+		return fmt.Errorf("%w: negative M %d", ErrInvalidOptions, o.M)
+	case o.Depth < 0:
+		return fmt.Errorf("%w: negative Depth %d", ErrInvalidOptions, o.Depth)
+	case o.Separation < 0:
+		return fmt.Errorf("%w: negative Separation %d", ErrInvalidOptions, o.Separation)
+	case o.RadiusRatio < 0:
+		return fmt.Errorf("%w: negative RadiusRatio %g", ErrInvalidOptions, o.RadiusRatio)
+	}
+	return nil
+}
+
+// NewAnderson2D builds the 2-D solver. Invalid options are rejected with an
+// error wrapping ErrInvalidOptions.
 func NewAnderson2D(box Box2D, opts Options2D) (*Anderson2D, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.K == 0 {
 		opts.K = 16
 	}
@@ -402,29 +445,28 @@ func NewAnderson2D(box Box2D, opts Options2D) (*Anderson2D, error) {
 		Separation: opts.Separation, RadiusRatio: opts.RadiusRatio,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
 	}
 	return &Anderson2D{solver: s, box: box}, nil
 }
 
+// activeRec exposes the phase recorder for panic attribution.
+func (a *Anderson2D) activeRec() *metrics.Rec { return a.solver.Rec() }
+
 // Potentials computes phi_i = -sum q_j ln r_ij at every particle, under the
 // same validation and panic-containment contract as the 3-D solver.
-func (a *Anderson2D) Potentials(pos []Vec2, q []float64) (phi []float64, err error) {
-	if err := validate2D(pos, q, a.box); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.Potentials(pos, q)
+func (a *Anderson2D) Potentials(pos []Vec2, q []float64) ([]float64, error) {
+	return run(func() error { return validate2D(pos, q, a.box) }, a.activeRec, func() ([]float64, error) {
+		return a.solver.Potentials(pos, q)
+	})
 }
 
 // PotentialsCtx is Potentials with cancellation: a canceled context aborts
 // between phases and within parallel sweeps, returning ctx.Err().
-func (a *Anderson2D) PotentialsCtx(ctx context.Context, pos []Vec2, q []float64) (phi []float64, err error) {
-	if err := validate2D(pos, q, a.box); err != nil {
-		return nil, err
-	}
-	defer recoverInternal(a.solver.Rec(), &err)
-	return a.solver.PotentialsCtx(ctx, pos, q)
+func (a *Anderson2D) PotentialsCtx(ctx context.Context, pos []Vec2, q []float64) ([]float64, error) {
+	return run(func() error { return validate2D(pos, q, a.box) }, a.activeRec, func() ([]float64, error) {
+		return a.solver.PotentialsCtx(ctx, pos, q)
+	})
 }
 
 // Stats exposes the 2-D solver's per-phase instrumentation.
