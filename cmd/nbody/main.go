@@ -1,10 +1,15 @@
 // Command nbody solves one N-body potential problem and reports the timing
 // breakdown, accuracy and (for the data-parallel solver) the paper's
-// efficiency metrics.
+// efficiency metrics. With -steps it time-integrates the system instead,
+// and the recovery flags arm the self-healing layer: retries with fallback
+// solvers, periodic checkpoints, and resuming a killed run.
 //
 //	nbody -n 100000 -solver anderson -accuracy fast
 //	nbody -n 32768 -solver dp -nodes 16 -depth 4
 //	nbody -n 20000 -solver bh -theta 0.5 -check
+//	nbody -n 32768 -retries 5 -fallback anderson,direct
+//	nbody -n 4096 -steps 100 -checkpoint run.ckpt -checkpoint-every 10
+//	nbody -n 4096 -steps 100 -resume run.ckpt
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"nbody"
 	"nbody/internal/cli"
+	"nbody/internal/metrics"
 )
 
 func main() {
@@ -33,8 +39,31 @@ func main() {
 		strategy = flag.String("strategy", "linearized-aliased", cli.StrategyHelp)
 		super    = flag.Bool("supernodes", false, "enable supernodes (anderson)")
 		check    = flag.Bool("check", false, "compare against the O(N^2) direct sum")
+
+		steps = flag.Int("steps", 0, "leapfrog steps to integrate (0 = single potential solve)")
+		dt    = flag.Float64("dt", 1e-4, "timestep for -steps")
+
+		retries  = flag.Int("retries", 0, "retry attempts per solver before degrading (0 = no supervisor)")
+		fallback = flag.String("fallback", "", cli.LadderHelp)
+		ckPath   = flag.String("checkpoint", "", "snapshot path for periodic checkpoints")
+		ckEvery  = flag.Int("checkpoint-every", 0, "steps between checkpoints (needs -checkpoint)")
+		resume   = flag.String("resume", "", "resume the simulation from this snapshot")
 	)
 	flag.Parse()
+
+	rec := cli.RecoveryFlags{
+		Retries:         *retries,
+		Fallback:        *fallback,
+		Checkpoint:      *ckPath,
+		CheckpointEvery: *ckEvery,
+		Resume:          *resume,
+	}
+	if err := rec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if (rec.Checkpoint != "" || rec.Resume != "") && *steps == 0 {
+		log.Fatal("-checkpoint/-resume only apply to simulations: set -steps")
+	}
 
 	sys, err := cli.System(*dist, *n, *seed)
 	if err != nil {
@@ -55,9 +84,21 @@ func main() {
 		Nodes:    *nodes,
 		Strategy: strat,
 	}
-	s, err := spec.New(sys.BoundingBox())
+
+	// The simulation needs a domain box that survives particle motion; a
+	// single potential solve only needs the initial bounding box.
+	box := sys.BoundingBox()
+	if *steps > 0 {
+		box.Side *= 4
+	}
+	s, err := cli.Supervised(spec, rec, box)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *steps > 0 {
+		simulate(s, sys, rec, *steps, *dt)
+		return
 	}
 
 	start := time.Now()
@@ -78,7 +119,10 @@ func main() {
 	case *nbody.BarnesHut:
 		fmt.Printf("cell interactions=%d particle interactions=%d\n",
 			sv.LastStats.CellInteractions, sv.LastStats.ParticleInteractions)
+	case *nbody.Resilient:
+		fmt.Printf("ladder=%v served-by=rung %d\n", sv.RungNames(), sv.LastRung())
 	}
+	reportRecovery()
 
 	if *check {
 		want, _ := nbody.NewDirect().Potentials(sys)
@@ -92,4 +136,54 @@ func main() {
 		mean /= float64(len(phi))
 		fmt.Printf("error relative to mean |phi|: %.3e (%.1f digits)\n", rms/mean, -math.Log10(rms/mean))
 	}
+}
+
+// simulate runs the time-integration mode: fresh or resumed, optionally
+// writing periodic checkpoints, reporting energy drift at the end.
+func simulate(s nbody.Solver, sys *nbody.System, rec cli.RecoveryFlags, steps int, dt float64) {
+	accel, err := cli.Accel(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sim *nbody.Simulation
+	if rec.Resume != "" {
+		sim, err = nbody.ResumeSimulationFile(rec.Resume, accel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed %s at step %d (t=%g)\n", rec.Resume, sim.Steps(), sim.Time())
+	} else {
+		sim, err = nbody.NewSimulation(sys, nil, accel, dt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rec.Checkpoint != "" {
+		if err := sim.EnableCheckpoints(rec.Checkpoint, rec.CheckpointEvery); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_, _, e0 := sim.Energy()
+	start := time.Now()
+	if err := sim.Step(steps); err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	k, u, e := sim.Energy()
+	fmt.Printf("solver=%s N=%d steps=%d t=%g wall=%v\n",
+		s.Name(), sim.System.Len(), sim.Steps(), sim.Time(), wall.Round(time.Millisecond))
+	fmt.Printf("energy: kinetic=%.6g potential=%.6g total=%.6g drift=%.3e\n",
+		k, u, e, math.Abs(e-e0)/math.Max(math.Abs(e0), 1e-300))
+	reportRecovery()
+}
+
+// reportRecovery prints the self-healing counters when any recovery event
+// fired; a healthy run prints nothing.
+func reportRecovery() {
+	r := metrics.ReadRecovery()
+	if r.Zero() {
+		return
+	}
+	fmt.Printf("recovery: %d retries, %d breaker trips, %d degradations, %d checkpoints, %d resumes\n",
+		r.Retries, r.BreakerTrips, r.Degradations, r.Checkpoints, r.Resumes)
 }

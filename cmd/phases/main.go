@@ -56,6 +56,9 @@ func main() {
 	if *workers {
 		st.CaptureWorkers()
 	}
+	// Recovery counters ride along in both outputs; on a healthy run the
+	// section is zero and both the table and the JSON omit it.
+	st.CaptureRecovery()
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

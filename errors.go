@@ -1,12 +1,14 @@
 package nbody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
 
 	"nbody/internal/metrics"
+	"nbody/internal/resilience"
 )
 
 // Sentinel errors classifying rejected inputs. Entry points wrap them with
@@ -24,6 +26,12 @@ var (
 	// RadiusRatio values, caught by NewAnderson / NewDataParallel /
 	// NewAnderson2D before any plan building starts.
 	ErrInvalidOptions = errors.New("nbody: invalid solver options")
+	// ErrCorruptCheckpoint marks a simulation snapshot ResumeSimulation
+	// cannot trust: bad magic, unsupported version, truncated payload,
+	// inconsistent lengths, or a CRC32C mismatch. Corruption is always
+	// reported through this sentinel — never a panic, never a silently
+	// wrong simulation.
+	ErrCorruptCheckpoint = errors.New("nbody: corrupt checkpoint")
 )
 
 // InternalError is a panic from inside a solve, recovered at the public API
@@ -57,6 +65,36 @@ func (e *InternalError) Unwrap() error {
 		return err
 	}
 	return nil
+}
+
+// classifyError is the default error taxonomy of the Resilient supervisor,
+// mapping each error class of this package onto the supervisor's retry
+// semantics:
+//
+//   - *InternalError is Retryable: its documented safe-to-retry contract
+//     guarantees the solver is reusable after the failure.
+//   - context.Canceled / context.DeadlineExceeded are Terminal: the caller
+//     asked to stop (the supervisor itself reclassifies a per-attempt
+//     deadline as Retryable when the caller's context is still live).
+//   - ErrInvalidSystem / ErrOutOfDomain / ErrInvalidOptions /
+//     ErrCorruptCheckpoint are Permanent: no retry or fallback solver can
+//     repair a malformed input.
+//   - errRungUnsupported is Skip: the rung cannot perform the operation at
+//     all, so the ladder advances without burning attempts.
+//   - Anything unrecognized is Permanent: an error outside the documented
+//     taxonomy carries no safe-to-retry contract.
+func classifyError(err error) resilience.Class {
+	var ie *InternalError
+	switch {
+	case errors.As(err, &ie):
+		return resilience.Retryable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return resilience.Terminal
+	case errors.Is(err, errRungUnsupported):
+		return resilience.Skip
+	default:
+		return resilience.Permanent
+	}
 }
 
 // recoverInternal converts a panic escaping a solve into an *InternalError

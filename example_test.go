@@ -3,8 +3,11 @@ package nbody_test
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nbody"
+	"nbody/internal/core"
+	"nbody/internal/faults"
 )
 
 // The basic workflow: generate a system, build a solver, compute
@@ -52,6 +55,34 @@ func ExampleSimulation() {
 	fmt.Printf("energy drift below 1e-4: %v\n", math.Abs(e1-e0) < 1e-4*math.Abs(e0))
 	// Output:
 	// energy drift below 1e-4: true
+}
+
+// Self-healing solves: a ladder of solvers behind a retry supervisor. The
+// injected one-shot fault makes the first attempt fail exactly the way a
+// real in-solve panic would; the supervisor retries and the solve completes
+// on the preferred rung as if nothing happened.
+func ExampleNewResilient() {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(4096, 7)
+	anderson, err := nbody.NewAnderson(sys.BoundingBox(), nbody.Options{Depth: 3})
+	if err != nil {
+		panic(err)
+	}
+	solver, err := nbody.NewResilient(nbody.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+	}, anderson, nbody.NewDirect())
+	if err != nil {
+		panic(err)
+	}
+
+	faults.InjectPanic(core.FaultSiteT2, "transient hardware fault")
+	phi, err := solver.Potentials(sys)
+	fmt.Printf("healed: %v\n", err == nil && len(phi) == sys.Len())
+	fmt.Printf("served by rung %d of %v\n", solver.LastRung(), solver.RungNames())
+	// Output:
+	// healed: true
+	// served by rung 0 of [anderson direct]
 }
 
 // Predicting a configuration's accuracy before solving.

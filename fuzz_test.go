@@ -1,6 +1,8 @@
 package nbody_test
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"testing"
@@ -63,6 +65,85 @@ func FuzzValidatePotentials(f *testing.F) {
 			if math.IsNaN(v) {
 				t.Fatalf("phi[%d] is NaN for valid input (%g, %g, %g; q=%g)", i, x, y, z, q)
 			}
+		}
+	})
+}
+
+// FuzzResumeSimulation feeds adversarial snapshot bytes through
+// ResumeSimulation and pins the corruption contract: the reader either
+// reconstructs a structurally valid simulation or rejects the input with
+// ErrCorruptCheckpoint — it never panics, never returns an untyped error,
+// and never hands back a simulation with inconsistent state. The seed corpus
+// covers a pristine snapshot plus every mutation class the corruption table
+// in checkpoint_test.go enumerates, so `go test` replays them as
+// regressions.
+func FuzzResumeSimulation(f *testing.F) {
+	// A small but real snapshot as the fuzzer's starting material.
+	sys := nbody.NewUniformSystem(8, 13)
+	box := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 100}
+	solver, err := nbody.NewAnderson(box, nbody.Options{Depth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sim, err := nbody.NewSimulation(sys, nil, solver, 1e-4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mut := func(fn func(b []byte) []byte) []byte {
+		return fn(append([]byte{}, valid...))
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:7])                                                                             // torn mid-magic
+	f.Add(valid[:20])                                                                            // header only
+	f.Add(valid[:len(valid)/2])                                                                  // torn payload
+	f.Add(valid[:len(valid)-1])                                                                  // torn checksum
+	f.Add(append([]byte{}, valid...))                                                            // duplicate of the pristine seed
+	f.Add(mut(func(b []byte) []byte { b[0] ^= 0xFF; return b }))                                 // bad magic
+	f.Add(mut(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 2); return b }))      // future version
+	f.Add(mut(func(b []byte) []byte { binary.LittleEndian.PutUint64(b[12:], 1<<50); return b })) // forged length
+	f.Add(mut(func(b []byte) []byte { b[30] ^= 0x04; return b }))                                // payload bit flip
+	f.Add(mut(func(b []byte) []byte { b[len(b)-2] ^= 0x80; return b }))                          // checksum bit flip
+	f.Add(bytes.Repeat([]byte{0xA5}, 200))                                                       // noise
+
+	resumeSolver, err := nbody.NewAnderson(box, nbody.Options{Depth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sim, err := nbody.ResumeSimulation(bytes.NewReader(data), resumeSolver)
+		if err != nil {
+			// Structural damage is ErrCorruptCheckpoint. A snapshot the
+			// fuzzer manages to re-checksum can still carry particles the
+			// resume solver's initial solve rejects — that is the system
+			// validation taxonomy, equally typed.
+			if !errors.Is(err, nbody.ErrCorruptCheckpoint) &&
+				!errors.Is(err, nbody.ErrInvalidSystem) &&
+				!errors.Is(err, nbody.ErrOutOfDomain) {
+				t.Fatalf("rejection with untyped error: %v", err)
+			}
+			if sim != nil {
+				t.Fatal("error return with non-nil simulation")
+			}
+			return
+		}
+		// Accepted: the simulation must be internally consistent.
+		n := sim.System.Len()
+		if len(sim.Velocities) != n || len(sim.System.Charges) != n {
+			t.Fatalf("inconsistent lengths: %d positions, %d velocities, %d charges",
+				n, len(sim.Velocities), len(sim.System.Charges))
+		}
+		if sim.DT <= 0 {
+			t.Fatalf("accepted non-positive timestep %g", sim.DT)
+		}
+		if sim.Steps() < 0 {
+			t.Fatalf("accepted negative step count %d", sim.Steps())
 		}
 	})
 }

@@ -9,6 +9,7 @@ package cli
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"nbody"
 	"nbody/internal/dpfmm"
@@ -115,4 +116,101 @@ func (sp Spec) New(box nbody.Box) (nbody.Solver, error) {
 	default:
 		return nil, fmt.Errorf("unknown solver %q (anderson | bh | direct | dp)", sp.Kind)
 	}
+}
+
+// LadderHelp documents the -fallback flag shared by the commands.
+const LadderHelp = "comma-separated fallback solvers for the degradation ladder, e.g. anderson,direct"
+
+// Ladder builds the degradation ladder for the self-healing wrapper: rung 0
+// is the spec's own solver, followed by one rung per comma-separated kind in
+// fallbacks (each built from a copy of the spec with only Kind replaced, so
+// depth/accuracy/ghost-strategy choices carry over). An empty fallbacks
+// string yields the one-rung ladder.
+func (sp Spec) Ladder(fallbacks string, box nbody.Box) ([]nbody.Solver, error) {
+	first, err := sp.New(box)
+	if err != nil {
+		return nil, err
+	}
+	rungs := []nbody.Solver{first}
+	if fallbacks == "" {
+		return rungs, nil
+	}
+	for _, kind := range strings.Split(fallbacks, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" {
+			return nil, fmt.Errorf("empty solver kind in fallback list %q", fallbacks)
+		}
+		fsp := sp
+		fsp.Kind = kind
+		s, err := fsp.New(box)
+		if err != nil {
+			return nil, fmt.Errorf("fallback %q: %w", kind, err)
+		}
+		rungs = append(rungs, s)
+	}
+	return rungs, nil
+}
+
+// Accel adapts a flag-selected solver to the Accelerator interface the
+// simulation loop needs, wrapping the direct solver's error-free signature
+// and rejecting potentials-only backends (Barnes-Hut) with a clear message.
+func Accel(s nbody.Solver) (nbody.Accelerator, error) {
+	if a, ok := s.(nbody.Accelerator); ok {
+		return a, nil
+	}
+	if d, ok := s.(*nbody.Direct); ok {
+		return nbody.DirectAccelerator{Direct: *d}, nil
+	}
+	return nil, fmt.Errorf("solver %s cannot drive a simulation (no acceleration support)", s.Name())
+}
+
+// RecoveryFlags is the command-line surface of the self-healing layer:
+// retry budget, fallback ladder, and checkpoint/resume paths. Validate
+// rejects inconsistent combinations before any solver is built.
+type RecoveryFlags struct {
+	Retries         int    // per-rung attempt budget (0 = library default)
+	Fallback        string // comma-separated fallback kinds (see LadderHelp)
+	Checkpoint      string // snapshot path for periodic checkpoints
+	CheckpointEvery int    // steps between snapshots (0 = disabled)
+	Resume          string // snapshot path to resume from
+}
+
+// Validate checks the recovery flag combination: a negative retry budget is
+// meaningless, a checkpoint interval needs a path (and vice versa), and
+// resuming while also writing checkpoints to the same file is allowed — but
+// resuming from a file that is also the checkpoint target of a different
+// interval setting is not a conflict the flags can detect, so only the
+// structural rules are enforced here.
+func (r RecoveryFlags) Validate() error {
+	if r.Retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", r.Retries)
+	}
+	if r.CheckpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", r.CheckpointEvery)
+	}
+	if r.CheckpointEvery > 0 && r.Checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every %d needs -checkpoint <path>", r.CheckpointEvery)
+	}
+	if r.Checkpoint != "" && r.CheckpointEvery == 0 {
+		return fmt.Errorf("-checkpoint %q needs -checkpoint-every <steps>", r.Checkpoint)
+	}
+	return nil
+}
+
+// Supervised wraps the ladder selected by spec+flags in the Resilient
+// supervisor when any recovery behavior was requested; with no -retries and
+// no -fallback it returns the bare rung-0 solver, so the default command
+// path stays exactly what it was.
+func Supervised(sp Spec, r RecoveryFlags, box nbody.Box) (nbody.Solver, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Retries == 0 && r.Fallback == "" {
+		return sp.New(box)
+	}
+	rungs, err := sp.Ladder(r.Fallback, box)
+	if err != nil {
+		return nil, err
+	}
+	return nbody.NewResilient(nbody.RetryPolicy{MaxAttempts: r.Retries}, rungs...)
 }

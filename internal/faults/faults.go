@@ -53,6 +53,13 @@ var (
 // InjectPanic arms site to panic with val on its next firing.
 func InjectPanic(site string, val any) { arm(site, &fault{kind: kindPanic, val: val}) }
 
+// InjectPanicN arms site to panic with val on its next count firings — for
+// driving retry supervisors through several consecutive failures before the
+// site goes quiet and an attempt succeeds.
+func InjectPanicN(site string, val any, count int) {
+	armN(site, &fault{kind: kindPanic, val: val}, int64(count))
+}
+
 // InjectNaN arms site to overwrite the slice passed to FireSlice with NaNs
 // on its next firing. Sites that only call Fire ignore a NaN arming.
 func InjectNaN(site string) { arm(site, &fault{kind: kindNaN}) }
@@ -61,8 +68,10 @@ func InjectNaN(site string) { arm(site, &fault{kind: kindNaN}) }
 // cancellation deadlines and slow-phase behavior deterministically.
 func InjectDelay(site string, d time.Duration) { arm(site, &fault{kind: kindDelay, d: d}) }
 
-func arm(site string, f *fault) {
-	f.remaining.Store(1)
+func arm(site string, f *fault) { armN(site, f, 1) }
+
+func armN(site string, f *fault, count int64) {
+	f.remaining.Store(count)
 	mu.Lock()
 	if sites == nil {
 		sites = make(map[string]*fault)

@@ -55,6 +55,25 @@ func TestPanicExactUnderConcurrency(t *testing.T) {
 	}
 }
 
+func TestPanicNFiresExactlyN(t *testing.T) {
+	defer Reset()
+	InjectPanicN("n-shot", "bang", 3)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			Fire("n-shot")
+		}()
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly 3", fired)
+	}
+}
+
 func TestNaNPoisonsSlice(t *testing.T) {
 	defer Reset()
 	InjectNaN("n")

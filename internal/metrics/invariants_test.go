@@ -221,3 +221,79 @@ func TestNilRecInert(t *testing.T) {
 		t.Errorf("nil Rec snapshot not empty: %+v", st)
 	}
 }
+
+// TestRecoveryCountersConcurrent hammers the process-wide recovery counters
+// from many goroutines; with -race this proves the recording paths are
+// race-free, and the exact final totals prove no increments are lost.
+func TestRecoveryCountersConcurrent(t *testing.T) {
+	metrics.ResetRecovery()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				metrics.AddRetries(1)
+				metrics.AddBreakerTrips(2)
+				metrics.AddDegradations(3)
+				metrics.AddCheckpoints(4)
+				metrics.AddResumes(5)
+			}
+		}()
+	}
+	// Concurrent reads must also be safe.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = metrics.ReadRecovery()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	rec := metrics.ReadRecovery()
+	const total = workers * perWorker
+	want := metrics.RecoveryStats{
+		Retries:      total,
+		BreakerTrips: 2 * total,
+		Degradations: 3 * total,
+		Checkpoints:  4 * total,
+		Resumes:      5 * total,
+	}
+	if rec != want {
+		t.Errorf("recovery counters %+v, want %+v", rec, want)
+	}
+	metrics.ResetRecovery()
+	if rec := metrics.ReadRecovery(); !rec.Zero() {
+		t.Errorf("counters after reset: %+v, want zero", rec)
+	}
+}
+
+// TestRecoveryZeroOnHappyPath runs a full healthy solve and asserts the
+// recovery layer recorded nothing: the counters only move when something
+// actually goes wrong, so any nonzero value in a report is signal.
+func TestRecoveryZeroOnHappyPath(t *testing.T) {
+	metrics.ResetRecovery()
+	pos, q := testutil.RandomSystem(4096, 9)
+	s, err := core.NewSolver(testutil.UnitBox(), core.Config{Degree: 5, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Potentials(pos, q); err != nil {
+		t.Fatal(err)
+	}
+	if rec := metrics.ReadRecovery(); !rec.Zero() {
+		t.Errorf("healthy solve recorded recovery events: %+v", rec)
+	}
+
+	// A snapshot captured on a healthy run must omit the recovery section
+	// from both the table and the JSON.
+	snap := s.Stats()
+	snap.CaptureRecovery()
+	if snap.Recovery != nil && !snap.Recovery.Zero() {
+		t.Errorf("captured recovery stats %+v on a healthy run", snap.Recovery)
+	}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import "sync/atomic"
+
+// RecoveryStats is a snapshot of the self-healing layer's counters: how
+// often the retry supervisor re-attempted a solve, tripped a circuit
+// breaker, stepped down the degradation ladder, and how many simulation
+// snapshots were written or restored. All five are zero on a healthy run —
+// the invariant tests assert exactly that — so any nonzero value in a
+// report is a recovery event worth reading.
+type RecoveryStats struct {
+	Retries      int64 `json:"retries"`       // re-attempts beyond the first, per rung
+	BreakerTrips int64 `json:"breaker_trips"` // circuit breakers opened
+	Degradations int64 `json:"degradations"`  // ladder steps to a lower rung
+	Checkpoints  int64 `json:"checkpoints"`   // simulation snapshots written
+	Resumes      int64 `json:"resumes"`       // simulations restored from a snapshot
+}
+
+// Zero reports whether no recovery event has been recorded.
+func (r RecoveryStats) Zero() bool {
+	return r == RecoveryStats{}
+}
+
+// The recovery counters are package-level atomics rather than fields of a
+// Rec: a supervisor spans solvers (its whole point is to move between
+// them), so its events belong to the process, not to any one solver's
+// phase recorder.
+var recovery struct {
+	retries      atomic.Int64
+	breakerTrips atomic.Int64
+	degradations atomic.Int64
+	checkpoints  atomic.Int64
+	resumes      atomic.Int64
+}
+
+// AddRetries counts n supervisor re-attempts.
+func AddRetries(n int64) { recovery.retries.Add(n) }
+
+// AddBreakerTrips counts n circuit-breaker openings.
+func AddBreakerTrips(n int64) { recovery.breakerTrips.Add(n) }
+
+// AddDegradations counts n degradation-ladder rung changes.
+func AddDegradations(n int64) { recovery.degradations.Add(n) }
+
+// AddCheckpoints counts n written simulation snapshots.
+func AddCheckpoints(n int64) { recovery.checkpoints.Add(n) }
+
+// AddResumes counts n simulations restored from snapshots.
+func AddResumes(n int64) { recovery.resumes.Add(n) }
+
+// ReadRecovery returns the current recovery counters.
+func ReadRecovery() RecoveryStats {
+	return RecoveryStats{
+		Retries:      recovery.retries.Load(),
+		BreakerTrips: recovery.breakerTrips.Load(),
+		Degradations: recovery.degradations.Load(),
+		Checkpoints:  recovery.checkpoints.Load(),
+		Resumes:      recovery.resumes.Load(),
+	}
+}
+
+// ResetRecovery zeroes the recovery counters (tests and long-lived tools).
+func ResetRecovery() {
+	recovery.retries.Store(0)
+	recovery.breakerTrips.Store(0)
+	recovery.degradations.Store(0)
+	recovery.checkpoints.Store(0)
+	recovery.resumes.Store(0)
+}

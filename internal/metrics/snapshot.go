@@ -44,6 +44,18 @@ type Snapshot struct {
 	// MemStats themselves — it stops the world).
 	HeapAllocs int64
 	HeapBytes  int64
+
+	// Recovery, when captured with CaptureRecovery, holds the self-healing
+	// layer's counters (retries, breaker trips, ladder degradations,
+	// checkpoints, resumes). All-zero on a healthy run.
+	Recovery *RecoveryStats
+}
+
+// CaptureRecovery copies the process-wide recovery counters into the
+// snapshot, so reports and JSON output carry them alongside the phases.
+func (s *Snapshot) CaptureRecovery() {
+	r := ReadRecovery()
+	s.Recovery = &r
 }
 
 // TotalFlops sums the flops of every per-solve phase. Setup is excluded:
@@ -137,6 +149,11 @@ func (s *Snapshot) Table() string {
 	if s.Time[PhaseSetup] != 0 {
 		fmt.Fprintf(&b, "  (setup, amortized: %v)\n", s.Time[PhaseSetup].Round(time.Microsecond))
 	}
+	if s.Recovery != nil && !s.Recovery.Zero() {
+		r := s.Recovery
+		fmt.Fprintf(&b, "  recovery: %d retries, %d breaker trips, %d degradations, %d checkpoints, %d resumes\n",
+			r.Retries, r.BreakerTrips, r.Degradations, r.Checkpoints, r.Resumes)
+	}
 	return b.String()
 }
 
@@ -169,17 +186,18 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		})
 	}
 	return json.Marshal(struct {
-		Particles  int          `json:"particles"`
-		Depth      int          `json:"depth"`
-		K          int          `json:"k"`
-		TotalNS    int64        `json:"total_ns"`
-		TotalFlops int64        `json:"total_flops"`
-		T2Count    int64        `json:"t2_count"`
-		NearPairs  int64        `json:"near_pairs"`
-		HeapAllocs int64        `json:"heap_allocs,omitempty"`
-		HeapBytes  int64        `json:"heap_bytes,omitempty"`
-		Phases     []phaseJSON  `json:"phases"`
-		Workers    []WorkerStat `json:"workers,omitempty"`
+		Particles  int            `json:"particles"`
+		Depth      int            `json:"depth"`
+		K          int            `json:"k"`
+		TotalNS    int64          `json:"total_ns"`
+		TotalFlops int64          `json:"total_flops"`
+		T2Count    int64          `json:"t2_count"`
+		NearPairs  int64          `json:"near_pairs"`
+		HeapAllocs int64          `json:"heap_allocs,omitempty"`
+		HeapBytes  int64          `json:"heap_bytes,omitempty"`
+		Phases     []phaseJSON    `json:"phases"`
+		Workers    []WorkerStat   `json:"workers,omitempty"`
+		Recovery   *RecoveryStats `json:"recovery,omitempty"`
 	}{
 		Particles:  s.Particles,
 		Depth:      s.Depth,
@@ -192,5 +210,6 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		HeapBytes:  s.HeapBytes,
 		Phases:     phases,
 		Workers:    s.Workers,
+		Recovery:   s.Recovery,
 	})
 }

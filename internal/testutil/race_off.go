@@ -1,0 +1,7 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip themselves under it (instrumentation allocates).
+const RaceEnabled = false

@@ -15,6 +15,8 @@ import (
 	"nbody/internal/dp"
 	"nbody/internal/dpfmm"
 	"nbody/internal/faults"
+	"nbody/internal/metrics"
+	"nbody/internal/resilience"
 	"nbody/internal/testutil"
 )
 
@@ -473,5 +475,383 @@ func TestConstructorErrors(t *testing.T) {
 				t.Fatalf("constructor accepted invalid config (got %T)", v)
 			}
 		})
+	}
+}
+
+// --- self-healing layer: retry supervisor, degradation ladder, breaker ---
+
+// failingSolver is a stub ladder rung: it fails its first failN calls (every
+// call when failN < 0) with a retryable *InternalError, then succeeds with
+// zeros. It counts calls so tests can prove a rung was (or was not) probed.
+type failingSolver struct {
+	calls int
+	failN int
+}
+
+func (f *failingSolver) Name() string { return "failing-stub" }
+
+func (f *failingSolver) Potentials(s *nbody.System) ([]float64, error) {
+	f.calls++
+	if f.failN < 0 || f.calls <= f.failN {
+		return nil, &nbody.InternalError{Phase: "stub", Value: "injected stub failure"}
+	}
+	return make([]float64, s.Len()), nil
+}
+
+// supervisorPolicy keeps retry tests fast: real backoff shape, tiny scale.
+func supervisorPolicy() nbody.RetryPolicy {
+	return nbody.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+	}
+}
+
+// TestResilientFaultMatrixAnderson drives every shared-memory fault site —
+// including the two in-worker body sites — through the Resilient supervisor:
+// the injected panic must be healed by a retry, the solve must complete, and
+// the result must sit within the differential bound. Each site must record
+// at least one retry and finish on rung 0 (no degradation: the ladder has
+// one rung).
+func TestResilientFaultMatrixAnderson(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(2048, 21)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nbody.NewResilient(supervisorPolicy(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+	phi := make([]float64, sys.Len())
+
+	sites := append([]string{}, core.FaultSites...)
+	sites = append(sites, core.FaultSiteLeafOuterBody, core.FaultSiteNearBody)
+	for _, site := range sites {
+		metrics.ResetRecovery()
+		faults.InjectPanic(site, "injected: "+site)
+		if err := r.PotentialsInto(phi, sys); err != nil {
+			t.Fatalf("site %s: supervised solve failed: %v", site, err)
+		}
+		faults.Reset()
+		testutil.CheckClose(t, "supervised "+site, phi, want, boundFast)
+		rec := metrics.ReadRecovery()
+		if rec.Retries < 1 {
+			t.Errorf("site %s: %d retries recorded, want >= 1", site, rec.Retries)
+		}
+		if rec.Degradations != 0 {
+			t.Errorf("site %s: %d degradations on a one-rung ladder", site, rec.Degradations)
+		}
+		if got := r.LastRung(); got != 0 {
+			t.Errorf("site %s: finished on rung %d, want 0", site, got)
+		}
+	}
+}
+
+// TestResilientFaultMatrixDataParallel is the same healing matrix on the
+// simulated-machine pipeline, covering the ghost phase, with two injected
+// failures per site so the supervisor needs two of its three attempts.
+func TestResilientFaultMatrixDataParallel(t *testing.T) {
+	defer faults.Reset()
+	sys := nbody.NewUniformSystem(512, 22)
+	box := sys.BoundingBox()
+	d, err := nbody.NewDataParallel(8, box, nbody.Options{Depth: 3}, dpfmm.DirectUnaliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nbody.NewResilient(supervisorPolicy(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+
+	for _, site := range dpfmm.FaultSites {
+		metrics.ResetRecovery()
+		faults.InjectPanicN(site, "injected: "+site, 2)
+		phi, err := r.Potentials(sys)
+		if err != nil {
+			t.Fatalf("site %s: supervised solve failed: %v", site, err)
+		}
+		faults.Reset()
+		testutil.CheckClose(t, "supervised "+site, phi, want, boundFast)
+		if rec := metrics.ReadRecovery(); rec.Retries < 2 {
+			t.Errorf("site %s: %d retries recorded, want >= 2", site, rec.Retries)
+		}
+	}
+}
+
+// TestSupervisorFaultMatrixAnderson2D closes the matrix over the third
+// pipeline. The 2-D solver's signature does not fit the Solver interface,
+// so it is driven through the resilience supervisor directly — which is
+// also the documented extension point for custom backends.
+func TestSupervisorFaultMatrixAnderson2D(t *testing.T) {
+	defer faults.Reset()
+	pos, q := random2D(1024, 23)
+	box := nbody.Box2D{Center: nbody.Vec2{X: 0.5, Y: 0.5}, Side: 1.0000001}
+	a, err := nbody.NewAnderson2D(box, nbody.Options2D{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classify := func(err error) resilience.Class {
+		var ie *nbody.InternalError
+		if errors.As(err, &ie) {
+			return resilience.Retryable
+		}
+		return resilience.Permanent
+	}
+	sup, err := resilience.New(resilience.Policy{
+		MaxAttempts: 3,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Classify:    classify,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nbody.DirectPotentials2D(pos, q)
+
+	for _, site := range core2.FaultSites {
+		faults.InjectPanic(site, "injected: "+site)
+		var phi []float64
+		rung, err := sup.Do(context.Background(), func(ctx context.Context, _ int) error {
+			var aerr error
+			phi, aerr = a.Potentials(pos, q)
+			return aerr
+		})
+		if err != nil {
+			t.Fatalf("site %s: supervised solve failed: %v", site, err)
+		}
+		if rung != 0 {
+			t.Fatalf("site %s: rung %d on a one-rung ladder", site, rung)
+		}
+		faults.Reset()
+		testutil.CheckClose(t, "supervised "+site, phi, want, 1e-3)
+	}
+}
+
+// TestResilientDegradation exhausts a permanently failing preferred rung and
+// proves the ladder steps down to the healthy fallback: the solve succeeds,
+// LastRung names the fallback, and the degradation is counted.
+func TestResilientDegradation(t *testing.T) {
+	sys := nbody.NewUniformSystem(1024, 24)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &failingSolver{failN: -1}
+	r, err := nbody.NewResilient(supervisorPolicy(), bad, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.ResetRecovery()
+	phi, err := r.Potentials(sys)
+	if err != nil {
+		t.Fatalf("ladder with healthy fallback failed: %v", err)
+	}
+	want := direct.PotentialsParallel(sys.Positions, sys.Charges)
+	testutil.CheckClose(t, "degraded solve", phi, want, boundFast)
+	if got := r.LastRung(); got != 1 {
+		t.Errorf("LastRung = %d, want 1 (the fallback)", got)
+	}
+	if bad.calls != 3 {
+		t.Errorf("failing rung probed %d times, want MaxAttempts = 3", bad.calls)
+	}
+	rec := metrics.ReadRecovery()
+	if rec.Degradations != 1 {
+		t.Errorf("degradations = %d, want 1", rec.Degradations)
+	}
+	if rec.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (attempts 2 and 3 on the failing rung)", rec.Retries)
+	}
+}
+
+// TestResilientBreakerSkipsOpenRung trips the preferred rung's circuit
+// breaker and proves the next solve does not probe the rung at all while the
+// breaker cools down.
+func TestResilientBreakerSkipsOpenRung(t *testing.T) {
+	sys := nbody.NewUniformSystem(512, 25)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &failingSolver{failN: -1}
+	p := supervisorPolicy()
+	p.MaxAttempts = 2
+	p.BreakerThreshold = 2
+	p.BreakerCooldown = time.Minute
+	r, err := nbody.NewResilient(p, bad, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.ResetRecovery()
+	if _, err := r.Potentials(sys); err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	if bad.calls != 2 {
+		t.Fatalf("failing rung probed %d times before the trip, want 2", bad.calls)
+	}
+	if rec := metrics.ReadRecovery(); rec.BreakerTrips != 1 {
+		t.Fatalf("breaker trips = %d, want 1", rec.BreakerTrips)
+	}
+
+	// Second solve: the open breaker must reject rung 0 without an attempt.
+	if _, err := r.Potentials(sys); err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	if bad.calls != 2 {
+		t.Errorf("open-breaker rung probed again (%d calls, want still 2)", bad.calls)
+	}
+	if got := r.LastRung(); got != 1 {
+		t.Errorf("LastRung = %d, want 1", got)
+	}
+}
+
+// TestResilientHappyPathNoNewAllocs pins the zero-overhead claim: a solve
+// through the supervisor allocates exactly as much as the bare solver's
+// allocation-free path (nothing), records no recovery events, and stays on
+// rung 0.
+func TestResilientHappyPathNoNewAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are noise under the race detector")
+	}
+	sys := nbody.NewUniformSystem(2048, 26)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nbody.NewResilient(supervisorPolicy(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, sys.Len())
+	if err := r.PotentialsInto(phi, sys); err != nil { // warm the solver buffers
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(10, func() {
+		if err := a.PotentialsInto(phi, sys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	metrics.ResetRecovery()
+	supervised := testing.AllocsPerRun(10, func() {
+		if err := r.PotentialsInto(phi, sys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if supervised > base {
+		t.Errorf("supervised solve allocates %.0f/op, bare solver %.0f/op: the happy path must add nothing", supervised, base)
+	}
+	if rec := metrics.ReadRecovery(); !rec.Zero() {
+		t.Errorf("happy path recorded recovery events: %+v", rec)
+	}
+	if got := r.LastRung(); got != 0 {
+		t.Errorf("LastRung = %d, want 0", got)
+	}
+}
+
+// TestResilientCancelDuringBackoffPrompt is the promptness acceptance test
+// at the public API: with a ten-second backoff pending, cancelling the
+// caller's context must return within milliseconds, not after the sleep.
+func TestResilientCancelDuringBackoffPrompt(t *testing.T) {
+	sys := nbody.NewUniformSystem(64, 27)
+	bad := &failingSolver{failN: -1}
+	r, err := nbody.NewResilient(nbody.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Second,
+		MaxBackoff:  10 * time.Second,
+	}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = r.PotentialsCtx(ctx, sys)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation during backoff took %v, want prompt return", elapsed)
+	}
+	t.Logf("cancelled a 10s backoff in %v", elapsed)
+}
+
+// TestResilientPermanentAbortsWholeLadder feeds a malformed system through a
+// two-rung ladder: validation errors must abort immediately — no retries, no
+// probe of the fallback rung, the sentinel preserved for errors.Is.
+func TestResilientPermanentAbortsWholeLadder(t *testing.T) {
+	sys := nbody.NewUniformSystem(64, 28)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := &failingSolver{failN: 0}
+	r, err := nbody.NewResilient(supervisorPolicy(), a, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &nbody.System{
+		Positions: append([]nbody.Vec3{}, sys.Positions...),
+		Charges:   append([]float64{}, sys.Charges...),
+	}
+	bad.Positions[5] = nbody.Vec3{X: math.NaN()}
+	metrics.ResetRecovery()
+	if _, err := r.Potentials(bad); !errors.Is(err, nbody.ErrInvalidSystem) {
+		t.Fatalf("got %v, want ErrInvalidSystem", err)
+	}
+	if fallback.calls != 0 {
+		t.Errorf("fallback probed %d times on a permanent error, want 0", fallback.calls)
+	}
+	if rec := metrics.ReadRecovery(); rec.Retries != 0 {
+		t.Errorf("retries = %d on a permanent error, want 0", rec.Retries)
+	}
+}
+
+// TestResilientSkipsIncapableRung asks a ladder whose preferred rung cannot
+// compute accelerations (Barnes-Hut is potentials-only) for accelerations:
+// the rung must be skipped without burning retry attempts, and the capable
+// fallback must serve the request.
+func TestResilientSkipsIncapableRung(t *testing.T) {
+	sys := nbody.NewUniformSystem(512, 29)
+	box := sys.BoundingBox()
+	a, err := nbody.NewAnderson(box, nbody.Options{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nbody.NewResilient(supervisorPolicy(), nbody.NewBarnesHut(box, 0.4), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.ResetRecovery()
+	phi, acc, err := r.Accelerations(sys)
+	if err != nil {
+		t.Fatalf("Accelerations through a potentials-only rung: %v", err)
+	}
+	if len(phi) != sys.Len() || len(acc) != sys.Len() {
+		t.Fatalf("result lengths (%d, %d), want (%d, %d)", len(phi), len(acc), sys.Len(), sys.Len())
+	}
+	if got := r.LastRung(); got != 1 {
+		t.Errorf("LastRung = %d, want 1", got)
+	}
+	if rec := metrics.ReadRecovery(); rec.Retries != 0 {
+		t.Errorf("retries = %d for a capability skip, want 0", rec.Retries)
+	}
+	// Potentials must still prefer the Barnes-Hut rung.
+	if _, err := r.Potentials(sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LastRung(); got != 0 {
+		t.Errorf("Potentials LastRung = %d, want 0", got)
 	}
 }

@@ -15,7 +15,7 @@
 # nonzero (failing CI).
 set -eu
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 solve_txt="$(mktemp)"
 gemm_txt="$(mktemp)"
 phases_json="$(mktemp)"

@@ -48,6 +48,25 @@ type Simulation struct {
 	into AcceleratorInto // non-nil when Solver supports in-place solves
 	time float64
 	step int
+
+	// Periodic checkpointing, armed by EnableCheckpoints.
+	ckPath  string
+	ckEvery int
+}
+
+// EnableCheckpoints arms periodic checkpointing: after every `every`
+// completed steps, Step atomically writes a snapshot to path (see
+// CheckpointFile), so a crashed run resumes from the last multiple of
+// `every` instead of from zero.
+func (s *Simulation) EnableCheckpoints(path string, every int) error {
+	if path == "" {
+		return fmt.Errorf("nbody: empty checkpoint path")
+	}
+	if every <= 0 {
+		return fmt.Errorf("nbody: non-positive checkpoint interval %d", every)
+	}
+	s.ckPath, s.ckEvery = path, every
+	return nil
 }
 
 // NewSimulation prepares a simulation; velocities may be nil for a cold
@@ -119,6 +138,11 @@ func (s *Simulation) Step(n int) error {
 		}
 		s.step++
 		s.time += dt
+		if s.ckEvery > 0 && s.step%s.ckEvery == 0 {
+			if err := s.CheckpointFile(s.ckPath); err != nil {
+				return fmt.Errorf("nbody: step %d: checkpoint: %w", s.step, err)
+			}
+		}
 	}
 	return nil
 }
