@@ -22,6 +22,7 @@ import (
 	"nbody"
 	"nbody/internal/cli"
 	"nbody/internal/metrics"
+	"nbody/internal/simd"
 )
 
 func main() {
@@ -48,8 +49,15 @@ func main() {
 		ckPath   = flag.String("checkpoint", "", "snapshot path for periodic checkpoints")
 		ckEvery  = flag.Int("checkpoint-every", 0, "steps between checkpoints (needs -checkpoint)")
 		resume   = flag.String("resume", "", "resume the simulation from this snapshot")
+		backend  = flag.String("backend", "auto", cli.BackendHelp)
 	)
 	flag.Parse()
+
+	// Switch the compute backend before any solver is built, so every
+	// kernel of this run dispatches to the selected one.
+	if err := cli.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
 
 	rec := cli.RecoveryFlags{
 		Retries:         *retries,
@@ -107,7 +115,8 @@ func main() {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
-	fmt.Printf("solver=%s N=%d dist=%s wall=%v\n", s.Name(), sys.Len(), *dist, wall.Round(time.Millisecond))
+	fmt.Printf("solver=%s N=%d dist=%s backend=%s wall=%v\n",
+		s.Name(), sys.Len(), *dist, simd.Active(), wall.Round(time.Millisecond))
 
 	switch sv := s.(type) {
 	case *nbody.Anderson:

@@ -39,8 +39,16 @@ func main() {
 		solves  = flag.Int("solves", 1, "number of solves to accumulate")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of the table")
 		workers = flag.Bool("workers", true, "capture per-worker scheduler utilization")
+		backend = flag.String("backend", "auto", cli.BackendHelp)
 	)
 	flag.Parse()
+
+	// The backend switch happens before any solver exists, so every kernel
+	// the solve dispatches — and the backend tag the snapshot records — is
+	// the selected one.
+	if err := cli.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
 
 	if *workers {
 		sched.EnableStats(true)

@@ -69,22 +69,19 @@ func Dscal(alpha float64, x []float64) {
 
 // Dgemv computes y += A*x (level-2 BLAS, beta = 1 accumulate form: the form
 // every translation application uses, since child/interactive contributions
-// accumulate into the destination potential vector).
+// accumulate into the destination potential vector). The inner loop is
+// backend-dispatched (dispatch.go).
 func Dgemv(a Matrix, x, y []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("blas: Dgemv shape mismatch")
 	}
+	if a.Rows == 0 || a.Cols == 0 {
+		return
+	}
 	if countersOn.Load() {
 		countGemv(a.Rows, a.Cols)
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] += s
-	}
+	gemvImpl(a.Rows, a.Cols, a.Data, x, y)
 }
 
 // DgemvFlops returns the floating-point operation count of one Dgemv of the
@@ -93,12 +90,14 @@ func Dgemv(a Matrix, x, y []float64) {
 func DgemvFlops(rows, cols int) int64 { return 2 * int64(rows) * int64(cols) }
 
 // Dgemm computes C += A*B. A is m x k, B is k x n, C is m x n, all
-// row-major. All shapes go through the k-unrolled streaming kernels of
-// gemm_stream.go, with constant trip-count fast paths for the paper's
-// K = 12 and K = 72 translation shapes; the inner loop is branch-free (the
-// seed's aik == 0 skip cost a mispredicted branch per element on dense
-// translation matrices). The reduction order is fixed (k-terms grouped in
-// fours), so results are deterministic call to call.
+// row-major. All shapes go through backend-dispatched streaming kernels
+// (dispatch.go) with constant trip-count fast paths for the paper's K = 12
+// and K = 72 translation shapes: on the scalar backend the k-unrolled
+// streams of gemm_stream.go, on AVX2 hosts the FMA kernels of
+// gemm_avx2_amd64.s. The inner loop is branch-free (the seed's aik == 0
+// skip cost a mispredicted branch per element on dense translation
+// matrices). Each backend's reduction order is fixed, so results are
+// bitwise deterministic call to call within a backend.
 func Dgemm(a, b, c Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("blas: Dgemm shape mismatch")
@@ -112,11 +111,11 @@ func Dgemm(a, b, c Matrix) {
 	}
 	switch k {
 	case 12:
-		gemmK12(m, n, a.Data, b.Data, c.Data)
+		gemmK12Impl(m, n, a.Data, b.Data, c.Data)
 	case 72:
-		gemmK72(m, n, a.Data, b.Data, c.Data)
+		gemmK72Impl(m, n, a.Data, b.Data, c.Data)
 	default:
-		gemm4k(m, k, n, a.Data, b.Data, c.Data)
+		gemmImpl(m, k, n, a.Data, b.Data, c.Data)
 	}
 }
 

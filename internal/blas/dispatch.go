@@ -1,0 +1,80 @@
+package blas
+
+import "nbody/internal/simd"
+
+// This file is the backend seam of the BLAS layer: every public kernel
+// (Dgemm, DgemmAssign, Dgemv, GemmPanels) routes its inner loops through
+// one of the function pointers below, and applyBackend rebinds them when
+// internal/simd switches backends. The scalar bindings are the portable
+// fallback and the only ones on non-amd64 builds; the AVX2 bindings live in
+// gemm_avx2_amd64.go.
+//
+// Reduction orders (the per-backend bitwise-reproducibility contract):
+//
+//   - scalar: k-terms grouped in fours, each group summed left to right,
+//     groups accumulated ascending k (gemm_stream.go; pinned by
+//     TestDgemmGroupedOrderExact).
+//   - avx2: one fused-multiply-add chain per C element, ascending k —
+//     s = fma(a[i,k], b[k,j], s) — identical in every lane and block size
+//     (pinned by TestDgemmFMAOrderExact against a math.FMA transcription).
+//
+// Within one backend repeated calls are bitwise identical; across backends
+// results differ by rounding only, bounded by the cross-backend matrix in
+// gemm_kernels_test.go and the solver-level differential suite.
+var (
+	gemmK12Impl    func(m, n int, a, b, c []float64)            = gemmK12
+	gemmK72Impl    func(m, n int, a, b, c []float64)            = gemmK72
+	gemmImpl       func(m, k, n int, a, b, c []float64)         = gemm4k
+	gemmAssignImpl func(m, k, n int, a, b, c []float64)         = gemmAssignScalar
+	gemvImpl       func(rows, cols int, a, x, y []float64)      = gemvScalar
+	microImpl      func(kc int, ap, bp []float64, acc *[16]float64) = microScalar
+)
+
+func init() { simd.Register(applyBackend) }
+
+// applyBackend rebinds the kernel seams for the named backend. Unknown
+// names bind scalar: simd validates names, so the only way here with one is
+// a future backend this package predates, and the portable stream is the
+// correct degradation.
+func applyBackend(name string) {
+	if name == simd.AVX2 && haveAVX2 {
+		bindAVX2()
+		return
+	}
+	bindScalar()
+}
+
+func bindScalar() {
+	gemmK12Impl = gemmK12
+	gemmK72Impl = gemmK72
+	gemmImpl = gemm4k
+	gemmAssignImpl = gemmAssignScalar
+	gemvImpl = gemvScalar
+	microImpl = microScalar
+}
+
+// gemvScalar is the portable Dgemv inner loop: each row's dot product is
+// accumulated left to right into one scalar.
+func gemvScalar(rows, cols int, a, x, y []float64) {
+	for i := 0; i < rows; i++ {
+		row := a[i*cols : (i+1)*cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// microScalar routes one packed 4x4 micro-kernel invocation to the scalar
+// register-tile implementations of gemm_packed.go.
+func microScalar(kc int, ap, bp []float64, acc *[16]float64) {
+	switch kc {
+	case 12:
+		micro4x4K12(ap, bp, acc)
+	case 72:
+		micro4x4K72(ap, bp, acc)
+	default:
+		micro4x4(kc, ap, bp, acc)
+	}
+}

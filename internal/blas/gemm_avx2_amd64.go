@@ -1,0 +1,53 @@
+package blas
+
+// Go-side bindings of the AVX2/FMA assembly kernels (gemm_avx2_amd64.s).
+// The stubs take base pointers, not slices: every caller has already
+// validated shapes and non-emptiness in the exported entry points, and
+// //go:noescape keeps the operands off the heap.
+
+//go:noescape
+func dgemmAVX2(m, k, n int, a, b, c *float64)
+
+//go:noescape
+func dgemmAssignAVX2(m, k, n int, a, b, c *float64)
+
+//go:noescape
+func gemmK12AVX2(m, n int, a, b, c *float64)
+
+//go:noescape
+func gemmK72AVX2(m, n int, a, b, c *float64)
+
+//go:noescape
+func dgemvAVX2(rows, cols int, a, x, y *float64)
+
+//go:noescape
+func micro4x4AVX2(kc int, ap, bp, acc *float64)
+
+// haveAVX2 reports that this build carries the AVX2 kernels; whether the
+// host can run them is internal/simd's call (dispatch.go consults both).
+const haveAVX2 = true
+
+func bindAVX2() {
+	gemmK12Impl = func(m, n int, a, b, c []float64) {
+		gemmK12AVX2(m, n, &a[0], &b[0], &c[0])
+	}
+	gemmK72Impl = func(m, n int, a, b, c []float64) {
+		gemmK72AVX2(m, n, &a[0], &b[0], &c[0])
+	}
+	gemmImpl = func(m, k, n int, a, b, c []float64) {
+		dgemmAVX2(m, k, n, &a[0], &b[0], &c[0])
+	}
+	gemmAssignImpl = func(m, k, n int, a, b, c []float64) {
+		dgemmAssignAVX2(m, k, n, &a[0], &b[0], &c[0])
+	}
+	gemvImpl = func(rows, cols int, a, x, y []float64) {
+		dgemvAVX2(rows, cols, &a[0], &x[0], &y[0])
+	}
+	microImpl = func(kc int, ap, bp []float64, acc *[16]float64) {
+		if kc == 0 {
+			clear(acc[:])
+			return
+		}
+		micro4x4AVX2(kc, &ap[0], &bp[0], &acc[0])
+	}
+}

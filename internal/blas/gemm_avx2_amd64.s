@@ -1,0 +1,395 @@
+// AVX2/FMA streaming GEMM kernels (the avx2 backend of dispatch.go).
+//
+// Reduction order (the avx2 backend's reproducibility contract): every C
+// element is one fused-multiply-add chain ascending k,
+//
+//	s = c[i,j]; for kk = 0..k-1: s = fma(a[i,kk], b[kk,j], s)
+//
+// identical in every lane, every column-block width, and the masked tail,
+// so results are bitwise reproducible call to call and exactly modeled by
+// the math.FMA transcription in gemm_kernels_test.go. The assign variant
+// starts the chain from 0 instead of c[i,j], which is Dgemm on a zero C.
+//
+// Structure: one row of C at a time, column blocks of 32/16/4 doubles held
+// in YMM accumulators across the whole k loop (eight independent FMA chains
+// in the 32-wide block hide the 4-cycle FMA latency), B rows streamed as
+// memory operands, and a VMASKMOVPD tail for n % 4 trailing columns. The
+// shared body is gemmbody<>; the exported entries differ only in how they
+// bind k (runtime, 12, or 72) and whether C is loaded or zeroed.
+//
+// gemmbody<> register contract:
+//	R8  m    R9  k    R10 n    R11 n*8    R12 assign flag (1 = C = A*B)
+//	SI  a row    DX  b base    DI  c row
+// (clobbers AX BX CX R13 R14 R15 and Y0-Y10.)
+
+#include "textflag.h"
+
+// masktab<>[r] is the VMASKMOVPD lane mask covering r trailing doubles.
+DATA masktab<>+0x00(SB)/8, $0x0000000000000000
+DATA masktab<>+0x08(SB)/8, $0x0000000000000000
+DATA masktab<>+0x10(SB)/8, $0x0000000000000000
+DATA masktab<>+0x18(SB)/8, $0x0000000000000000
+DATA masktab<>+0x20(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x28(SB)/8, $0x0000000000000000
+DATA masktab<>+0x30(SB)/8, $0x0000000000000000
+DATA masktab<>+0x38(SB)/8, $0x0000000000000000
+DATA masktab<>+0x40(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x48(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x50(SB)/8, $0x0000000000000000
+DATA masktab<>+0x58(SB)/8, $0x0000000000000000
+DATA masktab<>+0x60(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x68(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x70(SB)/8, $0xffffffffffffffff
+DATA masktab<>+0x78(SB)/8, $0x0000000000000000
+GLOBL masktab<>(SB), RODATA, $128
+
+TEXT gemmbody<>(SB), NOSPLIT, $0-0
+rowloop:
+	TESTQ R8, R8
+	JLE   bodydone
+	XORQ  BX, BX             // j = 0
+
+col32:
+	LEAQ  32(BX), AX
+	CMPQ  AX, R10
+	JG    col16
+	LEAQ  (DI)(BX*8), R13    // &c[i*n+j]
+	LEAQ  (DX)(BX*8), R14    // &b[j]
+	MOVQ  SI, R15            // &a[i*k]
+	TESTQ R12, R12
+	JNZ   z32
+	VMOVUPD (R13), Y0
+	VMOVUPD 32(R13), Y1
+	VMOVUPD 64(R13), Y2
+	VMOVUPD 96(R13), Y3
+	VMOVUPD 128(R13), Y4
+	VMOVUPD 160(R13), Y5
+	VMOVUPD 192(R13), Y6
+	VMOVUPD 224(R13), Y7
+	JMP   k32start
+z32:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+k32start:
+	MOVQ  R9, CX
+	SHRQ  $1, CX             // k/2 paired iterations
+	JZ    k32odd
+k32pair:
+	VBROADCASTSD (R15), Y8
+	VFMADD231PD (R14), Y8, Y0
+	VFMADD231PD 32(R14), Y8, Y1
+	VFMADD231PD 64(R14), Y8, Y2
+	VFMADD231PD 96(R14), Y8, Y3
+	VFMADD231PD 128(R14), Y8, Y4
+	VFMADD231PD 160(R14), Y8, Y5
+	VFMADD231PD 192(R14), Y8, Y6
+	VFMADD231PD 224(R14), Y8, Y7
+	ADDQ  R11, R14
+	VBROADCASTSD 8(R15), Y9
+	VFMADD231PD (R14), Y9, Y0
+	VFMADD231PD 32(R14), Y9, Y1
+	VFMADD231PD 64(R14), Y9, Y2
+	VFMADD231PD 96(R14), Y9, Y3
+	VFMADD231PD 128(R14), Y9, Y4
+	VFMADD231PD 160(R14), Y9, Y5
+	VFMADD231PD 192(R14), Y9, Y6
+	VFMADD231PD 224(R14), Y9, Y7
+	ADDQ  R11, R14
+	ADDQ  $16, R15
+	DECQ  CX
+	JNZ   k32pair
+k32odd:
+	TESTQ $1, R9
+	JZ    k32done
+	VBROADCASTSD (R15), Y8
+	VFMADD231PD (R14), Y8, Y0
+	VFMADD231PD 32(R14), Y8, Y1
+	VFMADD231PD 64(R14), Y8, Y2
+	VFMADD231PD 96(R14), Y8, Y3
+	VFMADD231PD 128(R14), Y8, Y4
+	VFMADD231PD 160(R14), Y8, Y5
+	VFMADD231PD 192(R14), Y8, Y6
+	VFMADD231PD 224(R14), Y8, Y7
+k32done:
+	VMOVUPD Y0, (R13)
+	VMOVUPD Y1, 32(R13)
+	VMOVUPD Y2, 64(R13)
+	VMOVUPD Y3, 96(R13)
+	VMOVUPD Y4, 128(R13)
+	VMOVUPD Y5, 160(R13)
+	VMOVUPD Y6, 192(R13)
+	VMOVUPD Y7, 224(R13)
+	ADDQ  $32, BX
+	JMP   col32
+
+col16:
+	LEAQ  16(BX), AX
+	CMPQ  AX, R10
+	JG    col4
+	LEAQ  (DI)(BX*8), R13
+	LEAQ  (DX)(BX*8), R14
+	MOVQ  SI, R15
+	MOVQ  R9, CX
+	TESTQ R12, R12
+	JNZ   z16
+	VMOVUPD (R13), Y0
+	VMOVUPD 32(R13), Y1
+	VMOVUPD 64(R13), Y2
+	VMOVUPD 96(R13), Y3
+	JMP   k16
+z16:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+k16:
+	VBROADCASTSD (R15), Y8
+	VFMADD231PD (R14), Y8, Y0
+	VFMADD231PD 32(R14), Y8, Y1
+	VFMADD231PD 64(R14), Y8, Y2
+	VFMADD231PD 96(R14), Y8, Y3
+	ADDQ  $8, R15
+	ADDQ  R11, R14
+	DECQ  CX
+	JNZ   k16
+	VMOVUPD Y0, (R13)
+	VMOVUPD Y1, 32(R13)
+	VMOVUPD Y2, 64(R13)
+	VMOVUPD Y3, 96(R13)
+	ADDQ  $16, BX
+	JMP   col16
+
+col4:
+	LEAQ  4(BX), AX
+	CMPQ  AX, R10
+	JG    coltail
+	LEAQ  (DI)(BX*8), R13
+	LEAQ  (DX)(BX*8), R14
+	MOVQ  SI, R15
+	MOVQ  R9, CX
+	TESTQ R12, R12
+	JNZ   z4
+	VMOVUPD (R13), Y0
+	JMP   k4
+z4:
+	VXORPD Y0, Y0, Y0
+k4:
+	VBROADCASTSD (R15), Y8
+	VFMADD231PD (R14), Y8, Y0
+	ADDQ  $8, R15
+	ADDQ  R11, R14
+	DECQ  CX
+	JNZ   k4
+	VMOVUPD Y0, (R13)
+	ADDQ  $4, BX
+	JMP   col4
+
+coltail:
+	MOVQ  R10, AX
+	SUBQ  BX, AX             // r = n - j, 0..3
+	TESTQ AX, AX
+	JZ    rowdone
+	SHLQ  $5, AX
+	LEAQ  masktab<>(SB), CX
+	VMOVUPD (CX)(AX*1), Y9   // lane mask for r doubles
+	LEAQ  (DI)(BX*8), R13
+	LEAQ  (DX)(BX*8), R14
+	MOVQ  SI, R15
+	MOVQ  R9, CX
+	TESTQ R12, R12
+	JNZ   ztail
+	VMASKMOVPD (R13), Y9, Y0
+	JMP   ktail
+ztail:
+	VXORPD Y0, Y0, Y0
+ktail:
+	VBROADCASTSD (R15), Y8
+	VMASKMOVPD (R14), Y9, Y10
+	VFMADD231PD Y10, Y8, Y0
+	ADDQ  $8, R15
+	ADDQ  R11, R14
+	DECQ  CX
+	JNZ   ktail
+	VMASKMOVPD Y0, Y9, (R13)
+
+rowdone:
+	LEAQ  (SI)(R9*8), SI     // next a row
+	ADDQ  R11, DI            // next c row
+	DECQ  R8
+	JNZ   rowloop
+bodydone:
+	RET
+
+// func dgemmAVX2(m, k, n int, a, b, c *float64)
+TEXT ·dgemmAVX2(SB), NOSPLIT, $0-48
+	MOVQ m+0(FP), R8
+	MOVQ k+8(FP), R9
+	MOVQ n+16(FP), R10
+	MOVQ a+24(FP), SI
+	MOVQ b+32(FP), DX
+	MOVQ c+40(FP), DI
+	MOVQ R10, R11
+	SHLQ $3, R11
+	XORQ R12, R12
+	CALL gemmbody<>(SB)
+	VZEROUPPER
+	RET
+
+// func dgemmAssignAVX2(m, k, n int, a, b, c *float64)
+TEXT ·dgemmAssignAVX2(SB), NOSPLIT, $0-48
+	MOVQ m+0(FP), R8
+	MOVQ k+8(FP), R9
+	MOVQ n+16(FP), R10
+	MOVQ a+24(FP), SI
+	MOVQ b+32(FP), DX
+	MOVQ c+40(FP), DI
+	MOVQ R10, R11
+	SHLQ $3, R11
+	MOVQ $1, R12
+	CALL gemmbody<>(SB)
+	VZEROUPPER
+	RET
+
+// func gemmK12AVX2(m, n int, a, b, c *float64)
+//
+// The K = 12 constant-trip entry (icosahedral rule): the paired k loop runs
+// exactly six times with no odd remainder.
+TEXT ·gemmK12AVX2(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), R8
+	MOVQ $12, R9
+	MOVQ n+8(FP), R10
+	MOVQ a+16(FP), SI
+	MOVQ b+24(FP), DX
+	MOVQ c+32(FP), DI
+	MOVQ R10, R11
+	SHLQ $3, R11
+	XORQ R12, R12
+	CALL gemmbody<>(SB)
+	VZEROUPPER
+	RET
+
+// func gemmK72AVX2(m, n int, a, b, c *float64)
+//
+// The K = 72 constant-trip entry (product rule): 36 paired k iterations.
+TEXT ·gemmK72AVX2(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), R8
+	MOVQ $72, R9
+	MOVQ n+8(FP), R10
+	MOVQ a+16(FP), SI
+	MOVQ b+24(FP), DX
+	MOVQ c+32(FP), DI
+	MOVQ R10, R11
+	SHLQ $3, R11
+	XORQ R12, R12
+	CALL gemmbody<>(SB)
+	VZEROUPPER
+	RET
+
+// func dgemvAVX2(rows, cols int, a, x, y *float64)
+//
+// y += A*x, one row at a time. Reduction order: two four-lane accumulators
+// — acc0 takes column groups j ≡ 0 (mod 8) and the lone 4-wide group, acc1
+// takes groups j ≡ 4 (mod 8) and the masked tail — then
+// hsum(acc0 + acc1) = (l0+l2) + (l1+l3), added into y[i].
+TEXT ·dgemvAVX2(SB), NOSPLIT, $0-40
+	MOVQ rows+0(FP), R8
+	MOVQ cols+8(FP), R9
+	MOVQ a+16(FP), SI
+	MOVQ x+24(FP), DX
+	MOVQ y+32(FP), DI
+	MOVQ R9, R12
+	ANDQ $3, R12             // tail lane count
+	JZ   gvrows
+	MOVQ R12, AX
+	SHLQ $5, AX
+	LEAQ masktab<>(SB), CX
+	VMOVUPD (CX)(AX*1), Y9
+gvrows:
+	TESTQ R8, R8
+	JLE   gvdone
+gvrow:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ  BX, BX
+gv8:
+	LEAQ  8(BX), AX
+	CMPQ  AX, R9
+	JG    gv4
+	VMOVUPD (SI)(BX*8), Y2
+	VMOVUPD 32(SI)(BX*8), Y3
+	VFMADD231PD (DX)(BX*8), Y2, Y0
+	VFMADD231PD 32(DX)(BX*8), Y3, Y1
+	ADDQ  $8, BX
+	JMP   gv8
+gv4:
+	LEAQ  4(BX), AX
+	CMPQ  AX, R9
+	JG    gvtail
+	VMOVUPD (SI)(BX*8), Y2
+	VFMADD231PD (DX)(BX*8), Y2, Y0
+	ADDQ  $4, BX
+gvtail:
+	TESTQ R12, R12
+	JZ    gvsum
+	VMASKMOVPD (SI)(BX*8), Y9, Y2
+	VMASKMOVPD (DX)(BX*8), Y9, Y3
+	VFMADD231PD Y3, Y2, Y1
+gvsum:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VADDSD (DI), X0, X0
+	VMOVSD X0, (DI)
+	ADDQ  $8, DI
+	LEAQ  (SI)(R9*8), SI
+	DECQ  R8
+	JNZ   gvrow
+gvdone:
+	VZEROUPPER
+	RET
+
+// func micro4x4AVX2(kc int, ap, bp, acc *float64)
+//
+// The packed-path micro-kernel: a 4x4 C tile in four YMM registers (one
+// per row) across the whole k loop — the register residency the scalar
+// tile loses to spills. acc[r*4+c] = fma chain ascending k from 0, the
+// same per-element order as the streaming kernels on a zero C.
+TEXT ·micro4x4AVX2(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), R8
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DX
+	MOVQ acc+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	TESTQ R8, R8
+	JLE   mkstore
+mkloop:
+	VMOVUPD (DX), Y4
+	VBROADCASTSD (SI), Y5
+	VFMADD231PD Y4, Y5, Y0
+	VBROADCASTSD 8(SI), Y5
+	VFMADD231PD Y4, Y5, Y1
+	VBROADCASTSD 16(SI), Y5
+	VFMADD231PD Y4, Y5, Y2
+	VBROADCASTSD 24(SI), Y5
+	VFMADD231PD Y4, Y5, Y3
+	ADDQ  $32, SI
+	ADDQ  $32, DX
+	DECQ  R8
+	JNZ   mkloop
+mkstore:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET

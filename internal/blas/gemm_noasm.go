@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package blas
+
+// Portable builds carry no vector kernels: internal/simd never reports the
+// avx2 backend as supported off amd64, so bindAVX2 is unreachable and the
+// scalar stream remains the only binding.
+const haveAVX2 = false
+
+func bindAVX2() {}

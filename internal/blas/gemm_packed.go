@@ -75,7 +75,11 @@ func PackB4(b Matrix, dst []float64) {
 // GemmPanels computes C = A*B (assignment, not accumulate) entirely from
 // pre-packed operands: ap holds m/4 row panels (PackA4 layout), bp holds
 // n/4 column panels (PackB4 layout), and c is row-major m x n. m and n
-// must be multiples of 4; k is free.
+// must be multiples of 4; k is free. The micro-kernel is
+// backend-dispatched: scalar register tiles here, the FMA tile of
+// gemm_avx2_amd64.s on the AVX2 backend (where 16 YMM registers hold the
+// 4x4 tile without the spills that sink this path in pure Go — see the
+// packed-vs-streaming measurements in EXPERIMENTS.md).
 func GemmPanels(ap, bp []float64, m, k, n int, c []float64) {
 	if m%microDim != 0 || n%microDim != 0 {
 		panic("blas: GemmPanels needs m and n divisible by 4")
@@ -85,14 +89,7 @@ func GemmPanels(ap, bp []float64, m, k, n int, c []float64) {
 		app := ap[ip*k : (ip+microDim)*k]
 		for jp := 0; jp < n; jp += microDim {
 			bpp := bp[jp*k : (jp+microDim)*k]
-			switch k {
-			case 12:
-				micro4x4K12(app, bpp, &acc)
-			case 72:
-				micro4x4K72(app, bpp, &acc)
-			default:
-				micro4x4(k, app, bpp, &acc)
-			}
+			microImpl(k, app, bpp, &acc)
 			for r := 0; r < microDim; r++ {
 				crow := c[(ip+r)*n+jp : (ip+r)*n+jp+microDim]
 				crow[0] = acc[r*microDim]

@@ -84,9 +84,10 @@ func gemmK72(m, n int, a, b, c []float64) {
 }
 
 // DgemmAssign computes C = A*B (assignment, not accumulate): the first
-// k-group writes C directly, so callers reusing scratch blocks skip the
-// zeroing pass Dgemm's += contract would force. Same grouped reduction
-// order as Dgemm. A k = 0 product assigns zero.
+// k-term(s) write C directly, so callers reusing scratch blocks skip the
+// zeroing pass Dgemm's += contract would force. Backend-dispatched like
+// Dgemm, with the same per-backend reduction order as Dgemm on a zero C.
+// A k = 0 product assigns zero.
 func DgemmAssign(a, b, c Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("blas: DgemmAssign shape mismatch")
@@ -102,7 +103,13 @@ func DgemmAssign(a, b, c Matrix) {
 	if countersOn.Load() {
 		countGemm(m, k, n)
 	}
-	ad, bd, cd := a.Data, b.Data, c.Data
+	gemmAssignImpl(m, k, n, a.Data, b.Data, c.Data)
+}
+
+// gemmAssignScalar is the scalar-backend DgemmAssign body: the k-unrolled
+// stream of gemm4k with the first k-group assigning instead of
+// accumulating (grouped reduction order preserved).
+func gemmAssignScalar(m, k, n int, ad, bd, cd []float64) {
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]

@@ -13,6 +13,7 @@ import (
 
 	"nbody"
 	"nbody/internal/dpfmm"
+	"nbody/internal/simd"
 )
 
 // Canonical usage strings for the shared flags, so help output stays
@@ -21,7 +22,32 @@ const (
 	DistHelp     = "distribution: uniform|plummer|neutral"
 	AccuracyHelp = "anderson preset: fast|balanced|accurate"
 	StrategyHelp = "dp ghost strategy: direct-unaliased|linearized-unaliased|direct-aliased|linearized-aliased"
+	BackendHelp  = "compute backend: auto|scalar|avx2 (auto picks the fastest the CPU supports)"
 )
+
+// backendNames is the flag-to-backend table for SetBackend. "auto" is the
+// process default: resolve to the best backend the host supports.
+var backendNames = map[string]string{
+	"auto":      simd.Auto,
+	simd.Scalar: simd.Scalar,
+	simd.AVX2:   simd.AVX2,
+}
+
+// SetBackend applies the -backend flag: it validates the name against the
+// table above and switches internal/simd (and with it every dispatched
+// kernel) before any solver is built. Selecting a backend the host cannot
+// run is an error, not a silent fallback — scripted benchmarks must never
+// record numbers for a backend they did not actually use.
+func SetBackend(name string) error {
+	resolved, ok := backendNames[name]
+	if !ok {
+		return fmt.Errorf("unknown backend %q (%s)", name, BackendHelp)
+	}
+	if err := simd.SetBackend(resolved); err != nil {
+		return fmt.Errorf("-backend %s: %w", name, err)
+	}
+	return nil
+}
 
 // System builds the particle distribution named by dist.
 func System(dist string, n int, seed int64) (*nbody.System, error) {

@@ -1,11 +1,59 @@
 package cli
 
 import (
+	"slices"
 	"testing"
 
 	"nbody"
 	"nbody/internal/dpfmm"
+	"nbody/internal/simd"
 )
+
+func TestSetBackend(t *testing.T) {
+	prev := simd.Active()
+	defer func() {
+		if err := simd.SetBackend(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	cases := []struct {
+		name    string
+		want    string // expected simd.Active() after the call; "" = auto-resolved
+		wantErr bool
+	}{
+		{"auto", "", false},
+		{"scalar", simd.Scalar, false},
+		{"neon", "", true},
+		{"AVX2", "", true}, // names are case-sensitive, like every other flag
+		{"", "", true},
+	}
+	for _, tc := range cases {
+		err := SetBackend(tc.name)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("SetBackend(%q) accepted an invalid backend", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("SetBackend(%q): %v", tc.name, err)
+		}
+		if tc.want != "" && simd.Active() != tc.want {
+			t.Errorf("SetBackend(%q): active backend %q, want %q", tc.name, simd.Active(), tc.want)
+		}
+		if !slices.Contains(simd.Supported(), simd.Active()) {
+			t.Errorf("SetBackend(%q) activated unsupported backend %q", tc.name, simd.Active())
+		}
+	}
+
+	// Selecting avx2 explicitly must succeed exactly when the host supports
+	// it and fail loudly otherwise — never silently fall back.
+	err := SetBackend(simd.AVX2)
+	if supported := slices.Contains(simd.Supported(), simd.AVX2); supported != (err == nil) {
+		t.Errorf("SetBackend(avx2): err=%v with host support=%v", err, supported)
+	}
+}
 
 func TestSystemDistributions(t *testing.T) {
 	for _, dist := range []string{"uniform", "plummer", "neutral"} {

@@ -1,0 +1,57 @@
+package kernels
+
+import (
+	"nbody/internal/geom"
+	"nbody/internal/simd"
+)
+
+// This file is the backend seam of the near-field layer. The five hottest
+// kernels — the one-sided and traveling double loops, where the near field
+// spends almost all of its time — route through the function pointers
+// below, and applyBackend rebinds them when internal/simd switches
+// backends. The symmetric within-box kernels stay scalar: their triangular
+// iteration and two-sided write-back vectorize poorly and they touch at
+// most one box occupancy (~tens of particles) per call.
+//
+// Reduction orders (the per-backend reproducibility contract):
+//
+//   - scalar: per target particle, source terms accumulate one at a time,
+//     ascending j, exactly as written in kernels.go / soa.go.
+//   - avx2: sources are processed in groups of four; within a group the
+//     four lanes hold j, j+1, j+2, j+3, lane partial sums combine as
+//     (l0+l2) + (l1+l3), the remaining 0-3 sources are added by the scalar
+//     tail, and multiply-accumulates fuse (FMA). The coincident-particle
+//     guard is a compare mask that forces dead lanes to +0 before they
+//     reach an accumulator, so r == 0 sources contribute exactly nothing,
+//     same as the scalar `continue`.
+//
+// Within one backend repeated calls are bitwise identical; across backends
+// results differ by rounding only, bounded by kernels_simd_test.go and the
+// solver-level differential suite.
+var (
+	accumulateImpl      func(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) = accumulateScalar
+	accumulateForceImpl func(posA, accA, posB []geom.Vec3, qB []float64)                       = accumulateForceScalar
+	accumPotSoAImpl     func(xs, ys, zs, phi, sx, sy, sz, sq []float64)                        = accumPotSoAScalar
+	accumForceSoAImpl   func(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq []float64)            = accumForceSoAScalar
+	pairPotSoAImpl      func(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi []float64)              = pairPotSoAScalar
+)
+
+func init() { simd.Register(applyBackend) }
+
+// applyBackend rebinds the kernel seams for the named backend; unknown
+// names degrade to the portable scalar loops (see the blas twin for why).
+func applyBackend(name string) {
+	if name == simd.AVX2 && haveAVX2 {
+		bindAVX2()
+		return
+	}
+	bindScalar()
+}
+
+func bindScalar() {
+	accumulateImpl = accumulateScalar
+	accumulateForceImpl = accumulateForceScalar
+	accumPotSoAImpl = accumPotSoAScalar
+	accumForceSoAImpl = accumForceSoAScalar
+	pairPotSoAImpl = pairPotSoAScalar
+}

@@ -70,8 +70,12 @@ func Within(pos []geom.Vec3, q, phi []float64) {
 // Accumulate adds to phiA the potentials induced at posA by the source set
 // (posB, qB) without touching the sources: the one-sided box-box kernel
 // used when target boxes are processed in parallel and Newton's-third-law
-// write-back would race.
+// write-back would race. Backend-dispatched (dispatch.go).
 func Accumulate(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) {
+	accumulateImpl(posA, phiA, posB, qB)
+}
+
+func accumulateScalar(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) {
 	for i := range posA {
 		pi := posA[i]
 		var s float64
@@ -85,8 +89,12 @@ func Accumulate(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64
 }
 
 // AccumulateForce adds to accA the field induced at posA by the source set,
-// with the (y-x)/r^3 convention.
+// with the (y-x)/r^3 convention. Backend-dispatched (dispatch.go).
 func AccumulateForce(posA []geom.Vec3, accA []geom.Vec3, posB []geom.Vec3, qB []float64) {
+	accumulateForceImpl(posA, accA, posB, qB)
+}
+
+func accumulateForceScalar(posA, accA, posB []geom.Vec3, qB []float64) {
 	for i := range posA {
 		pi := posA[i]
 		a := accA[i]

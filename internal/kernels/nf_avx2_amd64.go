@@ -1,0 +1,96 @@
+package kernels
+
+import "nbody/internal/geom"
+
+// Go-side bindings of the AVX2/FMA near-field kernels (nf_avx2_amd64.s).
+// Each wrapper hands the assembly a source count truncated to a multiple
+// of four — the assembly's contract: no masked loads, never reads past the
+// truncated count — and feeds the 0-3 leftover sources through the scalar
+// kernel on sliced source operands, which appends the tail contributions
+// after the vector ones in a fixed order (determinism preserved). The
+// assembly is skipped entirely when either side of the truncated loop is
+// empty, so no empty slice is ever dereferenced.
+
+//go:noescape
+func accumPotSoAAVX2(xs, ys, zs, phi *float64, cnt int, sx, sy, sz, sq *float64, scnt int)
+
+//go:noescape
+func accumForceSoAAVX2(xs, ys, zs, phi, gx, gy, gz *float64, cnt int, sx, sy, sz, sq *float64, scnt int)
+
+//go:noescape
+func pairPotSoAAVX2(xs, ys, zs, qs, phi *float64, cnt int, sx, sy, sz, sq, sphi *float64, scnt int)
+
+//go:noescape
+func accumPotAoSAVX2(pa *geom.Vec3, phi *float64, cnt int, pb *geom.Vec3, q *float64, scnt int)
+
+//go:noescape
+func accumForceAoSAVX2(pa, acc *geom.Vec3, cnt int, pb *geom.Vec3, q *float64, scnt int)
+
+// haveAVX2 reports that this build carries the AVX2 kernels; whether the
+// host can run them is internal/simd's call (dispatch.go consults both).
+const haveAVX2 = true
+
+func bindAVX2() {
+	accumulateImpl = accumulateVec
+	accumulateForceImpl = accumulateForceVec
+	accumPotSoAImpl = accumPotSoAVec
+	accumForceSoAImpl = accumForceSoAVec
+	pairPotSoAImpl = pairPotSoAVec
+}
+
+func accumulateVec(posA []geom.Vec3, phiA []float64, posB []geom.Vec3, qB []float64) {
+	cnt, scnt := len(posA), len(posB)
+	s4 := scnt &^ 3
+	if cnt > 0 && s4 > 0 {
+		accumPotAoSAVX2(&posA[0], &phiA[0], cnt, &posB[0], &qB[0], s4)
+	}
+	if s4 < scnt {
+		accumulateScalar(posA, phiA, posB[s4:], qB[s4:])
+	}
+}
+
+func accumulateForceVec(posA, accA, posB []geom.Vec3, qB []float64) {
+	cnt, scnt := len(posA), len(posB)
+	s4 := scnt &^ 3
+	if cnt > 0 && s4 > 0 {
+		accumForceAoSAVX2(&posA[0], &accA[0], cnt, &posB[0], &qB[0], s4)
+	}
+	if s4 < scnt {
+		accumulateForceScalar(posA, accA, posB[s4:], qB[s4:])
+	}
+}
+
+func accumPotSoAVec(xs, ys, zs, phi, sx, sy, sz, sq []float64) {
+	cnt, scnt := len(xs), len(sx)
+	s4 := scnt &^ 3
+	if cnt > 0 && s4 > 0 {
+		accumPotSoAAVX2(&xs[0], &ys[0], &zs[0], &phi[0], cnt, &sx[0], &sy[0], &sz[0], &sq[0], s4)
+	}
+	if s4 < scnt {
+		accumPotSoAScalar(xs, ys, zs, phi, sx[s4:], sy[s4:], sz[s4:], sq[s4:])
+	}
+}
+
+func accumForceSoAVec(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq []float64) {
+	cnt, scnt := len(xs), len(sx)
+	s4 := scnt &^ 3
+	if cnt > 0 && s4 > 0 {
+		accumForceSoAAVX2(&xs[0], &ys[0], &zs[0], &phi[0], &gx[0], &gy[0], &gz[0], cnt,
+			&sx[0], &sy[0], &sz[0], &sq[0], s4)
+	}
+	if s4 < scnt {
+		accumForceSoAScalar(xs, ys, zs, phi, gx, gy, gz, sx[s4:], sy[s4:], sz[s4:], sq[s4:])
+	}
+}
+
+func pairPotSoAVec(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi []float64) {
+	cnt, scnt := len(xs), len(sx)
+	s4 := scnt &^ 3
+	if cnt > 0 && s4 > 0 {
+		pairPotSoAAVX2(&xs[0], &ys[0], &zs[0], &qs[0], &phi[0], cnt,
+			&sx[0], &sy[0], &sz[0], &sq[0], &sphi[0], s4)
+	}
+	if s4 < scnt {
+		pairPotSoAScalar(xs, ys, zs, qs, phi, sx[s4:], sy[s4:], sz[s4:], sq[s4:], sphi[s4:])
+	}
+}

@@ -1,0 +1,392 @@
+// AVX2/FMA near-field kernels. Each routine vectorizes the source (inner)
+// loop of its scalar twin four-wide, keeping the target (outer) loop
+// serial, and is only ever called with a source count that is a positive
+// multiple of 4 — the Go wrappers in nf_avx2_amd64.go truncate and run the
+// 0-3 leftover sources through the scalar kernel, so no masked loads are
+// needed and no load touches memory past the truncated count.
+//
+// The coincident-particle guard (`if r2 == 0 continue` / `if r2 > 0`) is a
+// VCMPPD lane mask applied by VANDPD to every value headed for an
+// accumulator: a dead lane's Inf or NaN (from dividing by the zero
+// distance) is bitwise-ANDed to +0 before it can reach a sum, reproducing
+// the scalar exclusion exactly. Kernels that guard with `r2 > 0` compare
+// GT_OQ (predicate 30: false on NaN, like the scalar `>`); kernels that
+// guard with `r2 == 0 continue` compare NEQ_UQ (predicate 4: true on NaN,
+// like the scalar `==` falling through).
+//
+// Lane partial sums collapse as (l0+l2) + (l1+l3) — VEXTRACTF128 +
+// VADDPD + VHADDPD, the same horizontal order as the blas Dgemv kernel —
+// which together with the serial outer loop makes every routine
+// deterministic: the avx2 half of the per-backend reproducibility
+// contract (dispatch.go).
+
+#include "textflag.h"
+
+DATA nfones<>+0(SB)/8, $1.0
+DATA nfones<>+8(SB)/8, $1.0
+DATA nfones<>+16(SB)/8, $1.0
+DATA nfones<>+24(SB)/8, $1.0
+GLOBL nfones<>(SB), RODATA|NOPTR, $32
+
+// HSUM collapses the 4 lanes of Yv into lane 0 of its low half Xv as
+// (l0+l2) + (l1+l3), clobbering Xt.
+#define HSUM(Yv, Xv, Xt) \
+	VEXTRACTF128 $1, Yv, Xt \
+	VADDPD       Xt, Xv, Xv \
+	VHADDPD      Xv, Xv, Xv
+
+// AOSX/AOSY/AOSZ transpose a 4-particle AoS block into coordinate lanes.
+// The block is three YMM loads over 96 bytes:
+//   Ya = [x0 y0 z0 x1]   Yb = [y1 z1 x2 y2]   Yc = [z2 x3 y3 z3]
+// Each macro gathers one coordinate into Yd = [c0 c1 c2 c3] via VPERMPD
+// lane selects blended together, clobbering Yt.
+#define AOSX(Ya, Yb, Yc, Yd, Yt) \
+	VPERMPD  $0x0C, Ya, Yd \
+	VPERMPD  $0x20, Yb, Yt \
+	VBLENDPD $4, Yt, Yd, Yd \
+	VPERMPD  $0x40, Yc, Yt \
+	VBLENDPD $8, Yt, Yd, Yd
+
+#define AOSY(Ya, Yb, Yc, Yd, Yt) \
+	VPERMPD  $0x01, Ya, Yd \
+	VPERMPD  $0x30, Yb, Yt \
+	VBLENDPD $6, Yt, Yd, Yd \
+	VPERMPD  $0x80, Yc, Yt \
+	VBLENDPD $8, Yt, Yd, Yd
+
+#define AOSZ(Ya, Yb, Yc, Yd, Yt) \
+	VPERMPD  $0x02, Ya, Yd \
+	VPERMPD  $0x04, Yb, Yt \
+	VBLENDPD $2, Yt, Yd, Yd \
+	VPERMPD  $0xC0, Yc, Yt \
+	VBLENDPD $0xC, Yt, Yd, Yd
+
+// func accumPotSoAAVX2(xs, ys, zs, phi *float64, cnt int, sx, sy, sz, sq *float64, scnt int)
+// One-sided SoA potential: phi[i] += sum_j sq[j]/r, guard r2 > 0.
+TEXT ·accumPotSoAAVX2(SB), NOSPLIT, $0-80
+	MOVQ xs+0(FP), SI
+	MOVQ ys+8(FP), DI
+	MOVQ zs+16(FP), R8
+	MOVQ phi+24(FP), R9
+	MOVQ cnt+32(FP), R10
+	MOVQ sx+40(FP), R11
+	MOVQ sy+48(FP), R12
+	MOVQ sz+56(FP), R13
+	MOVQ sq+64(FP), R14
+	MOVQ scnt+72(FP), R15
+	SHLQ $3, R15              // source bytes (multiple of 32)
+	XORQ AX, AX               // i
+
+psoai:
+	CMPQ AX, R10
+	JGE  psoadone
+	VBROADCASTSD (SI)(AX*8), Y1
+	VBROADCASTSD (DI)(AX*8), Y2
+	VBROADCASTSD (R8)(AX*8), Y3
+	VXORPD Y0, Y0, Y0         // acc
+	XORQ   BX, BX             // source byte offset
+
+psoaj:
+	VMOVUPD     (R11)(BX*1), Y4
+	VSUBPD      Y4, Y1, Y5    // dx = xi - sx
+	VMOVUPD     (R12)(BX*1), Y4
+	VSUBPD      Y4, Y2, Y6    // dy
+	VMOVUPD     (R13)(BX*1), Y4
+	VSUBPD      Y4, Y3, Y7    // dz
+	VMULPD      Y5, Y5, Y8
+	VFMADD231PD Y6, Y6, Y8
+	VFMADD231PD Y7, Y7, Y8    // r2
+	VXORPD      Y9, Y9, Y9
+	VCMPPD      $30, Y9, Y8, Y9 // mask = r2 > 0 (GT_OQ)
+	VSQRTPD     Y8, Y8        // r
+	VMOVUPD     (R14)(BX*1), Y4
+	VDIVPD      Y8, Y4, Y4    // sq / r
+	VANDPD      Y9, Y4, Y4    // dead lanes -> +0
+	VADDPD      Y4, Y0, Y0
+	ADDQ        $32, BX
+	CMPQ        BX, R15
+	JLT         psoaj
+
+	HSUM(Y0, X0, X5)
+	VADDSD (R9)(AX*8), X0, X0
+	VMOVSD X0, (R9)(AX*8)
+	INCQ   AX
+	JMP    psoai
+
+psoadone:
+	VZEROUPPER
+	RET
+
+// func accumForceSoAAVX2(xs, ys, zs, phi, gx, gy, gz *float64, cnt int, sx, sy, sz, sq *float64, scnt int)
+// One-sided SoA potential+field: d = source - target, inv = 1/r,
+// inv3 = inv/r2, guard r2 != 0.
+TEXT ·accumForceSoAAVX2(SB), NOSPLIT, $0-104
+	MOVQ xs+0(FP), SI
+	MOVQ ys+8(FP), DI
+	MOVQ zs+16(FP), R8
+	MOVQ cnt+56(FP), R10
+	MOVQ sx+64(FP), R11
+	MOVQ sy+72(FP), R12
+	MOVQ sz+80(FP), R13
+	MOVQ sq+88(FP), R14
+	MOVQ scnt+96(FP), R15
+	SHLQ $3, R15
+	XORQ AX, AX
+
+fsoai:
+	CMPQ AX, R10
+	JGE  fsoadone
+	VBROADCASTSD (SI)(AX*8), Y4
+	VBROADCASTSD (DI)(AX*8), Y5
+	VBROADCASTSD (R8)(AX*8), Y6
+	VXORPD Y0, Y0, Y0         // p
+	VXORPD Y1, Y1, Y1         // fx
+	VXORPD Y2, Y2, Y2         // fy
+	VXORPD Y3, Y3, Y3         // fz
+	XORQ   BX, BX
+
+fsoaj:
+	VMOVUPD     (R11)(BX*1), Y7
+	VSUBPD      Y4, Y7, Y7    // dx = sx - xi
+	VMOVUPD     (R12)(BX*1), Y8
+	VSUBPD      Y5, Y8, Y8    // dy
+	VMOVUPD     (R13)(BX*1), Y9
+	VSUBPD      Y6, Y9, Y9    // dz
+	VMULPD      Y7, Y7, Y10
+	VFMADD231PD Y8, Y8, Y10
+	VFMADD231PD Y9, Y9, Y10   // r2
+	VXORPD      Y11, Y11, Y11
+	VCMPPD      $4, Y11, Y10, Y11 // mask = r2 != 0 (NEQ_UQ)
+	VSQRTPD     Y10, Y12      // r
+	VMOVUPD     nfones<>(SB), Y13
+	VDIVPD      Y12, Y13, Y12 // inv = 1/r
+	VDIVPD      Y10, Y12, Y13 // inv3 = inv/r2
+	VMOVUPD     (R14)(BX*1), Y14 // sq
+	VMULPD      Y12, Y14, Y12 // sq*inv
+	VANDPD      Y11, Y12, Y12
+	VADDPD      Y12, Y0, Y0   // p += sq*inv
+	VMULPD      Y13, Y14, Y13 // w = sq*inv3
+	VANDPD      Y11, Y13, Y13
+	VFMADD231PD Y7, Y13, Y1   // fx += w*dx
+	VFMADD231PD Y8, Y13, Y2
+	VFMADD231PD Y9, Y13, Y3
+	ADDQ        $32, BX
+	CMPQ        BX, R15
+	JLT         fsoaj
+
+	HSUM(Y0, X0, X13)
+	MOVQ   phi+24(FP), CX
+	VADDSD (CX)(AX*8), X0, X0
+	VMOVSD X0, (CX)(AX*8)
+	HSUM(Y1, X1, X13)
+	MOVQ   gx+32(FP), CX
+	VADDSD (CX)(AX*8), X1, X1
+	VMOVSD X1, (CX)(AX*8)
+	HSUM(Y2, X2, X13)
+	MOVQ   gy+40(FP), CX
+	VADDSD (CX)(AX*8), X2, X2
+	VMOVSD X2, (CX)(AX*8)
+	HSUM(Y3, X3, X13)
+	MOVQ   gz+48(FP), CX
+	VADDSD (CX)(AX*8), X3, X3
+	VMOVSD X3, (CX)(AX*8)
+	INCQ   AX
+	JMP    fsoai
+
+fsoadone:
+	VZEROUPPER
+	RET
+
+// func pairPotSoAAVX2(xs, ys, zs, qs, phi *float64, cnt int, sx, sy, sz, sq, sphi *float64, scnt int)
+// Symmetric traveling SoA potential: phi[i] += sum sq[j]*inv and
+// sphi[j] += qs[i]*inv, guard r2 != 0.
+TEXT ·pairPotSoAAVX2(SB), NOSPLIT, $0-96
+	MOVQ xs+0(FP), SI
+	MOVQ ys+8(FP), DI
+	MOVQ zs+16(FP), R8
+	MOVQ cnt+40(FP), R10
+	MOVQ sx+48(FP), R11
+	MOVQ sy+56(FP), R12
+	MOVQ sz+64(FP), R13
+	MOVQ sq+72(FP), R14
+	MOVQ sphi+80(FP), CX
+	MOVQ scnt+88(FP), R15
+	SHLQ $3, R15
+	XORQ AX, AX
+
+pairi:
+	CMPQ AX, R10
+	JGE  pairdone
+	VBROADCASTSD (SI)(AX*8), Y4
+	VBROADCASTSD (DI)(AX*8), Y5
+	VBROADCASTSD (R8)(AX*8), Y6
+	MOVQ         qs+24(FP), DX
+	VBROADCASTSD (DX)(AX*8), Y7 // qi
+	VXORPD       Y0, Y0, Y0     // acc
+	XORQ         BX, BX
+
+pairj:
+	VMOVUPD     (R11)(BX*1), Y8
+	VSUBPD      Y8, Y4, Y8    // dx = xi - sx
+	VMOVUPD     (R12)(BX*1), Y9
+	VSUBPD      Y9, Y5, Y9    // dy
+	VMOVUPD     (R13)(BX*1), Y10
+	VSUBPD      Y10, Y6, Y10  // dz
+	VMULPD      Y8, Y8, Y11
+	VFMADD231PD Y9, Y9, Y11
+	VFMADD231PD Y10, Y10, Y11 // r2
+	VXORPD      Y12, Y12, Y12
+	VCMPPD      $4, Y12, Y11, Y12 // mask = r2 != 0 (NEQ_UQ)
+	VSQRTPD     Y11, Y11      // r
+	VMOVUPD     nfones<>(SB), Y13
+	VDIVPD      Y11, Y13, Y11 // inv = 1/r
+	VANDPD      Y12, Y11, Y11 // masked inv serves both deposits
+	VMOVUPD     (R14)(BX*1), Y13
+	VFMADD231PD Y11, Y13, Y0  // acc += sq*inv
+	VMOVUPD     (CX)(BX*1), Y13
+	VFMADD231PD Y7, Y11, Y13  // sphi += qi*inv
+	VMOVUPD     Y13, (CX)(BX*1)
+	ADDQ        $32, BX
+	CMPQ        BX, R15
+	JLT         pairj
+
+	HSUM(Y0, X0, X13)
+	MOVQ   phi+32(FP), DX
+	VADDSD (DX)(AX*8), X0, X0
+	VMOVSD X0, (DX)(AX*8)
+	INCQ   AX
+	JMP    pairi
+
+pairdone:
+	VZEROUPPER
+	RET
+
+// func accumPotAoSAVX2(pa *geom.Vec3, phi *float64, cnt int, pb *geom.Vec3, q *float64, scnt int)
+// One-sided AoS potential: phi[i] += sum q[j]/r, guard r > 0. Source
+// positions are 24-byte Vec3 structs, transposed 4 at a time.
+TEXT ·accumPotAoSAVX2(SB), NOSPLIT, $0-48
+	MOVQ   pa+0(FP), SI
+	MOVQ   phi+8(FP), DI
+	MOVQ   cnt+16(FP), R10
+	MOVQ   pb+24(FP), R11
+	MOVQ   q+32(FP), R14
+	MOVQ   scnt+40(FP), R15
+	IMUL3Q $24, R15, R15      // source position bytes
+
+paosi:
+	TESTQ R10, R10
+	JZ    paosdone
+	VBROADCASTSD (SI), Y1     // xi
+	VBROADCASTSD 8(SI), Y2    // yi
+	VBROADCASTSD 16(SI), Y3   // zi
+	VXORPD Y0, Y0, Y0         // acc
+	XORQ   BX, BX             // position byte offset
+	XORQ   CX, CX             // charge byte offset
+
+paosj:
+	VMOVUPD (R11)(BX*1), Y4   // x0 y0 z0 x1
+	VMOVUPD 32(R11)(BX*1), Y5 // y1 z1 x2 y2
+	VMOVUPD 64(R11)(BX*1), Y6 // z2 x3 y3 z3
+	AOSX(Y4, Y5, Y6, Y7, Y10)
+	AOSY(Y4, Y5, Y6, Y8, Y10)
+	AOSZ(Y4, Y5, Y6, Y9, Y10)
+	VSUBPD      Y7, Y1, Y7    // dx = xi - bx
+	VSUBPD      Y8, Y2, Y8
+	VSUBPD      Y9, Y3, Y9
+	VMULPD      Y7, Y7, Y10
+	VFMADD231PD Y8, Y8, Y10
+	VFMADD231PD Y9, Y9, Y10   // r2
+	VXORPD      Y11, Y11, Y11
+	VCMPPD      $30, Y11, Y10, Y11 // mask = r2 > 0 (GT_OQ)
+	VSQRTPD     Y10, Y10      // r
+	VMOVUPD     (R14)(CX*1), Y4
+	VDIVPD      Y10, Y4, Y4   // q / r
+	VANDPD      Y11, Y4, Y4
+	VADDPD      Y4, Y0, Y0
+	ADDQ        $96, BX
+	ADDQ        $32, CX
+	CMPQ        BX, R15
+	JLT         paosj
+
+	HSUM(Y0, X0, X5)
+	VADDSD (DI), X0, X0
+	VMOVSD X0, (DI)
+	ADDQ   $24, SI
+	ADDQ   $8, DI
+	DECQ   R10
+	JMP    paosi
+
+paosdone:
+	VZEROUPPER
+	RET
+
+// func accumForceAoSAVX2(pa, acc *geom.Vec3, cnt int, pb *geom.Vec3, q *float64, scnt int)
+// One-sided AoS field: acc[i] += sum (b-a) * q[j]/(r2*r), guard r2 != 0.
+TEXT ·accumForceAoSAVX2(SB), NOSPLIT, $0-48
+	MOVQ   pa+0(FP), SI
+	MOVQ   acc+8(FP), DI
+	MOVQ   cnt+16(FP), R10
+	MOVQ   pb+24(FP), R11
+	MOVQ   q+32(FP), R14
+	MOVQ   scnt+40(FP), R15
+	IMUL3Q $24, R15, R15
+
+faosi:
+	TESTQ R10, R10
+	JZ    faosdone
+	VBROADCASTSD (SI), Y3     // xi
+	VBROADCASTSD 8(SI), Y4    // yi
+	VBROADCASTSD 16(SI), Y5   // zi
+	VXORPD Y0, Y0, Y0         // fx
+	VXORPD Y1, Y1, Y1         // fy
+	VXORPD Y2, Y2, Y2         // fz
+	XORQ   BX, BX
+	XORQ   CX, CX
+
+faosj:
+	VMOVUPD (R11)(BX*1), Y6
+	VMOVUPD 32(R11)(BX*1), Y7
+	VMOVUPD 64(R11)(BX*1), Y8
+	AOSX(Y6, Y7, Y8, Y9, Y12)
+	AOSY(Y6, Y7, Y8, Y10, Y12)
+	AOSZ(Y6, Y7, Y8, Y11, Y12)
+	VSUBPD      Y3, Y9, Y9    // dx = bx - xi
+	VSUBPD      Y4, Y10, Y10  // dy
+	VSUBPD      Y5, Y11, Y11  // dz
+	VMULPD      Y9, Y9, Y12
+	VFMADD231PD Y10, Y10, Y12
+	VFMADD231PD Y11, Y11, Y12 // r2
+	VXORPD      Y13, Y13, Y13
+	VCMPPD      $4, Y13, Y12, Y13 // mask = r2 != 0 (NEQ_UQ)
+	VSQRTPD     Y12, Y14      // r
+	VMULPD      Y14, Y12, Y14 // r2*r
+	VMOVUPD     nfones<>(SB), Y6
+	VDIVPD      Y14, Y6, Y6   // inv = 1/(r2*r)
+	VMOVUPD     (R14)(CX*1), Y7
+	VMULPD      Y6, Y7, Y7    // w = q*inv
+	VANDPD      Y13, Y7, Y7
+	VFMADD231PD Y9, Y7, Y0    // fx += w*dx
+	VFMADD231PD Y10, Y7, Y1
+	VFMADD231PD Y11, Y7, Y2
+	ADDQ        $96, BX
+	ADDQ        $32, CX
+	CMPQ        BX, R15
+	JLT         faosj
+
+	HSUM(Y0, X0, X13)
+	VADDSD (DI), X0, X0
+	VMOVSD X0, (DI)
+	HSUM(Y1, X1, X13)
+	VADDSD 8(DI), X1, X1
+	VMOVSD X1, 8(DI)
+	HSUM(Y2, X2, X13)
+	VADDSD 16(DI), X2, X2
+	VMOVSD X2, 16(DI)
+	ADDQ   $24, SI
+	ADDQ   $24, DI
+	DECQ   R10
+	JMP    faosi
+
+faosdone:
+	VZEROUPPER
+	RET

@@ -28,8 +28,12 @@ func WithinPotentialSoA(xs, ys, zs, qs, phi []float64) {
 
 // AccumulatePotentialSoA adds to phi the potentials induced at the target
 // box by a traveling source box, one-sided (sources untouched, so parallel
-// target boxes never race).
+// target boxes never race). Backend-dispatched (dispatch.go).
 func AccumulatePotentialSoA(xs, ys, zs, phi, sx, sy, sz, sq []float64) {
+	accumPotSoAImpl(xs, ys, zs, phi, sx, sy, sz, sq)
+}
+
+func accumPotSoAScalar(xs, ys, zs, phi, sx, sy, sz, sq []float64) {
 	cnt, scnt := len(xs), len(sx)
 	for i := 0; i < cnt; i++ {
 		var acc float64
@@ -47,7 +51,12 @@ func AccumulatePotentialSoA(xs, ys, zs, phi, sx, sy, sz, sq []float64) {
 // paper): each target particle receives the source box's contribution, and
 // the reciprocal contribution is deposited into the traveling accumulator
 // sphi, to be shifted home by the caller after the walk.
+// Backend-dispatched (dispatch.go).
 func PairwisePotentialSoA(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi []float64) {
+	pairPotSoAImpl(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi)
+}
+
+func pairPotSoAScalar(xs, ys, zs, qs, phi, sx, sy, sz, sq, sphi []float64) {
 	cnt, scnt := len(xs), len(sx)
 	for i := 0; i < cnt; i++ {
 		var acc float64
@@ -92,8 +101,12 @@ func WithinForceSoA(xs, ys, zs, qs, phi, gx, gy, gz []float64) {
 }
 
 // AccumulateForceSoA adds to phi and the field planes the one-sided
-// contribution of a traveling source box.
+// contribution of a traveling source box. Backend-dispatched (dispatch.go).
 func AccumulateForceSoA(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq []float64) {
+	accumForceSoAImpl(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq)
+}
+
+func accumForceSoAScalar(xs, ys, zs, phi, gx, gy, gz, sx, sy, sz, sq []float64) {
 	cnt, scnt := len(xs), len(sx)
 	for i := 0; i < cnt; i++ {
 		var p, fx, fy, fz float64

@@ -3,6 +3,8 @@ package metrics
 import (
 	"sync/atomic"
 	"time"
+
+	"nbody/internal/simd"
 )
 
 // Rec is a phase-scoped recorder: monotonic wall time, analytic flop
@@ -174,9 +176,10 @@ func (r *Rec) Reset() {
 // are left untouched.
 func (r *Rec) ReadInto(dst *Snapshot) {
 	if r == nil {
-		*dst = Snapshot{Workers: dst.Workers}
+		*dst = Snapshot{Workers: dst.Workers, Backend: simd.Active()}
 		return
 	}
+	dst.Backend = simd.Active()
 	for p := Phase(0); p < NumPhases; p++ {
 		dst.Time[p] = time.Duration(r.ns[p].Load())
 		dst.Flops[p] = r.flops[p].Load()

@@ -29,6 +29,11 @@ type Snapshot struct {
 	Depth     int
 	K         int
 
+	// Backend is the compute backend (internal/simd) that was active when
+	// the snapshot was read — "scalar", "avx2", ... — recorded so that
+	// benchmark artifacts are only ever compared like against like.
+	Backend string
+
 	// T2Count is the number of interactive-field translations actually
 	// applied (after boundary clipping and supernode reduction); the
 	// headline count the supernode optimization reduces.
@@ -110,9 +115,18 @@ func (s *Snapshot) active(p Phase) bool {
 
 // String formats a compact per-phase report (the historical core.Stats
 // format, with inactive phases skipped).
+// backendSuffix renders the backend tag for the report headers; snapshots
+// predating the dispatch layer (zero value) stay tagless.
+func backendSuffix(backend string) string {
+	if backend == "" {
+		return ""
+	}
+	return " backend=" + backend
+}
+
 func (s *Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "N=%d depth=%d K=%d\n", s.Particles, s.Depth, s.K)
+	fmt.Fprintf(&b, "N=%d depth=%d K=%d%s\n", s.Particles, s.Depth, s.K, backendSuffix(s.Backend))
 	for p := Phase(0); p < NumPhases; p++ {
 		if p != PhaseSetup && !s.active(p) {
 			continue
@@ -128,7 +142,7 @@ func (s *Snapshot) String() string {
 func (s *Snapshot) Table() string {
 	total := s.TotalTime()
 	var b strings.Builder
-	fmt.Fprintf(&b, "N=%d depth=%d K=%d\n", s.Particles, s.Depth, s.K)
+	fmt.Fprintf(&b, "N=%d depth=%d K=%d%s\n", s.Particles, s.Depth, s.K, backendSuffix(s.Backend))
 	fmt.Fprintf(&b, "  %-11s %14s %10s %7s\n", "phase", "time", "Mflops/s", "%solve")
 	for p := PhaseSort; p < NumPhases; p++ {
 		if !s.active(p) {
@@ -189,6 +203,7 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Particles  int            `json:"particles"`
 		Depth      int            `json:"depth"`
 		K          int            `json:"k"`
+		Backend    string         `json:"backend,omitempty"`
 		TotalNS    int64          `json:"total_ns"`
 		TotalFlops int64          `json:"total_flops"`
 		T2Count    int64          `json:"t2_count"`
@@ -202,6 +217,7 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Particles:  s.Particles,
 		Depth:      s.Depth,
 		K:          s.K,
+		Backend:    s.Backend,
 		TotalNS:    int64(s.TotalTime()),
 		TotalFlops: s.TotalFlops(),
 		T2Count:    s.T2Count,

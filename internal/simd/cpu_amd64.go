@@ -1,0 +1,38 @@
+package simd
+
+// CPUID feature probe for the AVX2 backend. The repository vendors nothing,
+// so instead of golang.org/x/sys/cpu this is the same three-leaf probe that
+// package does: leaf 1 for FMA/AVX/OSXSAVE, XGETBV for OS-enabled YMM
+// state, leaf 7 for AVX2. All four conditions must hold — FMA and AVX2 are
+// separate CPUID bits, and without OSXSAVE+XCR0 the OS does not preserve
+// the upper YMM halves across context switches.
+
+// cpuid executes the CPUID instruction (implemented in cpu_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (implemented in cpu_amd64.s).
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX state) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,89 @@
+package simd
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+func restoreBackend(t *testing.T) {
+	t.Helper()
+	prev := Active()
+	t.Cleanup(func() {
+		if err := SetBackend(prev); err != nil {
+			t.Fatalf("restoring backend %q: %v", prev, err)
+		}
+	})
+}
+
+func TestSupportedAndActive(t *testing.T) {
+	sup := Supported()
+	if len(sup) == 0 || sup[0] != Scalar {
+		t.Fatalf("Supported() = %v, want scalar first", sup)
+	}
+	if !slices.Contains(sup, Active()) {
+		t.Errorf("active backend %q not in supported set %v", Active(), sup)
+	}
+}
+
+func TestSetBackendResolvesAuto(t *testing.T) {
+	restoreBackend(t)
+	if err := SetBackend(Auto); err != nil {
+		t.Fatal(err)
+	}
+	// Auto must resolve to the fastest supported backend, never stay "auto".
+	sup := Supported()
+	if got, want := Active(), sup[len(sup)-1]; got != want {
+		t.Errorf("SetBackend(auto) resolved to %q, want %q", got, want)
+	}
+}
+
+func TestSetBackendRejectsUnknown(t *testing.T) {
+	restoreBackend(t)
+	before := Active()
+	err := SetBackend("neon")
+	if err == nil {
+		t.Fatal("SetBackend accepted an unknown backend")
+	}
+	if !strings.Contains(err.Error(), Help()) {
+		t.Errorf("error %q does not enumerate valid names %q", err, Help())
+	}
+	if Active() != before {
+		t.Errorf("failed SetBackend changed the active backend to %q", Active())
+	}
+}
+
+func TestSetBackendRejectsUnsupported(t *testing.T) {
+	restoreBackend(t)
+	// Every backend in the table that the probe rules out must fail loudly;
+	// every supported one must activate.
+	for _, b := range backends {
+		err := SetBackend(b.name)
+		if b.supported() {
+			if err != nil {
+				t.Errorf("SetBackend(%q): %v with probe passing", b.name, err)
+			} else if Active() != b.name {
+				t.Errorf("SetBackend(%q) activated %q", b.name, Active())
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("SetBackend(%q) succeeded with probe failing", b.name)
+		}
+	}
+}
+
+func TestRegisterAppliesImmediatelyAndOnSwitch(t *testing.T) {
+	restoreBackend(t)
+	var got []string
+	Register(func(name string) { got = append(got, name) })
+	if len(got) != 1 || got[0] != Active() {
+		t.Fatalf("Register applied %v, want immediate [%q]", got, Active())
+	}
+	if err := SetBackend(Scalar); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != Scalar {
+		t.Fatalf("after SetBackend(scalar) applier saw %v", got)
+	}
+}
