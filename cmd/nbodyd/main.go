@@ -1,0 +1,213 @@
+// Command nbodyd is the N-body solver service: a multi-tenant HTTP server
+// around the repo's solver stack, with per-tenant admission control, a
+// solver-plan cache, and the self-healing degradation ladder per request.
+//
+//	nbodyd -addr :8042 -policy fair -fallback bh,direct
+//
+// With -loadtest it instead runs the closed-loop load harness against
+// in-process servers — one per admission policy — and prints the markdown
+// comparison table the experiments record, exiting nonzero if any request
+// drew a 5xx:
+//
+//	nbodyd -loadtest -duration 5s -tenants "alice:4:2048,bob:4:2048,carol:2:8192"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nbody/internal/cli"
+	"nbody/internal/serve"
+	"nbody/internal/serve/loadgen"
+	"nbody/internal/simd"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8042", "listen address")
+		workers   = flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS/2)")
+		queue     = flag.Int("queue-depth", 16, "per-tenant queue depth (admission bound)")
+		inflight  = flag.Int("inflight", 2, "per-tenant in-flight cap under the fair policy (-1 = uncapped)")
+		policy    = flag.String("policy", "fair", "admission policy: fair | fifo")
+		planCache = flag.Int("plan-cache", 8, "idle warm plans retained (-1 disables reuse)")
+		maxN      = flag.Int("max-n", 131072, "particle-count cap per request")
+		maxDepth  = flag.Int("max-depth", 6, "hierarchy-depth cap per request")
+		deadline  = flag.Duration("deadline", 60*time.Second, "default per-request deadline")
+		fallback  = flag.String("fallback", "", "degradation ladder below Anderson, comma-separated (e.g. bh,direct)")
+		backend   = flag.String("backend", "", "compute backend: scalar | avx2 (default: auto-detect)")
+		quiet     = flag.Bool("quiet", false, "drop per-request logs")
+
+		loadtest = flag.Bool("loadtest", false, "run the closed-loop load harness instead of serving")
+		duration = flag.Duration("duration", 5*time.Second, "loadtest: duration per policy")
+		tenants  = flag.String("tenants", "alice:4:2048,bob:4:2048,carol:2:8192",
+			"loadtest: tenant spec name:concurrency:n[:n...], comma-separated")
+		policies = flag.String("policies", "fifo,fair", "loadtest: admission policies to compare")
+		think    = flag.Duration("think", 0, "loadtest: per-tenant think time between requests")
+	)
+	flag.Parse()
+
+	if *backend != "" {
+		if err := cli.SetBackend(*backend); err != nil {
+			log.Fatalf("nbodyd: %v", err)
+		}
+	}
+
+	cfg := serve.Config{
+		Workers:           *workers,
+		Policy:            serve.Policy(*policy),
+		QueueDepth:        *queue,
+		InflightPerTenant: *inflight,
+		PlanCacheCap:      *planCache,
+		MaxN:              *maxN,
+		MaxDepth:          *maxDepth,
+		DefaultDeadline:   *deadline,
+		Ladder:            *fallback,
+		Quiet:             *quiet,
+	}
+
+	if *loadtest {
+		if err := runLoadtest(cfg, *policies, *tenants, *duration, *think); err != nil {
+			log.Fatalf("nbodyd: %v", err)
+		}
+		return
+	}
+	if err := serveForever(cfg, *addr); err != nil {
+		log.Fatalf("nbodyd: %v", err)
+	}
+}
+
+// serveForever runs the server until SIGINT/SIGTERM, then drains.
+func serveForever(cfg serve.Config, addr string) error {
+	if _, err := serve.ParsePolicy(string(cfg.Policy)); err != nil {
+		return err
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("nbodyd: serving on %s (backend=%s policy=%s)", addr, simd.Active(), cfg.Policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case s := <-sig:
+		log.Printf("nbodyd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+		return nil
+	}
+}
+
+// runLoadtest starts one in-process server per policy on a loopback
+// listener, drives the same tenant mix against each over real HTTP, and
+// prints the comparison table. Any 5xx fails the run.
+func runLoadtest(cfg serve.Config, policies, tenantSpec string, duration, think time.Duration) error {
+	ts, err := parseTenants(tenantSpec, think)
+	if err != nil {
+		return err
+	}
+	var results []*loadgen.Result
+	for _, pol := range strings.Split(policies, ",") {
+		pol = strings.TrimSpace(pol)
+		p, err := serve.ParsePolicy(pol)
+		if err != nil {
+			return err
+		}
+		c := cfg
+		c.Policy = p
+		c.Quiet = true
+		res, err := runOnePolicy(c, ts, duration)
+		if err != nil {
+			return err
+		}
+		res.Policy = pol
+		results = append(results, res)
+		fmt.Fprint(os.Stderr, res.Summary())
+	}
+
+	fmt.Printf("\nbackend=%s workers=%d queue-depth=%d inflight-cap=%d duration=%s\n\n",
+		simd.Active(), cfg.Workers, cfg.QueueDepth, cfg.InflightPerTenant, duration)
+	fmt.Println(loadgen.TableHeader())
+	bad := int64(0)
+	for _, r := range results {
+		fmt.Println(r.TableRow())
+		bad += r.Total.Err5xx + r.Total.OtherErr
+	}
+	if bad > 0 {
+		return fmt.Errorf("loadtest: %d requests failed with 5xx/transport errors", bad)
+	}
+	return nil
+}
+
+// runOnePolicy runs one harness pass against a fresh server.
+func runOnePolicy(cfg serve.Config, tenants []loadgen.Tenant, duration time.Duration) (*loadgen.Result, error) {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	return loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Duration: duration,
+		Tenants:  tenants,
+	})
+}
+
+// parseTenants parses "name:concurrency:n[:n...]" specs: each trailing
+// integer is one problem size in the tenant's shape rotation.
+func parseTenants(spec string, think time.Duration) ([]loadgen.Tenant, error) {
+	var out []loadgen.Tenant
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("tenant spec %q: want name:concurrency:n[:n...]", part)
+		}
+		conc, err := strconv.Atoi(fields[1])
+		if err != nil || conc < 1 {
+			return nil, fmt.Errorf("tenant spec %q: bad concurrency %q", part, fields[1])
+		}
+		t := loadgen.Tenant{Name: fields[0], Concurrency: conc, Think: think}
+		for _, f := range fields[2:] {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("tenant spec %q: bad N %q", part, f)
+			}
+			t.Shapes = append(t.Shapes, loadgen.Shape{N: n})
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tenant spec %q: no tenants", spec)
+	}
+	return out, nil
+}

@@ -68,6 +68,13 @@ func InjectNaN(site string) { arm(site, &fault{kind: kindNaN}) }
 // cancellation deadlines and slow-phase behavior deterministically.
 func InjectDelay(site string, d time.Duration) { arm(site, &fault{kind: kindDelay, d: d}) }
 
+// InjectDelayN arms site to sleep d on each of its next count firings — for
+// holding a worker fleet deterministically busy while a test probes queueing
+// and admission behavior.
+func InjectDelayN(site string, d time.Duration, count int) {
+	armN(site, &fault{kind: kindDelay, d: d}, int64(count))
+}
+
 func arm(site string, f *fault) { armN(site, f, 1) }
 
 func armN(site string, f *fault, count int64) {

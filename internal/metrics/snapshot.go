@@ -63,6 +63,29 @@ func (s *Snapshot) CaptureRecovery() {
 	s.Recovery = &r
 }
 
+// Diff returns the per-phase delta s minus prev: the accounting of exactly
+// the solves that happened between the two snapshots. Callers that hold a
+// solver exclusively (e.g. a server request that checked a plan out of a
+// cache) use it to scope the solver's cumulative recorder to one request.
+// The shape fields (Particles, Depth, K, Backend) are taken from s;
+// worker, heap, and recovery captures do not subtract meaningfully and are
+// cleared.
+func (s *Snapshot) Diff(prev *Snapshot) Snapshot {
+	d := *s
+	for p := Phase(0); p < NumPhases; p++ {
+		d.Flops[p] -= prev.Flops[p]
+		d.Time[p] -= prev.Time[p]
+		d.Calls[p] -= prev.Calls[p]
+		d.Bytes[p] -= prev.Bytes[p]
+	}
+	d.T2Count -= prev.T2Count
+	d.NearPairs -= prev.NearPairs
+	d.Workers = nil
+	d.HeapAllocs, d.HeapBytes = 0, 0
+	d.Recovery = nil
+	return d
+}
+
 // TotalFlops sums the flops of every per-solve phase. Setup is excluded:
 // translation-matrix construction is amortized across time steps, as in
 // the paper's performance accounting.

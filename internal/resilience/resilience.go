@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbody/internal/metrics"
@@ -162,6 +163,32 @@ type Supervisor struct {
 	mu       sync.Mutex // guards rng and breakers
 	rng      *rand.Rand
 	breakers []breaker
+
+	// Per-supervisor mirrors of the process-wide recovery counters, so a
+	// caller that owns this supervisor exclusively (e.g. one server
+	// request holding one cached plan) can attribute recovery events to
+	// itself exactly, where the global counters only attribute them to
+	// the process.
+	retries      atomic.Int64
+	breakerTrips atomic.Int64
+	degradations atomic.Int64
+}
+
+// Counters is a snapshot of one supervisor's own recovery events.
+type Counters struct {
+	Retries      int64
+	BreakerTrips int64
+	Degradations int64
+}
+
+// Counters reads this supervisor's event counts (monotonic; diff two
+// snapshots for a per-operation delta).
+func (s *Supervisor) Counters() Counters {
+	return Counters{
+		Retries:      s.retries.Load(),
+		BreakerTrips: s.breakerTrips.Load(),
+		Degradations: s.degradations.Load(),
+	}
 }
 
 // New builds a Supervisor over a ladder of rungs. Classify is required and
@@ -208,6 +235,7 @@ func (s *Supervisor) Do(ctx context.Context, attempt func(ctx context.Context, r
 	for rung := 0; rung < len(s.breakers); rung++ {
 		if rung > 0 {
 			metrics.AddDegradations(1)
+			s.degradations.Add(1)
 		}
 		if s.breakerRejects(rung) {
 			if lastErr == nil {
@@ -257,6 +285,7 @@ func (s *Supervisor) runRung(ctx context.Context, rung int, attempt func(ctx con
 			return err
 		}
 		metrics.AddRetries(1)
+		s.retries.Add(1)
 		if serr := s.sleep(ctx, a); serr != nil {
 			return serr
 		}
@@ -360,6 +389,7 @@ func (s *Supervisor) recordFailure(rung int) bool {
 	b.consecutive = 0
 	b.openUntil = time.Now().Add(s.p.BreakerCooldown)
 	metrics.AddBreakerTrips(1)
+	s.breakerTrips.Add(1)
 	return true
 }
 

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Policy selects how workers pick the next admitted request.
+type Policy string
+
+const (
+	// PolicyFIFO serves strict global arrival order with no per-tenant
+	// concurrency cap: simple and fast for cooperative tenants, but one
+	// flooding tenant monopolizes the workers (its queue bound is the only
+	// brake). The baseline policy of the load-test comparison.
+	PolicyFIFO Policy = "fifo"
+	// PolicyFair round-robins across tenants with queued work and caps the
+	// per-tenant in-flight count, so no tenant starves another: a flooding
+	// tenant is throttled to its share and its excess is bounced at
+	// admission instead of aging in front of everyone else's work.
+	PolicyFair Policy = "fair"
+)
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyFIFO, PolicyFair:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("unknown admission policy %q (fifo | fair)", s)
+}
+
+// job is one admitted request waiting for a worker.
+type job struct {
+	tq   *tenantQ
+	ctx  context.Context
+	fn   func(context.Context) error
+	err  error
+	done chan struct{}
+	seq  uint64
+}
+
+// tenantQ is one tenant's FIFO queue plus its in-flight count.
+type tenantQ struct {
+	name     string
+	jobs     []*job
+	inflight int
+}
+
+// TenantStats are one tenant's admission counters (persist after the
+// tenant's queue drains).
+type TenantStats struct {
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"` // withdrawn while queued
+}
+
+// DispatchStats aggregate the dispatcher's admission counters.
+type DispatchStats struct {
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Queued    int   `json:"queued"`
+	InFlight  int   `json:"in_flight"`
+}
+
+// Dispatcher owns the worker fleet and the per-tenant queues. Admission is
+// bounded: a tenant whose queue is at depth gets ErrOverloaded immediately
+// (the HTTP 429 path) rather than unbounded buffering. Do blocks the
+// calling handler until the request ran or its context fired; a request
+// whose context fires while still queued is withdrawn without running.
+type Dispatcher struct {
+	policy      Policy
+	depth       int // per-tenant queue bound
+	inflightCap int // per-tenant concurrent solves (fair policy)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantQ
+	rr      []string // round-robin order over tenants with state
+	rrIdx   int
+	seq     uint64
+	queued  int
+	closed  bool
+	wg      sync.WaitGroup
+
+	stats       DispatchStats
+	tenantStats map[string]*TenantStats
+	inFlight    int
+}
+
+// NewDispatcher starts workers goroutines serving per-tenant queues of the
+// given depth under the given policy. inflightCap bounds one tenant's
+// concurrent solves under PolicyFair (ignored by PolicyFIFO; < 1 means no
+// cap).
+func NewDispatcher(policy Policy, workers, depth, inflightCap int) (*Dispatcher, error) {
+	if _, err := ParsePolicy(string(policy)); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("serve: need at least one worker, got %d", workers)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("serve: queue depth must be >= 1, got %d", depth)
+	}
+	d := &Dispatcher{
+		policy:      policy,
+		depth:       depth,
+		inflightCap: inflightCap,
+		tenants:     make(map[string]*tenantQ),
+		tenantStats: make(map[string]*TenantStats),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d, nil
+}
+
+// Do admits fn for tenant and blocks until it ran (returning its error),
+// the queue rejected it (ErrOverloaded / ErrServerClosed), or ctx fired
+// while it was still queued (returning ctx.Err()). Once fn starts, Do
+// waits for it: fn receives ctx, so cancellation reaches a running solve
+// through the solver's own ctx checks.
+func (d *Dispatcher) Do(ctx context.Context, tenant string, fn func(context.Context) error) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrServerClosed
+	}
+	ts := d.statsFor(tenant)
+	tq := d.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQ{name: tenant}
+		d.tenants[tenant] = tq
+		d.rr = append(d.rr, tenant)
+	}
+	if len(tq.jobs) >= d.depth {
+		ts.Rejected++
+		d.stats.Rejected++
+		d.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q at depth %d", ErrOverloaded, tenant, d.depth)
+	}
+	d.seq++
+	j := &job{tq: tq, ctx: ctx, fn: fn, done: make(chan struct{}), seq: d.seq}
+	tq.jobs = append(tq.jobs, j)
+	d.queued++
+	ts.Admitted++
+	d.stats.Admitted++
+	d.cond.Signal()
+	d.mu.Unlock()
+
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		if d.withdraw(j) {
+			return ctx.Err()
+		}
+		// Already running (or finished): the solve sees ctx itself.
+		<-j.done
+		return j.err
+	}
+}
+
+// withdraw removes a still-queued job, reporting whether it succeeded (a
+// job already claimed by a worker cannot be withdrawn).
+func (d *Dispatcher) withdraw(j *job) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, q := range j.tq.jobs {
+		if q == j {
+			j.tq.jobs = append(j.tq.jobs[:i:i], j.tq.jobs[i+1:]...)
+			d.queued--
+			d.statsFor(j.tq.name).Canceled++
+			d.stats.Canceled++
+			d.maybeReap(j.tq)
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one member of the fleet: claim the next runnable job under the
+// policy, run it unlocked, account completion, repeat until Close.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	d.mu.Lock()
+	for {
+		j := d.next()
+		if j == nil {
+			if d.closed {
+				d.mu.Unlock()
+				return
+			}
+			d.cond.Wait()
+			continue
+		}
+		d.inFlight++
+		d.mu.Unlock()
+
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+		} else {
+			j.err = j.fn(j.ctx)
+		}
+		close(j.done)
+
+		d.mu.Lock()
+		d.inFlight--
+		j.tq.inflight--
+		d.statsFor(j.tq.name).Completed++
+		d.stats.Completed++
+		d.maybeReap(j.tq)
+		// A finished solve may unblock a fair-policy tenant that was at
+		// its in-flight cap.
+		d.cond.Signal()
+	}
+}
+
+// next picks the next runnable job under the policy, or nil. Called with
+// the lock held; claims the job (removes it from its queue, increments the
+// tenant's in-flight count).
+func (d *Dispatcher) next() *job {
+	if d.queued == 0 {
+		return nil
+	}
+	switch d.policy {
+	case PolicyFIFO:
+		// Strict global arrival order: the oldest queued job anywhere.
+		var best *tenantQ
+		for _, name := range d.rr {
+			tq := d.tenants[name]
+			if len(tq.jobs) > 0 && (best == nil || tq.jobs[0].seq < best.jobs[0].seq) {
+				best = tq
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		return d.claim(best)
+	default: // PolicyFair
+		for i := 0; i < len(d.rr); i++ {
+			tq := d.tenants[d.rr[(d.rrIdx+i)%len(d.rr)]]
+			if len(tq.jobs) == 0 {
+				continue
+			}
+			if d.inflightCap > 0 && tq.inflight >= d.inflightCap {
+				continue
+			}
+			d.rrIdx = (d.rrIdx + i + 1) % len(d.rr)
+			return d.claim(tq)
+		}
+		return nil
+	}
+}
+
+// claim pops tq's queue head. Called with the lock held.
+func (d *Dispatcher) claim(tq *tenantQ) *job {
+	j := tq.jobs[0]
+	tq.jobs = tq.jobs[1:]
+	d.queued--
+	tq.inflight++
+	return j
+}
+
+// maybeReap drops a tenant's queue state once it is fully idle, so tenant
+// churn does not grow the maps without bound (the counters in tenantStats
+// persist). Called with the lock held.
+func (d *Dispatcher) maybeReap(tq *tenantQ) {
+	if len(tq.jobs) > 0 || tq.inflight > 0 {
+		return
+	}
+	delete(d.tenants, tq.name)
+	for i, name := range d.rr {
+		if name == tq.name {
+			d.rr = append(d.rr[:i:i], d.rr[i+1:]...)
+			if d.rrIdx > i {
+				d.rrIdx--
+			}
+			if len(d.rr) > 0 {
+				d.rrIdx %= len(d.rr)
+			} else {
+				d.rrIdx = 0
+			}
+			break
+		}
+	}
+}
+
+// Close rejects all queued jobs with ErrServerClosed, waits for in-flight
+// solves to finish, and stops every worker. After Close, Do returns
+// ErrServerClosed.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return
+	}
+	d.closed = true
+	for _, tq := range d.tenants {
+		for _, j := range tq.jobs {
+			j.err = ErrServerClosed
+			close(j.done)
+		}
+		tq.jobs = nil
+	}
+	d.queued = 0
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// statsFor returns (creating if needed) tenant's persistent counters.
+// Called with the lock held.
+func (d *Dispatcher) statsFor(tenant string) *TenantStats {
+	ts := d.tenantStats[tenant]
+	if ts == nil {
+		ts = &TenantStats{}
+		d.tenantStats[tenant] = ts
+	}
+	return ts
+}
+
+// Stats snapshots the aggregate counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Queued = d.queued
+	s.InFlight = d.inFlight
+	return s
+}
+
+// TenantSnapshot copies the per-tenant counters.
+func (d *Dispatcher) TenantSnapshot() map[string]TenantStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]TenantStats, len(d.tenantStats))
+	for name, ts := range d.tenantStats {
+		out[name] = *ts
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing records the last cap request latencies for the percentile
+// report on /v1/metrics. Percentiles over a bounded recent window are what
+// an operator wants from a long-running server (an all-time histogram
+// never forgets a warm-up spike); the load harness computes its own exact
+// client-side percentiles over the full run.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	idx   int
+	count int64
+	max   time.Duration
+}
+
+func newLatencyRing(cap int) *latencyRing {
+	if cap < 1 {
+		cap = 1
+	}
+	return &latencyRing{buf: make([]time.Duration, 0, cap)}
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.idx] = d
+		r.idx = (r.idx + 1) % len(r.buf)
+	}
+	r.count++
+	if d > r.max {
+		r.max = d
+	}
+}
+
+// LatencyStats is the percentile report of the recent-latency window.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	Window int     `json:"window"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func (r *latencyRing) stats() LatencyStats {
+	r.mu.Lock()
+	window := make([]time.Duration, len(r.buf))
+	copy(window, r.buf)
+	s := LatencyStats{Count: r.count, Window: len(window), MaxMS: ms(r.max)}
+	r.mu.Unlock()
+	if len(window) == 0 {
+		return s
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	s.P50MS = ms(Percentile(window, 50))
+	s.P95MS = ms(Percentile(window, 95))
+	s.P99MS = ms(Percentile(window, 99))
+	return s
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of sorted samples;
+// 0 for an empty slice. Shared with the load harness.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,360 @@
+// Package loadgen is the closed-loop load harness for the nbodyd server:
+// synthetic tenants, each a set of workers that issue one request, wait
+// for the response, think, and repeat — the classical closed-loop model,
+// so offered load adapts to server latency instead of building an
+// unbounded backlog. Tenants carry a shape mix (several problem sizes in
+// rotation), and the harness reports exact client-side percentiles and
+// goodput per tenant and overall, plus the server's own plan-cache
+// counters, for the admission-policy comparison tables in EXPERIMENTS.md.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nbody"
+	"nbody/internal/serve"
+)
+
+// Shape is one problem shape a tenant requests: the plan-cache key from
+// the client's point of view.
+type Shape struct {
+	N          int
+	Depth      int    // 0 = server-side auto
+	Accuracy   string // "" = fast
+	Supernodes bool
+}
+
+// Tenant is one synthetic tenant: Concurrency closed-loop workers cycling
+// through Shapes with Think pause between requests.
+type Tenant struct {
+	Name        string
+	Concurrency int
+	Think       time.Duration
+	Shapes      []Shape
+	// DeadlineMS is attached to every request when > 0.
+	DeadlineMS int64
+}
+
+// Config drives one harness run against a live server.
+type Config struct {
+	BaseURL  string
+	Duration time.Duration
+	Tenants  []Tenant
+	// Seed makes the generated particle systems and shape rotation
+	// deterministic (default 1).
+	Seed int64
+	// Client overrides the HTTP client (default: pooled transport, no
+	// client-side timeout — deadlines belong to the request).
+	Client *http.Client
+}
+
+// Bucket accumulates one scope's (tenant or total) outcome counts and
+// latencies.
+type Bucket struct {
+	Sent      int64
+	OK        int64
+	Rejected  int64 // 429
+	Deadline  int64 // 504
+	BadReq    int64 // other 4xx
+	Err5xx    int64
+	OtherErr  int64 // transport errors, unexpected statuses
+	CacheHits int64 // of OK responses
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func (b *Bucket) record(d time.Duration) {
+	b.mu.Lock()
+	b.latencies = append(b.latencies, d)
+	b.mu.Unlock()
+}
+
+// Percentiles returns p50/p95/p99/mean/max over the recorded successful
+// latencies.
+func (b *Bucket) Percentiles() (p50, p95, p99, mean, max time.Duration) {
+	b.mu.Lock()
+	ls := append([]time.Duration(nil), b.latencies...)
+	b.mu.Unlock()
+	if len(ls) == 0 {
+		return
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	var sum time.Duration
+	for _, l := range ls {
+		sum += l
+	}
+	return serve.Percentile(ls, 50), serve.Percentile(ls, 95), serve.Percentile(ls, 99),
+		sum / time.Duration(len(ls)), ls[len(ls)-1]
+}
+
+// Result is one harness run's outcome.
+type Result struct {
+	Policy   string // annotated by the caller for comparison tables
+	Duration time.Duration
+	Total    Bucket
+	Tenants  map[string]*Bucket
+	// Server holds the server's own /v1/metrics document read at the end
+	// of the run (plan-cache hit economics, admission counters).
+	Server serve.Metrics
+}
+
+// GoodputRPS is successfully served requests per second of wall time.
+func (r *Result) GoodputRPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Total.OK) / r.Duration.Seconds()
+}
+
+// Run drives the configured tenants against the server until Duration
+// elapses (or ctx fires), then reads the server's metrics document.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one tenant required")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+
+	res := &Result{Duration: cfg.Duration, Tenants: make(map[string]*Bucket)}
+	bodies := newBodyCache(cfg.Seed)
+	for _, t := range cfg.Tenants {
+		res.Tenants[t.Name] = &Bucket{}
+		// Pre-build every shape's request body once: workers then reuse
+		// the bytes, so the measured latency is queue+solve, not JSON
+		// marshaling of the same system over and over.
+		for _, sh := range t.Shapes {
+			if _, err := bodies.get(t, sh); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, t := range cfg.Tenants {
+		t := t
+		if t.Concurrency < 1 {
+			t.Concurrency = 1
+		}
+		for w := 0; w < t.Concurrency; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919 + int64(len(t.Name))))
+				for i := 0; runCtx.Err() == nil; i++ {
+					sh := t.Shapes[(worker+i)%len(t.Shapes)]
+					body, _ := bodies.get(t, sh)
+					oneRequest(runCtx, client, cfg.BaseURL, body, res.Tenants[t.Name], &res.Total)
+					if t.Think > 0 {
+						jitter := time.Duration(rng.Int63n(int64(t.Think)/2 + 1))
+						select {
+						case <-runCtx.Done():
+						case <-time.After(t.Think + jitter):
+						}
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	client.CloseIdleConnections()
+
+	// The run is over; fetch the server's own accounting.
+	mresp, err := http.Get(strings.TrimRight(cfg.BaseURL, "/") + "/v1/metrics")
+	if err == nil {
+		_ = json.NewDecoder(mresp.Body).Decode(&res.Server)
+		mresp.Body.Close()
+	}
+	return res, nil
+}
+
+// oneRequest issues one solve and accounts it in both buckets.
+func oneRequest(ctx context.Context, client *http.Client, base string, body []byte, buckets ...*Bucket) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(base, "/")+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		for _, b := range buckets {
+			b.OtherErr++
+		}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	for _, b := range buckets {
+		b.Sent++
+	}
+	if err != nil {
+		// A request cut off by the run deadline is not a server failure.
+		if ctx.Err() == nil {
+			for _, b := range buckets {
+				b.OtherErr++
+			}
+		}
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var sr serve.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			for _, b := range buckets {
+				b.OtherErr++
+			}
+			return
+		}
+		for _, b := range buckets {
+			b.OK++
+			if sr.CacheHit {
+				b.CacheHits++
+			}
+			b.record(elapsed)
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		for _, b := range buckets {
+			b.Rejected++
+		}
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		io.Copy(io.Discard, resp.Body)
+		for _, b := range buckets {
+			b.Deadline++
+		}
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		for _, b := range buckets {
+			b.Err5xx++
+		}
+	case resp.StatusCode >= 400:
+		io.Copy(io.Discard, resp.Body)
+		for _, b := range buckets {
+			b.BadReq++
+		}
+	default:
+		io.Copy(io.Discard, resp.Body)
+		for _, b := range buckets {
+			b.OtherErr++
+		}
+	}
+}
+
+// bodyCache builds and memoizes one marshaled request body per
+// (tenant, shape): the same deterministic particle system every time, so
+// equal shapes across tenants still map to distinct tenants' queues but
+// identical solver work, and repeated requests are bitwise-identical
+// (the plan-reuse reproducibility contract the tests pin).
+type bodyCache struct {
+	seed int64
+	mu   sync.Mutex
+	m    map[string][]byte
+}
+
+func newBodyCache(seed int64) *bodyCache {
+	return &bodyCache{seed: seed, m: make(map[string][]byte)}
+}
+
+func (c *bodyCache) get(t Tenant, sh Shape) ([]byte, error) {
+	key := fmt.Sprintf("%s/%d/%d/%s/%v/%d", t.Name, sh.N, sh.Depth, sh.Accuracy, sh.Supernodes, t.DeadlineMS)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.m[key]; ok {
+		return b, nil
+	}
+	if sh.N < 1 {
+		return nil, fmt.Errorf("loadgen: shape with N=%d", sh.N)
+	}
+	sys := nbody.NewUniformSystem(sh.N, c.seed)
+	req := serve.SolveRequest{
+		Tenant:     t.Name,
+		Positions:  make([][3]float64, sh.N),
+		Charges:    sys.Charges,
+		Accuracy:   sh.Accuracy,
+		Depth:      sh.Depth,
+		Supernodes: sh.Supernodes,
+		DeadlineMS: t.DeadlineMS,
+	}
+	for i, p := range sys.Positions {
+		req.Positions[i] = [3]float64{p.X, p.Y, p.Z}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = b
+	return b, nil
+}
+
+// TableHeader and TableRow render the markdown comparison table the
+// experiments record.
+func TableHeader() string {
+	return "| policy | sent | ok | 429 | 504 | 5xx | p50 ms | p95 ms | p99 ms | goodput req/s | cache hit % |\n" +
+		"|---|---|---|---|---|---|---|---|---|---|---|"
+}
+
+// TableRow renders one run as a markdown table row.
+func (r *Result) TableRow() string {
+	p50, p95, p99, _, _ := r.Total.Percentiles()
+	hitPct := 0.0
+	if r.Total.OK > 0 {
+		hitPct = 100 * float64(r.Total.CacheHits) / float64(r.Total.OK)
+	}
+	return fmt.Sprintf("| %s | %d | %d | %d | %d | %d | %.1f | %.1f | %.1f | %.1f | %.1f |",
+		r.Policy, r.Total.Sent, r.Total.OK, r.Total.Rejected, r.Total.Deadline, r.Total.Err5xx,
+		msF(p50), msF(p95), msF(p99), r.GoodputRPS(), hitPct)
+}
+
+// Summary renders the per-tenant breakdown plus the plan-cache economics.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s duration=%s goodput=%.1f req/s\n", r.Policy, r.Duration, r.GoodputRPS())
+	names := make([]string, 0, len(r.Tenants))
+	for name := range r.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tb := r.Tenants[name]
+		p50, p95, p99, _, _ := tb.Percentiles()
+		fmt.Fprintf(&b, "  tenant %-10s sent=%-5d ok=%-5d 429=%-4d 504=%-3d 5xx=%-3d p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			name, tb.Sent, tb.OK, tb.Rejected, tb.Deadline, tb.Err5xx, msF(p50), msF(p95), msF(p99))
+	}
+	pc := r.Server.PlanCache
+	if pc.Hits+pc.Misses > 0 {
+		coldMS, warmUS := 0.0, 0.0
+		if pc.Misses > 0 {
+			coldMS = float64(pc.BuildNS) / float64(pc.Misses) / 1e6
+		}
+		if pc.Hits > 0 {
+			warmUS = float64(pc.HitNS) / float64(pc.Hits) / 1e3
+		}
+		fmt.Fprintf(&b, "  plan cache: %d hits, %d misses, %d evictions; cold build %.2f ms avg, warm acquire %.1f us avg\n",
+			pc.Hits, pc.Misses, pc.Evictions, coldMS, warmUS)
+	}
+	return b.String()
+}
+
+func msF(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,272 @@
+// Package serve is the multi-tenant solver service: request decoding and
+// validation on top of System.Validate and the package's typed errors,
+// per-tenant FIFO queues with admission control, a solver-plan cache keyed
+// by problem shape so warm requests skip NewSolver entirely, the Resilient
+// degradation ladder as the per-request execution engine (with the caller's
+// deadline propagated through the existing ctx cancellation), and a
+// JSON metrics endpoint plus structured request logs.
+//
+// The wire protocol is JSON over HTTP:
+//
+//	POST /v1/solve     one potential/acceleration solve, JSON in, JSON out
+//	POST /v1/simulate  a leapfrog integration, chunked NDJSON frame stream
+//	GET  /v1/metrics   admission/plan-cache/latency/recovery counters
+//	GET  /v1/healthz   liveness
+//
+// Positions live in the canonical unit-cube domain [0,1)^3 (the domain of
+// every distribution the repo generates); the fixed domain is what makes a
+// solver plan reusable across requests of the same shape.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"nbody"
+	"nbody/internal/cli"
+	"nbody/internal/core"
+)
+
+// Typed admission/decoding errors, mapped onto HTTP status codes by the
+// handlers (solver-side classes — ErrInvalidSystem, ErrOutOfDomain — come
+// from the nbody package itself).
+var (
+	// ErrBadRequest marks a request body the decoder cannot accept:
+	// malformed JSON, an empty system, mismatched slice lengths, or an
+	// unknown accuracy/compute selector. HTTP 400.
+	ErrBadRequest = errors.New("serve: invalid request")
+	// ErrTooLarge marks a request exceeding the configured size caps
+	// (body bytes, particle count, hierarchy depth). HTTP 413.
+	ErrTooLarge = errors.New("serve: request exceeds size limits")
+	// ErrOverloaded marks an admission rejection: the tenant's queue is at
+	// its configured depth. HTTP 429; the request was not enqueued.
+	ErrOverloaded = errors.New("serve: tenant queue full")
+	// ErrServerClosed marks requests caught in a server shutdown. HTTP 503.
+	ErrServerClosed = errors.New("serve: server closed")
+)
+
+// SolveRequest is the body of POST /v1/solve. Positions and Charges carry
+// the system (lengths must match); the remaining fields select the plan
+// shape and the per-request behavior.
+type SolveRequest struct {
+	// Tenant names the queue the request is admitted to ("" is the
+	// anonymous tenant, which is a tenant like any other).
+	Tenant string `json:"tenant,omitempty"`
+	// Positions are particle coordinates in the unit cube [0,1)^3.
+	Positions [][3]float64 `json:"positions"`
+	// Charges are the particle charges (gravitational masses).
+	Charges []float64 `json:"charges"`
+	// Compute selects the quantity: "potentials" (default) or
+	// "accelerations" (potentials plus the field).
+	Compute string `json:"compute,omitempty"`
+	// Accuracy is the Anderson preset: fast (default) | balanced | accurate.
+	Accuracy string `json:"accuracy,omitempty"`
+	// Depth fixes the hierarchy depth; 0 selects the optimal depth for N,
+	// deterministically, so equal-shape requests share a plan.
+	Depth int `json:"depth,omitempty"`
+	// Supernodes enables the interactive-field reduction; part of the plan
+	// shape.
+	Supernodes bool `json:"supernodes,omitempty"`
+	// DeadlineMS bounds the request end to end (queue wait + solve); 0
+	// uses the server default. The deadline propagates into the solver as
+	// context cancellation.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Phases requests the per-request phase table (time and flops per
+	// pipeline phase of this solve alone) in the response.
+	Phases bool `json:"phases,omitempty"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: the SolveRequest fields
+// plus the integration parameters. The response is a chunked stream of
+// NDJSON Frame lines.
+type SimulateRequest struct {
+	SolveRequest
+	// Steps is the number of leapfrog steps (required, >= 1).
+	Steps int `json:"steps"`
+	// DT is the timestep (required, > 0, finite).
+	DT float64 `json:"dt"`
+	// StreamEvery emits a Frame every k completed steps (default: Steps,
+	// i.e. only the final frame). The final frame always carries the full
+	// particle state.
+	StreamEvery int `json:"stream_every,omitempty"`
+}
+
+// SolveResponse is the body of a successful /v1/solve.
+type SolveResponse struct {
+	Tenant  string       `json:"tenant,omitempty"`
+	N       int          `json:"n"`
+	Phi     []float64    `json:"phi"`
+	Acc     [][3]float64 `json:"acc,omitempty"`
+	Backend string       `json:"backend"`
+	// Rung is the degradation-ladder rung that served the solve (0 = the
+	// preferred Anderson plan).
+	Rung int `json:"rung"`
+	// CacheHit reports whether the solve reused a warm plan (skipping
+	// NewSolver and hitting the steady-state allocation-free path).
+	CacheHit bool  `json:"cache_hit"`
+	QueueNS  int64 `json:"queue_ns"`
+	SolveNS  int64 `json:"solve_ns"`
+	// PhaseTable is the per-request phase breakdown, present when the
+	// request set Phases (rung-0 phases only; a degraded request reports
+	// the phases the preferred rung ran before failing over).
+	PhaseTable []PhaseRow `json:"phase_table,omitempty"`
+	// Recovery holds the self-healing events this request triggered
+	// (retries, degradations, breaker trips); omitted on a healthy solve.
+	Recovery *RecoveryDelta `json:"recovery,omitempty"`
+}
+
+// PhaseRow is one per-request phase-table line.
+type PhaseRow struct {
+	Phase string `json:"phase"`
+	NS    int64  `json:"ns"`
+	Flops int64  `json:"flops"`
+}
+
+// RecoveryDelta is the per-request slice of the process-wide recovery
+// counters: what the self-healing layer did for this request alone.
+type RecoveryDelta struct {
+	Retries      int64 `json:"retries,omitempty"`
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
+	Degradations int64 `json:"degradations,omitempty"`
+}
+
+// Frame is one NDJSON line of a /v1/simulate stream: energies every
+// StreamEvery steps, and on the final frame the full particle state.
+type Frame struct {
+	Step      int          `json:"step"`
+	Time      float64      `json:"t"`
+	Kinetic   float64      `json:"kinetic"`
+	Potential float64      `json:"potential"`
+	Total     float64      `json:"total"`
+	Final     bool         `json:"final,omitempty"`
+	Positions [][3]float64 `json:"positions,omitempty"`
+	Velocity  [][3]float64 `json:"velocities,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Limits bounds what the decoder accepts before any solver work happens, so
+// a forged request cannot make the server build an enormous plan.
+type Limits struct {
+	MaxN     int // particles per request
+	MaxDepth int // hierarchy depth cap
+}
+
+// Domain returns the canonical solver domain: the unit cube with a hair of
+// slack so boundary particles stay strictly inside (the same slack the
+// repo's own distributions rely on).
+func Domain() nbody.Box {
+	return nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1 + 1e-9}
+}
+
+// SimDomain returns the enlarged domain simulations solve in, so particles
+// that drift out of the unit cube during integration stay inside the
+// hierarchy (the same 4x margin cmd/nbody uses).
+func SimDomain() nbody.Box {
+	b := Domain()
+	b.Side *= 4
+	return b
+}
+
+// decodeSolveRequest parses and validates one solve body. On success the
+// returned system has passed System.Validate against the canonical domain
+// and the request's selectors have been resolved (depth chosen, accuracy
+// known); every failure is typed (ErrBadRequest, ErrTooLarge, or a
+// validation error wrapping nbody.ErrInvalidSystem / ErrOutOfDomain).
+func decodeSolveRequest(body io.Reader, lim Limits) (*SolveRequest, *nbody.System, error) {
+	var req SolveRequest
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	sys, err := req.resolve(lim, Domain())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, sys, nil
+}
+
+// decodeSimulateRequest is decodeSolveRequest for the streaming endpoint,
+// with the integration parameters validated on top and the system checked
+// against the enlarged simulation domain.
+func decodeSimulateRequest(body io.Reader, lim Limits) (*SimulateRequest, *nbody.System, error) {
+	var req SimulateRequest
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	if req.Steps < 1 {
+		return nil, nil, fmt.Errorf("%w: steps must be >= 1, got %d", ErrBadRequest, req.Steps)
+	}
+	if !(req.DT > 0) || req.DT > 1e6 {
+		return nil, nil, fmt.Errorf("%w: dt must be in (0, 1e6], got %g", ErrBadRequest, req.DT)
+	}
+	if req.StreamEvery < 0 {
+		return nil, nil, fmt.Errorf("%w: stream_every must be >= 0, got %d", ErrBadRequest, req.StreamEvery)
+	}
+	if req.StreamEvery == 0 {
+		req.StreamEvery = req.Steps
+	}
+	sys, err := req.SolveRequest.resolve(lim, SimDomain())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, sys, nil
+}
+
+// resolve validates the shared request fields against the limits and the
+// given domain, fills the defaulted selectors in place (Compute, Accuracy,
+// Depth), and returns the validated system.
+func (r *SolveRequest) resolve(lim Limits, box nbody.Box) (*nbody.System, error) {
+	n := len(r.Positions)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty system", ErrBadRequest)
+	}
+	if lim.MaxN > 0 && n > lim.MaxN {
+		return nil, fmt.Errorf("%w: %d particles, cap is %d", ErrTooLarge, n, lim.MaxN)
+	}
+	if len(r.Charges) != n {
+		return nil, fmt.Errorf("%w: %d positions but %d charges", ErrBadRequest, n, len(r.Charges))
+	}
+	switch r.Compute {
+	case "":
+		r.Compute = "potentials"
+	case "potentials", "accelerations":
+	default:
+		return nil, fmt.Errorf("%w: unknown compute %q (potentials | accelerations)", ErrBadRequest, r.Compute)
+	}
+	if r.Accuracy == "" {
+		r.Accuracy = "fast"
+	}
+	if _, err := cli.Accuracy(r.Accuracy); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	switch {
+	case r.Depth < 0 || r.Depth == 1:
+		return nil, fmt.Errorf("%w: depth must be 0 (auto) or >= 2, got %d", ErrBadRequest, r.Depth)
+	case lim.MaxDepth > 0 && r.Depth > lim.MaxDepth:
+		return nil, fmt.Errorf("%w: depth %d, cap is %d", ErrTooLarge, r.Depth, lim.MaxDepth)
+	case r.Depth == 0:
+		// Resolved here, deterministically in N, so the shape key of an
+		// auto-depth request matches every other auto-depth request of the
+		// same N and the plan cache can serve them all from one plan.
+		r.Depth = core.OptimalDepth(n, 32)
+		if lim.MaxDepth > 0 && r.Depth > lim.MaxDepth {
+			r.Depth = lim.MaxDepth
+		}
+	}
+	sys := &nbody.System{Positions: make([]nbody.Vec3, n), Charges: r.Charges}
+	for i, p := range r.Positions {
+		sys.Positions[i] = nbody.Vec3{X: p[0], Y: p[1], Z: p[2]}
+	}
+	if err := sys.Validate(box); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,524 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"nbody"
+	"nbody/internal/metrics"
+	"nbody/internal/simd"
+)
+
+// Config configures a Server. The zero value of every field selects the
+// documented default.
+type Config struct {
+	// Workers is the solver-worker fleet size (default: GOMAXPROCS/2,
+	// minimum 2). Each worker runs one request's solve at a time; a solve
+	// itself parallelizes over the shared internal/sched pool, so workers
+	// provide request pipelining, not core count.
+	Workers int
+	// Policy is the admission policy: PolicyFair (default) or PolicyFIFO.
+	Policy Policy
+	// QueueDepth bounds each tenant's FIFO queue (default 16); a tenant at
+	// depth gets 429.
+	QueueDepth int
+	// InflightPerTenant caps one tenant's concurrent solves under
+	// PolicyFair (default 2; < 1 means no cap).
+	InflightPerTenant int
+	// PlanCacheCap is the number of idle warm plans retained (default 8;
+	// 0 keeps the default — use -1 to disable plan reuse).
+	PlanCacheCap int
+	// MaxN caps the particle count per request (default 131072).
+	MaxN int
+	// MaxDepth caps the hierarchy depth per request (default 6).
+	MaxDepth int
+	// MaxBodyBytes caps the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// DefaultDeadline bounds requests that do not set deadline_ms
+	// (default 60s; < 0 disables).
+	DefaultDeadline time.Duration
+	// Ladder is the comma-separated fallback chain appended below the
+	// Anderson rung of every plan (cli.LadderHelp syntax, e.g.
+	// "bh,direct"); "" serves every request from the bare Anderson rung
+	// still wrapped in the Resilient supervisor.
+	Ladder string
+	// Retry is the per-request supervisor policy (zero value = library
+	// defaults: 3 attempts per rung with backoff).
+	Retry nbody.RetryPolicy
+	// Logger receives one structured line per request (default: stderr).
+	// Set Quiet to drop request logs entirely.
+	Logger *log.Logger
+	Quiet  bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+	}
+	if c.Workers < 2 {
+		c.Workers = 2
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyFair
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.InflightPerTenant == 0 {
+		c.InflightPerTenant = 2
+	}
+	if c.PlanCacheCap == 0 {
+		c.PlanCacheCap = 8
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 131072
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 6
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "nbodyd ", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// Server is the multi-tenant solver service: an http.Handler owning the
+// dispatcher, the plan cache, and the request accounting.
+type Server struct {
+	cfg   Config
+	disp  *Dispatcher
+	plans *PlanCache
+	mux   *http.ServeMux
+	start time.Time
+	lat   *latencyRing
+
+	mu       sync.Mutex
+	statuses map[int]int64
+}
+
+// New builds a Server and starts its worker fleet. Close releases it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	disp, err := NewDispatcher(cfg.Policy, cfg.Workers, cfg.QueueDepth, cfg.InflightPerTenant)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		disp:     disp,
+		plans:    NewPlanCache(cfg.PlanCacheCap, cfg.Retry),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		lat:      newLatencyRing(4096),
+		statuses: make(map[int]int64),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler (mount it on any http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the dispatcher: queued requests fail with 503, in-flight
+// solves finish, workers exit.
+func (s *Server) Close() { s.disp.Close() }
+
+// PlanStats exposes the plan cache counters (tests and the load harness).
+func (s *Server) PlanStats() CacheStats { return s.plans.Stats() }
+
+// statusFor maps the error taxonomy onto HTTP status codes: the request
+// classes to 4xx, the caller's deadline to 504, a ladder-wide solver
+// failure to 500.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, nbody.ErrInvalidSystem),
+		errors.Is(err, nbody.ErrOutOfDomain),
+		errors.Is(err, nbody.ErrInvalidOptions):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrServerClosed):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the code is for the logs.
+		return 499, "client_canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeError emits the JSON error body and accounts the status.
+func (s *Server) writeError(w http.ResponseWriter, err error) (status int) {
+	status, code := statusFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code})
+	return status
+}
+
+// requestCtx applies the deadline policy: the request's own deadline_ms
+// when set, the server default otherwise, on top of the client-disconnect
+// cancellation the http server already provides.
+func (s *Server) requestCtx(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	switch {
+	case deadlineMS > 0:
+		return context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+	case s.cfg.DefaultDeadline > 0:
+		return context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+	}
+	return ctx, func() {}
+}
+
+// logRequest is the structured request log: one line per request with
+// everything an operator greps for.
+func (s *Server) logRequest(endpoint, tenant string, key Key, status int, hit bool, rung int, queue, solve time.Duration, err error) {
+	if s.cfg.Quiet {
+		return
+	}
+	detail := ""
+	if err != nil {
+		detail = fmt.Sprintf(" err=%q", err.Error())
+	}
+	hitStr := "miss"
+	if hit {
+		hitStr = "hit"
+	}
+	s.cfg.Logger.Printf("%s tenant=%q %s status=%d plan=%s rung=%d queue=%s solve=%s%s",
+		endpoint, tenant, key, status, hitStr, rung, queue.Round(time.Microsecond), solve.Round(time.Microsecond), detail)
+}
+
+// record accounts a finished request.
+func (s *Server) record(status int, total time.Duration) {
+	s.mu.Lock()
+	s.statuses[status]++
+	s.mu.Unlock()
+	if status < 400 {
+		s.lat.record(total)
+	}
+}
+
+// keyFor builds the plan-cache shape key of a resolved request.
+func (s *Server) keyFor(req *SolveRequest, n int, sim bool) Key {
+	return Key{
+		N:          n,
+		Depth:      req.Depth,
+		Accuracy:   req.Accuracy,
+		Supernodes: req.Supernodes,
+		Sim:        sim,
+		Ladder:     s.cfg.Ladder,
+	}
+}
+
+// handleSolve is POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, sys, err := decodeSolveRequest(r.Body, s.limits())
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			err = fmt.Errorf("%w: body over %d bytes", ErrTooLarge, s.cfg.MaxBodyBytes)
+		}
+		status := s.writeError(w, err)
+		s.record(status, time.Since(t0))
+		s.logRequest("solve", req.tenantOrEmpty(), Key{}, status, false, 0, 0, 0, err)
+		return
+	}
+	key := s.keyFor(req, sys.Len(), false)
+
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+
+	var resp *SolveResponse
+	var queueWait, solveTime time.Duration
+	enq := time.Now()
+	err = s.disp.Do(ctx, req.Tenant, func(ctx context.Context) error {
+		queueWait = time.Since(enq)
+		start := time.Now()
+		var serr error
+		resp, serr = s.execute(ctx, req, sys, key)
+		solveTime = time.Since(start)
+		return serr
+	})
+
+	status := http.StatusOK
+	hit := false
+	rung := 0
+	if err != nil {
+		status = s.writeError(w, err)
+	} else {
+		resp.QueueNS = int64(queueWait)
+		resp.SolveNS = int64(solveTime)
+		w.Header().Set("Content-Type", "application/json")
+		if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
+			// The client hung up mid-body; nothing to send, just account.
+			status = 499
+		}
+		hit, rung = resp.CacheHit, resp.Rung
+	}
+	s.record(status, time.Since(t0))
+	s.logRequest("solve", req.Tenant, key, status, hit, rung, queueWait, solveTime, err)
+}
+
+// tenantOrEmpty survives a nil request (decode failure).
+func (r *SolveRequest) tenantOrEmpty() string {
+	if r == nil {
+		return ""
+	}
+	return r.Tenant
+}
+
+// execute runs one admitted solve on a plan checked out of the cache: the
+// Resilient ladder with the request context, per-request phase-table and
+// recovery scoping, results copied out before the plan is released.
+func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.System, key Key) (*SolveResponse, error) {
+	plan, hit, err := s.plans.Acquire(key)
+	if err != nil {
+		return nil, err
+	}
+	defer s.plans.Release(plan)
+
+	var before metrics.Snapshot
+	if req.Phases && plan.Rung0 != nil {
+		before = *plan.Rung0.Stats()
+	}
+	r0, b0, d0 := plan.Ladder.Counters()
+
+	switch req.Compute {
+	case "accelerations":
+		err = plan.Ladder.AccelerationsIntoCtx(ctx, plan.Phi, plan.Acc, sys)
+	default:
+		err = plan.Ladder.PotentialsIntoCtx(ctx, plan.Phi, sys)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &SolveResponse{
+		Tenant:   req.Tenant,
+		N:        sys.Len(),
+		Phi:      append([]float64(nil), plan.Phi...),
+		Backend:  simd.Active(),
+		Rung:     plan.Ladder.LastRung(),
+		CacheHit: hit,
+	}
+	if req.Compute == "accelerations" {
+		resp.Acc = make([][3]float64, len(plan.Acc))
+		for i, a := range plan.Acc {
+			resp.Acc[i] = [3]float64{a.X, a.Y, a.Z}
+		}
+	}
+	if req.Phases && plan.Rung0 != nil {
+		after := *plan.Rung0.Stats()
+		diff := after.Diff(&before)
+		for p := metrics.Phase(0); p < metrics.NumPhases; p++ {
+			if diff.Time[p] == 0 && diff.Flops[p] == 0 && diff.Calls[p] == 0 {
+				continue
+			}
+			resp.PhaseTable = append(resp.PhaseTable, PhaseRow{
+				Phase: p.String(), NS: int64(diff.Time[p]), Flops: diff.Flops[p],
+			})
+		}
+	}
+	r1, b1, d1 := plan.Ladder.Counters()
+	if delta := (RecoveryDelta{Retries: r1 - r0, BreakerTrips: b1 - b0, Degradations: d1 - d0}); delta != (RecoveryDelta{}) {
+		resp.Recovery = &delta
+	}
+	return resp, nil
+}
+
+// handleSimulate is POST /v1/simulate: one admitted job that owns a worker
+// for the whole integration, streaming NDJSON frames as it goes.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, sys, err := decodeSimulateRequest(r.Body, s.limits())
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			err = fmt.Errorf("%w: body over %d bytes", ErrTooLarge, s.cfg.MaxBodyBytes)
+		}
+		status := s.writeError(w, err)
+		s.record(status, time.Since(t0))
+		return
+	}
+	key := s.keyFor(&req.SolveRequest, sys.Len(), true)
+
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+
+	var queueWait time.Duration
+	enq := time.Now()
+	streaming := false
+	err = s.disp.Do(ctx, req.Tenant, func(ctx context.Context) error {
+		queueWait = time.Since(enq)
+		return s.stream(ctx, w, req, sys, key, &streaming)
+	})
+	status := http.StatusOK
+	if err != nil {
+		if streaming {
+			// Headers are gone; the truncated stream (no final frame) is
+			// the error signal the client sees.
+			status, _ = statusFor(err)
+		} else {
+			status = s.writeError(w, err)
+		}
+	}
+	s.record(status, time.Since(t0))
+	s.logRequest("simulate", req.Tenant, key, status, false, 0, queueWait, time.Since(t0), err)
+}
+
+// stream runs the integration, emitting a Frame every StreamEvery steps
+// and a final Frame with the full particle state. Cancellation lands
+// between chunks (the solver's own ctx checks bound each chunk's latency).
+func (s *Server) stream(ctx context.Context, w http.ResponseWriter, req *SimulateRequest, sys *nbody.System, key Key, streaming *bool) error {
+	plan, hit, err := s.plans.Acquire(key)
+	if err != nil {
+		return err
+	}
+	defer s.plans.Release(plan)
+
+	sim, err := nbody.NewSimulation(sys, nil, ctxAccelerator{plan.Ladder, ctx}, req.DT)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Plan-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	*streaming = true
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	emit := func(final bool) error {
+		k, u, e := sim.Energy()
+		f := Frame{Step: sim.Steps(), Time: sim.Time(), Kinetic: k, Potential: u, Total: e, Final: final}
+		if final {
+			f.Positions = make([][3]float64, sys.Len())
+			f.Velocity = make([][3]float64, sys.Len())
+			for i, p := range sim.System.Positions {
+				f.Positions[i] = [3]float64{p.X, p.Y, p.Z}
+			}
+			for i, v := range sim.Velocities {
+				f.Velocity[i] = [3]float64{v.X, v.Y, v.Z}
+			}
+		}
+		if err := enc.Encode(f); err != nil {
+			return fmt.Errorf("%w: %v", context.Canceled, err)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	for done := 0; done < req.Steps; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := req.StreamEvery
+		if rem := req.Steps - done; chunk > rem {
+			chunk = rem
+		}
+		if err := sim.Step(chunk); err != nil {
+			return err
+		}
+		done += chunk
+		if err := emit(done == req.Steps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctxAccelerator threads the request context into Simulation's
+// context-free Accelerator interface, so a canceled request aborts the
+// in-flight solve of the current step rather than finishing it.
+type ctxAccelerator struct {
+	r   *nbody.Resilient
+	ctx context.Context
+}
+
+func (c ctxAccelerator) Accelerations(s *nbody.System) ([]float64, []nbody.Vec3, error) {
+	return c.r.AccelerationsCtx(c.ctx, s)
+}
+
+func (c ctxAccelerator) AccelerationsInto(phi []float64, acc []nbody.Vec3, s *nbody.System) error {
+	return c.r.AccelerationsIntoCtx(c.ctx, phi, acc, s)
+}
+
+func (s *Server) limits() Limits {
+	return Limits{MaxN: s.cfg.MaxN, MaxDepth: s.cfg.MaxDepth}
+}
+
+// Metrics is the body of GET /v1/metrics: everything the server knows
+// about itself, in one JSON document.
+type Metrics struct {
+	UptimeMS  int64                  `json:"uptime_ms"`
+	Backend   string                 `json:"backend"`
+	Policy    Policy                 `json:"policy"`
+	Workers   int                    `json:"workers"`
+	Admission DispatchStats          `json:"admission"`
+	Tenants   map[string]TenantStats `json:"tenants,omitempty"`
+	PlanCache CacheStats             `json:"plan_cache"`
+	Latency   LatencyStats           `json:"latency"`
+	Statuses  map[string]int64       `json:"statuses"`
+	Recovery  metrics.RecoveryStats  `json:"recovery"`
+}
+
+// ReadMetrics assembles the metrics document (also used in-process by the
+// load harness).
+func (s *Server) ReadMetrics() Metrics {
+	s.mu.Lock()
+	statuses := make(map[string]int64, len(s.statuses))
+	for code, n := range s.statuses {
+		statuses[fmt.Sprintf("%d", code)] = n
+	}
+	s.mu.Unlock()
+	return Metrics{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Backend:   simd.Active(),
+		Policy:    s.cfg.Policy,
+		Workers:   s.cfg.Workers,
+		Admission: s.disp.Stats(),
+		Tenants:   s.disp.TenantSnapshot(),
+		PlanCache: s.plans.Stats(),
+		Latency:   s.lat.stats(),
+		Statuses:  statuses,
+		Recovery:  metrics.ReadRecovery(),
+	}
+}
+
+// handleMetrics is GET /v1/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.ReadMetrics())
+}
+
+// handleHealthz is GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+}

@@ -161,6 +161,16 @@ func (r *Resilient) Name() string { return r.name }
 // degradation.
 func (r *Resilient) LastRung() int { return int(r.lastRung.Load()) }
 
+// Counters returns this Resilient's own recovery-event counts (retries,
+// breaker trips, ladder degradations), monotonic across its lifetime. A
+// caller that owns the Resilient exclusively for the duration of one solve
+// can diff two snapshots for exact per-solve attribution — the scoped
+// counterpart of the process-wide metrics.ReadRecovery.
+func (r *Resilient) Counters() (retries, breakerTrips, degradations int64) {
+	c := r.sup.Counters()
+	return c.Retries, c.BreakerTrips, c.Degradations
+}
+
 // RungNames lists the ladder's solver names in order.
 func (r *Resilient) RungNames() []string {
 	names := make([]string, len(r.rungs))

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Closed-loop load test of the nbodyd solver service: for each admission
+# policy, starts an in-process server on a loopback port, drives the
+# synthetic tenant mix against it over real HTTP, and prints the markdown
+# comparison table (p50/p95/p99 latency, goodput, plan-cache hit rate).
+# Exits nonzero if any request drew a 5xx or a transport error.
+#
+#   scripts/loadtest.sh                         # default mix, 5s per policy
+#   DURATION=10s scripts/loadtest.sh            # longer runs
+#   NBODY_BACKEND=scalar scripts/loadtest.sh    # pin a backend
+#   TENANTS="hog:8:4096,light:1:512" QUEUE=4 scripts/loadtest.sh
+#
+# The contended default mix pairs a hungry multi-shape tenant against light
+# ones so the fifo-vs-fair difference (per-tenant tail latency under one
+# tenant's burst) is visible in the per-tenant breakdown on stderr.
+set -e
+
+DURATION="${DURATION:-5s}"
+TENANTS="${TENANTS:-hog:8:2048:4096,light:2:512,steady:2:1024}"
+QUEUE="${QUEUE:-16}"
+INFLIGHT="${INFLIGHT:-2}"
+POLICIES="${POLICIES:-fifo,fair}"
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/nbodyd -loadtest \
+    -duration "$DURATION" \
+    -tenants "$TENANTS" \
+    -queue-depth "$QUEUE" \
+    -inflight "$INFLIGHT" \
+    -policies "$POLICIES" \
+    "$@"
