@@ -1,19 +1,24 @@
 // Command nbodyd is the N-body solver service: a multi-tenant HTTP server
-// around the repo's solver stack, with per-tenant admission control, a
-// solver-plan cache, and the self-healing degradation ladder per request.
+// around the repo's solver stack, with per-tenant admission control,
+// cost-model deadline shedding, adaptive brownout, a solver-plan cache, and
+// the self-healing degradation ladder per request.
 //
 //	nbodyd -addr :8042 -policy fair -fallback bh,direct
 //
-// With -loadtest it instead runs the closed-loop load harness against
-// in-process servers — one per admission policy — and prints the markdown
+// With -loadtest it instead runs the load harness against in-process
+// servers — one per (policy, overload-mode) pair — and prints the markdown
 // comparison table the experiments record, exiting nonzero if any request
-// drew a 5xx:
+// drew a 5xx or the light tenant's p95 regressed against a recorded
+// baseline:
 //
 //	nbodyd -loadtest -duration 5s -tenants "alice:4:2048,bob:4:2048,carol:2:8192"
+//	nbodyd -loadtest -arrival open -req-deadline 2s -overload off,on \
+//	       -tenants "light:10:2048,flood:200:8192" -json BENCH_PR8.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,12 +26,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"nbody/internal/cli"
+	"nbody/internal/metrics"
 	"nbody/internal/serve"
 	"nbody/internal/serve/loadgen"
 	"nbody/internal/simd"
@@ -47,12 +54,23 @@ func main() {
 		backend   = flag.String("backend", "", "compute backend: scalar | avx2 (default: auto-detect)")
 		quiet     = flag.Bool("quiet", false, "drop per-request logs")
 
-		loadtest = flag.Bool("loadtest", false, "run the closed-loop load harness instead of serving")
-		duration = flag.Duration("duration", 5*time.Second, "loadtest: duration per policy")
+		noAdmission = flag.Bool("no-admission", false, "disable cost-model admission (serve mode)")
+		noBrownout  = flag.Bool("no-brownout", false, "disable adaptive brownout (serve mode)")
+		brownTarget = flag.Duration("brownout-target", 0, "brownout queue-delay setpoint (0 = default 100ms)")
+
+		loadtest = flag.Bool("loadtest", false, "run the load harness instead of serving")
+		duration = flag.Duration("duration", 5*time.Second, "loadtest: duration per run")
 		tenants  = flag.String("tenants", "alice:4:2048,bob:4:2048,carol:2:8192",
-			"loadtest: tenant spec name:concurrency:n[:n...], comma-separated")
+			"loadtest: tenant spec name:concurrency:n[@accuracy][:n...], comma-separated (concurrency is arrivals/sec under -arrival open)")
 		policies = flag.String("policies", "fifo,fair", "loadtest: admission policies to compare")
 		think    = flag.Duration("think", 0, "loadtest: per-tenant think time between requests")
+		arrival  = flag.String("arrival", "closed", "loadtest: arrival model, closed | open")
+		overload = flag.String("overload", "on", "loadtest: overload-control modes to compare, comma of off|on")
+		reqDL    = flag.Duration("req-deadline", 0, "loadtest: per-request deadline attached to every tenant (0 = server default)")
+		chaos    = flag.Bool("chaos", false, "loadtest: add slow-loris and mid-stream-disconnect chaos tenants")
+		jsonOut  = flag.String("json", "", "loadtest: write the per-run results JSON to this path")
+		baseline = flag.String("baseline", "", "loadtest: gate the light tenant's p95 against this recorded results JSON")
+		light    = flag.String("light", "", "loadtest: name of the light tenant the baseline gate watches (default: first tenant)")
 	)
 	flag.Parse()
 
@@ -73,10 +91,26 @@ func main() {
 		DefaultDeadline:   *deadline,
 		Ladder:            *fallback,
 		Quiet:             *quiet,
+		DisableAdmission:  *noAdmission,
+		DisableBrownout:   *noBrownout,
+		BrownoutTarget:    *brownTarget,
 	}
 
 	if *loadtest {
-		if err := runLoadtest(cfg, *policies, *tenants, *duration, *think); err != nil {
+		opts := loadtestOpts{
+			policies: *policies,
+			tenants:  *tenants,
+			duration: *duration,
+			think:    *think,
+			arrival:  *arrival,
+			overload: *overload,
+			reqDL:    *reqDL,
+			chaos:    *chaos,
+			jsonOut:  *jsonOut,
+			baseline: *baseline,
+			light:    *light,
+		}
+		if err := runLoadtest(cfg, opts); err != nil {
 			log.Fatalf("nbodyd: %v", err)
 		}
 		return
@@ -116,40 +150,124 @@ func serveForever(cfg serve.Config, addr string) error {
 	}
 }
 
-// runLoadtest starts one in-process server per policy on a loopback
-// listener, drives the same tenant mix against each over real HTTP, and
-// prints the comparison table. Any 5xx fails the run.
-func runLoadtest(cfg serve.Config, policies, tenantSpec string, duration, think time.Duration) error {
-	ts, err := parseTenants(tenantSpec, think)
+type loadtestOpts struct {
+	policies string
+	tenants  string
+	duration time.Duration
+	think    time.Duration
+	arrival  string
+	overload string
+	reqDL    time.Duration
+	chaos    bool
+	jsonOut  string
+	baseline string
+	light    string
+}
+
+// Chaos tenant names the 5xx gate skips: their whole job is to misbehave.
+const (
+	chaosSlowTenant = "chaos-slow"
+	chaosDropTenant = "chaos-drop"
+)
+
+// runLoadtest starts one in-process server per (policy, overload-mode)
+// pair on a loopback listener, drives the same tenant mix against each
+// over real HTTP, and prints the comparison table. Any 5xx among the
+// well-behaved tenants fails the run, as does a light-tenant p95
+// regression against a recorded baseline.
+func runLoadtest(cfg serve.Config, opts loadtestOpts) error {
+	if opts.arrival != "closed" && opts.arrival != "open" {
+		return fmt.Errorf("loadtest: -arrival must be closed or open, got %q", opts.arrival)
+	}
+	ts, err := parseTenants(opts.tenants, opts.think)
 	if err != nil {
 		return err
 	}
-	var results []*loadgen.Result
-	for _, pol := range strings.Split(policies, ",") {
-		pol = strings.TrimSpace(pol)
-		p, err := serve.ParsePolicy(pol)
-		if err != nil {
-			return err
+	if opts.light == "" {
+		opts.light = ts[0].Name
+	}
+	for i := range ts {
+		if opts.reqDL > 0 {
+			ts[i].DeadlineMS = opts.reqDL.Milliseconds()
 		}
-		c := cfg
-		c.Policy = p
-		c.Quiet = true
-		res, err := runOnePolicy(c, ts, duration)
-		if err != nil {
-			return err
+		if opts.arrival == "open" {
+			// The spec's concurrency field becomes the arrival rate: a
+			// fixed-rate clock that does not slow down when the server does.
+			ts[i].RateRPS = float64(ts[i].Concurrency)
+			ts[i].Concurrency = 0
 		}
-		res.Policy = pol
-		results = append(results, res)
-		fmt.Fprint(os.Stderr, res.Summary())
+	}
+	if opts.chaos {
+		ts = append(ts,
+			loadgen.Tenant{Name: chaosSlowTenant, Concurrency: 2, Chaos: loadgen.ChaosSlowLoris,
+				Shapes: []loadgen.Shape{{N: 1024}}, Think: 20 * time.Millisecond},
+			loadgen.Tenant{Name: chaosDropTenant, Concurrency: 2, Chaos: loadgen.ChaosDisconnect,
+				Shapes: []loadgen.Shape{{N: 1024}}, Think: 20 * time.Millisecond},
+		)
 	}
 
-	fmt.Printf("\nbackend=%s workers=%d queue-depth=%d inflight-cap=%d duration=%s\n\n",
-		simd.Active(), cfg.Workers, cfg.QueueDepth, cfg.InflightPerTenant, duration)
+	var results []*loadgen.Result
+	for _, mode := range strings.Split(opts.overload, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode != "on" && mode != "off" {
+			return fmt.Errorf("loadtest: -overload modes are off|on, got %q", mode)
+		}
+		for _, pol := range strings.Split(opts.policies, ",") {
+			pol = strings.TrimSpace(pol)
+			p, err := serve.ParsePolicy(pol)
+			if err != nil {
+				return err
+			}
+			c := cfg
+			c.Policy = p
+			c.Quiet = true
+			if mode == "off" {
+				c.DisableAdmission = true
+				c.DisableBrownout = true
+			}
+			res, err := runOnePolicy(c, ts, opts.duration)
+			if err != nil {
+				return err
+			}
+			res.Policy = pol + "/" + "overload-" + mode
+			results = append(results, res)
+			fmt.Fprint(os.Stderr, res.Summary())
+		}
+	}
+
+	// Report the resolved fleet size, not the config zero value that means
+	// "use the default".
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	fmt.Printf("\nbackend=%s workers=%d queue-depth=%d inflight-cap=%d duration=%s arrival=%s deadline=%s\n\n",
+		simd.Active(), workers, cfg.QueueDepth, cfg.InflightPerTenant, opts.duration, opts.arrival, opts.reqDL)
 	fmt.Println(loadgen.TableHeader())
 	bad := int64(0)
 	for _, r := range results {
 		fmt.Println(r.TableRow())
-		bad += r.Total.Err5xx + r.Total.OtherErr
+		for name, tb := range r.Tenants {
+			if name == chaosSlowTenant || name == chaosDropTenant {
+				continue
+			}
+			bad += tb.Err5xx + tb.OtherErr
+		}
+	}
+
+	doc := buildBenchDoc(results, opts)
+	if opts.jsonOut != "" {
+		if err := writeBenchDoc(opts.jsonOut, doc); err != nil {
+			return err
+		}
+	}
+	if opts.baseline != "" {
+		if err := gateAgainstBaseline(doc, opts.baseline); err != nil {
+			return err
+		}
 	}
 	if bad > 0 {
 		return fmt.Errorf("loadtest: %d requests failed with 5xx/transport errors", bad)
@@ -157,8 +275,11 @@ func runLoadtest(cfg serve.Config, policies, tenantSpec string, duration, think 
 	return nil
 }
 
-// runOnePolicy runs one harness pass against a fresh server.
+// runOnePolicy runs one harness pass against a fresh server. The
+// process-wide overload counters are reset first so each run's server-side
+// accounting is its own.
 func runOnePolicy(cfg serve.Config, tenants []loadgen.Tenant, duration time.Duration) (*loadgen.Result, error) {
+	metrics.ResetOverload()
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return nil, err
@@ -179,8 +300,132 @@ func runOnePolicy(cfg serve.Config, tenants []loadgen.Tenant, duration time.Dura
 	})
 }
 
-// parseTenants parses "name:concurrency:n[:n...]" specs: each trailing
-// integer is one problem size in the tenant's shape rotation.
+// benchDoc is the recorded loadtest artifact (BENCH_PR8.json): enough per
+// run and per tenant for the regression gate and the experiment tables.
+type benchDoc struct {
+	Backend  string     `json:"backend"`
+	Arrival  string     `json:"arrival"`
+	Deadline string     `json:"req_deadline,omitempty"`
+	Light    string     `json:"light_tenant"`
+	Runs     []benchRun `json:"runs"`
+}
+
+type benchRun struct {
+	Label      string                 `json:"label"`
+	GoodputRPS float64                `json:"goodput_rps"`
+	Sent       int64                  `json:"sent"`
+	OK         int64                  `json:"ok"`
+	Shed       int64                  `json:"shed"`
+	Rejected   int64                  `json:"rejected"`
+	Deadline   int64                  `json:"deadline_504"`
+	Err5xx     int64                  `json:"err_5xx"`
+	Degraded   int64                  `json:"degraded"`
+	LateOK     int64                  `json:"late_ok"`
+	P95MS      float64                `json:"p95_ms"`
+	Tenants    map[string]benchBucket `json:"tenants"`
+}
+
+type benchBucket struct {
+	Sent     int64   `json:"sent"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`
+	Rejected int64   `json:"rejected"`
+	Deadline int64   `json:"deadline_504"`
+	Degraded int64   `json:"degraded"`
+	LateOK   int64   `json:"late_ok"`
+	Dropped  int64   `json:"dropped"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+func buildBenchDoc(results []*loadgen.Result, opts loadtestOpts) *benchDoc {
+	doc := &benchDoc{Backend: simd.Active(), Arrival: opts.arrival, Light: opts.light}
+	if opts.reqDL > 0 {
+		doc.Deadline = opts.reqDL.String()
+	}
+	for _, r := range results {
+		_, p95, _, _, _ := r.Total.Percentiles()
+		run := benchRun{
+			Label:      r.Policy,
+			GoodputRPS: r.GoodputRPS(),
+			Sent:       r.Total.Sent,
+			OK:         r.Total.OK,
+			Shed:       r.Total.Shed,
+			Rejected:   r.Total.Rejected,
+			Deadline:   r.Total.Deadline,
+			Err5xx:     r.Total.Err5xx,
+			Degraded:   r.Total.Degraded,
+			LateOK:     r.Total.LateOK,
+			P95MS:      float64(p95) / 1e6,
+			Tenants:    make(map[string]benchBucket, len(r.Tenants)),
+		}
+		for name, tb := range r.Tenants {
+			p50, p95, p99, _, _ := tb.Percentiles()
+			run.Tenants[name] = benchBucket{
+				Sent: tb.Sent, OK: tb.OK, Shed: tb.Shed, Rejected: tb.Rejected,
+				Deadline: tb.Deadline, Degraded: tb.Degraded, LateOK: tb.LateOK, Dropped: tb.Dropped,
+				P50MS: float64(p50) / 1e6, P95MS: float64(p95) / 1e6, P99MS: float64(p99) / 1e6,
+			}
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
+	return doc
+}
+
+func writeBenchDoc(path string, doc *benchDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// gateAgainstBaseline fails the run when the light tenant's p95 in any run
+// label regressed against the recorded baseline by more than 1.5x plus a
+// 100ms absolute floor (loopback load runs are noisy; the gate is for
+// order-of-magnitude regressions, not jitter). Baselines from a different
+// backend are skipped with a warning: the numbers are not comparable.
+func gateAgainstBaseline(doc *benchDoc, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: no baseline at %s (%v), gate skipped\n", path, err)
+		return nil
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("loadtest: baseline %s: %w", path, err)
+	}
+	if base.Backend != doc.Backend {
+		fmt.Fprintf(os.Stderr, "loadtest: baseline backend %q != current %q, gate skipped\n", base.Backend, doc.Backend)
+		return nil
+	}
+	baseRuns := make(map[string]benchRun, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRuns[r.Label] = r
+	}
+	for _, cur := range doc.Runs {
+		br, ok := baseRuns[cur.Label]
+		if !ok {
+			continue
+		}
+		bt, ok1 := br.Tenants[base.Light]
+		ct, ok2 := cur.Tenants[doc.Light]
+		if !ok1 || !ok2 || bt.P95MS <= 0 || ct.OK == 0 {
+			continue
+		}
+		if limit := bt.P95MS*1.5 + 100; ct.P95MS > limit {
+			return fmt.Errorf("loadtest: light tenant %q p95 regressed in %s: %.1fms > limit %.1fms (baseline %.1fms)",
+				doc.Light, cur.Label, ct.P95MS, limit, bt.P95MS)
+		}
+	}
+	return nil
+}
+
+// parseTenants parses "name:concurrency:shape[:shape...]" specs. A shape
+// is "n" or "n@accuracy" (fast | balanced | accurate), so a flooding tenant
+// can request expensive high-accuracy work — the traffic the brownout
+// ladder has something to degrade.
 func parseTenants(spec string, think time.Duration) ([]loadgen.Tenant, error) {
 	var out []loadgen.Tenant
 	for _, part := range strings.Split(spec, ",") {
@@ -190,7 +435,7 @@ func parseTenants(spec string, think time.Duration) ([]loadgen.Tenant, error) {
 		}
 		fields := strings.Split(part, ":")
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("tenant spec %q: want name:concurrency:n[:n...]", part)
+			return nil, fmt.Errorf("tenant spec %q: want name:concurrency:n[@accuracy][:n...]", part)
 		}
 		conc, err := strconv.Atoi(fields[1])
 		if err != nil || conc < 1 {
@@ -198,11 +443,17 @@ func parseTenants(spec string, think time.Duration) ([]loadgen.Tenant, error) {
 		}
 		t := loadgen.Tenant{Name: fields[0], Concurrency: conc, Think: think}
 		for _, f := range fields[2:] {
-			n, err := strconv.Atoi(f)
+			nStr, acc, _ := strings.Cut(f, "@")
+			switch acc {
+			case "", "fast", "balanced", "accurate":
+			default:
+				return nil, fmt.Errorf("tenant spec %q: bad accuracy %q (fast|balanced|accurate)", part, acc)
+			}
+			n, err := strconv.Atoi(nStr)
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("tenant spec %q: bad N %q", part, f)
 			}
-			t.Shapes = append(t.Shapes, loadgen.Shape{N: n})
+			t.Shapes = append(t.Shapes, loadgen.Shape{N: n, Accuracy: acc})
 		}
 		out = append(out, t)
 	}

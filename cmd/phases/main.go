@@ -64,9 +64,10 @@ func main() {
 	if *workers {
 		st.CaptureWorkers()
 	}
-	// Recovery counters ride along in both outputs; on a healthy run the
-	// section is zero and both the table and the JSON omit it.
+	// Recovery and overload counters ride along in both outputs; on a
+	// healthy run both sections are zero and the table and JSON omit them.
 	st.CaptureRecovery()
+	st.CaptureOverload()
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,6 +1,9 @@
 package dp
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // CostModel converts counted events into machine cycles. The defaults are
 // calibrated to the CM-5E figures reported in the paper: 40 MHz VUs with one
@@ -80,6 +83,70 @@ func (c CostModel) GemmEfficiency(k int) float64 {
 
 // Seconds converts modeled cycles to seconds at the machine clock.
 func (c CostModel) Seconds(cycles float64) float64 { return cycles / (c.ClockMHz * 1e6) }
+
+// ModelSolveCycles predicts the machine cycles of one whole Anderson-method
+// solve of the given shape from the calibrated model: near-field
+// particle-particle work at DirectEfficiency, the K x K interactive-field
+// translations at GemmEfficiency, the up/down tree sweeps, and the
+// per-particle kernel evaluations at KernelEfficiency. The formula assumes
+// the paper's uniform distribution (leaf occupancy n/8^depth, 26 near
+// neighbors, 875 interactive translations per box — 189 with supernodes),
+// so it is a seed, not an oracle: callers that need wall-clock accuracy on
+// a real host scale it by a measured calibration factor and refine online
+// (internal/serve's admission estimator does exactly that; ROADMAP item
+// 5's autotuner is the next consumer).
+//
+// The prediction is pure float64 arithmetic with no allocation and is
+// total: any shape — zero or negative n, absurd depth or k — yields a
+// non-negative, non-NaN cycle count (+Inf when the shape genuinely
+// overflows), so admission paths can call it on unvalidated input.
+func (c CostModel) ModelSolveCycles(n, depth, k int, supernodes bool) float64 {
+	c = c.normalize()
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	if depth > 16 {
+		depth = 16 // 8^16 leaves already dwarfs any admissible request
+	}
+	fn := float64(n)
+	fk := float64(k)
+	leaves := math.Pow(8, float64(depth))
+	occupancy := fn / leaves
+
+	// Near field: each particle against its own leaf and the 26 neighbors,
+	// symmetry halving the pair count; 9 flops per pair (internal/direct).
+	nearFlops := fn * occupancy * (27.0 / 2.0) * 9
+	// Interactive field: per box of every level below the root's children,
+	// one K x K matrix-vector translation per interaction-list entry.
+	perBox := 875.0
+	if supernodes {
+		perBox = 189
+	}
+	var t2Boxes float64
+	for l := 2; l <= depth; l++ {
+		t2Boxes += math.Pow(8, float64(l))
+	}
+	t2Flops := t2Boxes * perBox * 2 * fk * fk
+	// Up/down sweeps: one K x K parent<->child translation per box per
+	// direction.
+	treeFlops := t2Boxes * 2 * 2 * fk * fk
+	// Leaf evaluations: forming each leaf's outer expansion from its
+	// particles and evaluating the inner expansion back at them, ~6 flops
+	// per particle-point kernel term.
+	evalFlops := 2 * fn * fk * 6
+
+	cycles := nearFlops/c.DirectEfficiency +
+		(t2Flops+treeFlops)/c.GemmEfficiency(k) +
+		evalFlops/c.KernelEfficiency
+	cycles /= c.FlopsPerCycle
+	if math.IsNaN(cycles) || cycles < 0 {
+		return 0
+	}
+	return cycles
+}
 
 // Counters accumulates the data-motion events of all primitives. All counts
 // are in 8-byte words (one float64 potential value = one word) except where

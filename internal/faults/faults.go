@@ -75,6 +75,27 @@ func InjectDelayN(site string, d time.Duration, count int) {
 	armN(site, &fault{kind: kindDelay, d: d}, int64(count))
 }
 
+// InjectDelayEvery arms site to sleep d on every firing until Reset (or a
+// re-arming) — the chaos-harness primitive: a transport-level stall (slow
+// dequeue, delayed worker) held open for a whole soak window rather than a
+// counted number of requests, so open-loop load keeps hitting it for as
+// long as the test wants the degraded regime to last.
+func InjectDelayEvery(site string, d time.Duration) {
+	armN(site, &fault{kind: kindDelay, d: d}, unlimited)
+}
+
+// InjectPanicEvery arms site to panic with val on every firing until Reset —
+// for chaos windows where each request through a site must fail, proving
+// the containment and shedding layers hold under a persistent fault, not
+// just a one-shot one.
+func InjectPanicEvery(site string, val any) {
+	armN(site, &fault{kind: kindPanic, val: val}, unlimited)
+}
+
+// unlimited is the remaining-count sentinel for the *Every injections:
+// lookup treats a negative count as inexhaustible.
+const unlimited = int64(-1)
+
 func arm(site string, f *fault) { armN(site, f, 1) }
 
 func armN(site string, f *fault, count int64) {
@@ -109,7 +130,10 @@ func lookup(site string) *fault {
 	}
 	for {
 		r := f.remaining.Load()
-		if r <= 0 {
+		if r < 0 {
+			return f // unlimited arming: never decremented, never exhausted
+		}
+		if r == 0 {
 			return nil
 		}
 		if f.remaining.CompareAndSwap(r, r-1) {

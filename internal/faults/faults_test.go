@@ -104,3 +104,69 @@ func TestResetDisarms(t *testing.T) {
 	Reset()
 	Fire("r")
 }
+
+func TestPanicEveryFiresUntilReset(t *testing.T) {
+	defer Reset()
+	InjectPanicEvery("every-p", "bang")
+	fired := 0
+	for i := 0; i < 20; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			Fire("every-p")
+		}()
+	}
+	if fired != 20 {
+		t.Fatalf("unlimited arming fired %d/20 times, want every firing", fired)
+	}
+	Reset()
+	Fire("every-p") // must be a no-op now
+}
+
+func TestDelayEveryFiresUntilReset(t *testing.T) {
+	defer Reset()
+	InjectDelayEvery("every-d", 5*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		Fire("every-d")
+		if el := time.Since(start); el < 5*time.Millisecond {
+			t.Fatalf("firing %d took %v, want >= 5ms (arming must not exhaust)", i, el)
+		}
+	}
+	Reset()
+	start := time.Now()
+	Fire("every-d")
+	if el := time.Since(start); el >= 5*time.Millisecond {
+		t.Fatalf("post-Reset firing slept %v, want no-op", el)
+	}
+}
+
+func TestEveryExactUnderConcurrency(t *testing.T) {
+	defer Reset()
+	InjectPanicEvery("every-c", "bang")
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				func() {
+					defer func() {
+						if recover() != nil {
+							fired.Add(1)
+						}
+					}()
+					Fire("every-c")
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 400 {
+		t.Fatalf("unlimited arming fired %d/400 under concurrency", got)
+	}
+}

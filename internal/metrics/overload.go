@@ -1,0 +1,68 @@
+package metrics
+
+import "sync/atomic"
+
+// OverloadStats is a snapshot of the overload-control layer's counters: how
+// often the serving layer shed a request whose predicted completion missed
+// its deadline (at admission, or stale at dequeue), and what the adaptive
+// brownout controller did (requests served degraded, level raises and
+// drops). Like RecoveryStats, every field is zero on an unloaded process,
+// so any nonzero value in a report is a load event worth reading.
+type OverloadStats struct {
+	Shed           int64 `json:"shed"`            // rejected at admission: predicted completion past deadline
+	ShedStale      int64 `json:"shed_stale"`      // dropped at dequeue: deadline unmeetable before the solve started
+	Browned        int64 `json:"browned"`         // requests served at brownout-degraded fidelity
+	BrownoutRaises int64 `json:"brownout_raises"` // controller level increases
+	BrownoutDrops  int64 `json:"brownout_drops"`  // controller level decreases
+}
+
+// Zero reports whether no overload event has been recorded.
+func (o OverloadStats) Zero() bool {
+	return o == OverloadStats{}
+}
+
+// The overload counters are package-level atomics for the same reason the
+// recovery counters are: the admission layer spans every solver and tenant,
+// so its events belong to the process, not to any one solver's recorder.
+var overload struct {
+	shed           atomic.Int64
+	shedStale      atomic.Int64
+	browned        atomic.Int64
+	brownoutRaises atomic.Int64
+	brownoutDrops  atomic.Int64
+}
+
+// AddShed counts n admission-time deadline sheds.
+func AddShed(n int64) { overload.shed.Add(n) }
+
+// AddShedStale counts n dequeue-time stale drops.
+func AddShedStale(n int64) { overload.shedStale.Add(n) }
+
+// AddBrowned counts n requests served at degraded fidelity under brownout.
+func AddBrowned(n int64) { overload.browned.Add(n) }
+
+// AddBrownoutRaises counts n brownout level increases.
+func AddBrownoutRaises(n int64) { overload.brownoutRaises.Add(n) }
+
+// AddBrownoutDrops counts n brownout level decreases.
+func AddBrownoutDrops(n int64) { overload.brownoutDrops.Add(n) }
+
+// ReadOverload returns the current overload counters.
+func ReadOverload() OverloadStats {
+	return OverloadStats{
+		Shed:           overload.shed.Load(),
+		ShedStale:      overload.shedStale.Load(),
+		Browned:        overload.browned.Load(),
+		BrownoutRaises: overload.brownoutRaises.Load(),
+		BrownoutDrops:  overload.brownoutDrops.Load(),
+	}
+}
+
+// ResetOverload zeroes the overload counters (tests and long-lived tools).
+func ResetOverload() {
+	overload.shed.Store(0)
+	overload.shedStale.Store(0)
+	overload.browned.Store(0)
+	overload.brownoutRaises.Store(0)
+	overload.brownoutDrops.Store(0)
+}

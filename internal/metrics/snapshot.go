@@ -54,6 +54,11 @@ type Snapshot struct {
 	// layer's counters (retries, breaker trips, ladder degradations,
 	// checkpoints, resumes). All-zero on a healthy run.
 	Recovery *RecoveryStats
+
+	// Overload, when captured with CaptureOverload, holds the
+	// overload-control layer's counters (deadline sheds, stale drops,
+	// brownout activity). All-zero on an unloaded process.
+	Overload *OverloadStats
 }
 
 // CaptureRecovery copies the process-wide recovery counters into the
@@ -61,6 +66,13 @@ type Snapshot struct {
 func (s *Snapshot) CaptureRecovery() {
 	r := ReadRecovery()
 	s.Recovery = &r
+}
+
+// CaptureOverload copies the process-wide overload counters into the
+// snapshot, alongside the phases and the recovery counters.
+func (s *Snapshot) CaptureOverload() {
+	o := ReadOverload()
+	s.Overload = &o
 }
 
 // Diff returns the per-phase delta s minus prev: the accounting of exactly
@@ -83,6 +95,7 @@ func (s *Snapshot) Diff(prev *Snapshot) Snapshot {
 	d.Workers = nil
 	d.HeapAllocs, d.HeapBytes = 0, 0
 	d.Recovery = nil
+	d.Overload = nil
 	return d
 }
 
@@ -191,6 +204,11 @@ func (s *Snapshot) Table() string {
 		fmt.Fprintf(&b, "  recovery: %d retries, %d breaker trips, %d degradations, %d checkpoints, %d resumes\n",
 			r.Retries, r.BreakerTrips, r.Degradations, r.Checkpoints, r.Resumes)
 	}
+	if s.Overload != nil && !s.Overload.Zero() {
+		o := s.Overload
+		fmt.Fprintf(&b, "  overload: %d shed, %d stale drops, %d browned, %d brownout raises, %d drops\n",
+			o.Shed, o.ShedStale, o.Browned, o.BrownoutRaises, o.BrownoutDrops)
+	}
 	return b.String()
 }
 
@@ -236,6 +254,7 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Phases     []phaseJSON    `json:"phases"`
 		Workers    []WorkerStat   `json:"workers,omitempty"`
 		Recovery   *RecoveryStats `json:"recovery,omitempty"`
+		Overload   *OverloadStats `json:"overload,omitempty"`
 	}{
 		Particles:  s.Particles,
 		Depth:      s.Depth,
@@ -250,5 +269,6 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Phases:     phases,
 		Workers:    s.Workers,
 		Recovery:   s.Recovery,
+		Overload:   s.Overload,
 	})
 }

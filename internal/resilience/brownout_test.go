@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for driving the controller's dwell
+// timers deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testBrownout(clk *fakeClock) *Brownout {
+	return NewBrownout(BrownoutConfig{
+		Target:     100 * time.Millisecond,
+		MaxLevel:   2,
+		RaiseAfter: 500 * time.Millisecond,
+		DropAfter:  2 * time.Second,
+		Alpha:      1, // no smoothing: the sample is the signal
+		Now:        clk.Now,
+	})
+}
+
+// TestBrownoutRaiseRequiresDwell pins the anti-flap half of the raise path:
+// a single over-target observation starts the dwell but does not raise, and
+// the level only rises once the signal has stayed high for RaiseAfter.
+func TestBrownoutRaiseRequiresDwell(t *testing.T) {
+	clk := newFakeClock()
+	b := testBrownout(clk)
+
+	if got := b.Observe(time.Second); got != 0 {
+		t.Fatalf("level %d after first over-target sample, want 0 (dwell not served)", got)
+	}
+	clk.Advance(499 * time.Millisecond)
+	if got := b.Observe(time.Second); got != 0 {
+		t.Fatalf("level %d at 499ms of dwell, want 0", got)
+	}
+	clk.Advance(time.Millisecond)
+	if got := b.Observe(time.Second); got != 1 {
+		t.Fatalf("level %d after full RaiseAfter dwell, want 1", got)
+	}
+	// A further raise needs a fresh dwell, not just one more sample.
+	if got := b.Observe(time.Second); got != 1 {
+		t.Fatalf("level %d immediately after a raise, want 1 (fresh dwell required)", got)
+	}
+	clk.Advance(500 * time.Millisecond)
+	if got := b.Observe(time.Second); got != 2 {
+		t.Fatalf("level %d after second dwell, want 2", got)
+	}
+	// MaxLevel caps it: more served dwells cannot push past 2. Keep the
+	// advances inside the DropAfter window so idle decay stays out of play.
+	for i := 0; i < 4; i++ {
+		clk.Advance(500 * time.Millisecond)
+		if got := b.Observe(time.Second); got != 2 {
+			t.Fatalf("level %d beyond MaxLevel, want 2", got)
+		}
+	}
+	if s := b.Stats(); s.Raises != 2 {
+		t.Errorf("raises = %d, want 2", s.Raises)
+	}
+}
+
+// TestBrownoutDropHysteresis pins the recovery side: the level only falls
+// when the signal stays below Target/4 for DropAfter, and samples in the
+// dead band between Target/4 and Target hold the level and reset the dwell.
+func TestBrownoutDropHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	b := testBrownout(clk)
+
+	// Force level 1.
+	b.Observe(time.Second)
+	clk.Advance(500 * time.Millisecond)
+	if got := b.Observe(time.Second); got != 1 {
+		t.Fatalf("setup: level %d, want 1", got)
+	}
+
+	// Signal in the dead band (between Target/4=25ms and Target=100ms):
+	// level must hold for as long as samples keep arriving, no matter how
+	// long. (Gaps longer than DropAfter are the idle-decay path, tested
+	// separately.)
+	for i := 0; i < 20; i++ {
+		clk.Advance(time.Second)
+		if got := b.Observe(50 * time.Millisecond); got != 1 {
+			t.Fatalf("level %d after %ds in the dead band, want 1 (hysteresis hold)", got, i+1)
+		}
+	}
+
+	// Below Target/4: the drop dwell starts; it must run its full DropAfter.
+	clk.Advance(time.Millisecond)
+	if got := b.Observe(time.Millisecond); got != 1 {
+		t.Fatalf("level %d at drop-dwell start, want 1", got)
+	}
+	clk.Advance(1999 * time.Millisecond)
+	if got := b.Observe(time.Millisecond); got != 1 {
+		t.Fatalf("level %d at 1999ms of drop dwell, want 1", got)
+	}
+	clk.Advance(time.Millisecond)
+	if got := b.Observe(time.Millisecond); got != 0 {
+		t.Fatalf("level %d after full DropAfter dwell, want 0", got)
+	}
+	if s := b.Stats(); s.Drops != 1 {
+		t.Errorf("drops = %d, want 1", s.Drops)
+	}
+
+	// A dead-band excursion mid-dwell resets the drop timer.
+	b2 := testBrownout(clk)
+	b2.Observe(time.Second)
+	clk.Advance(500 * time.Millisecond)
+	b2.Observe(time.Second)
+	clk.Advance(time.Millisecond)
+	b2.Observe(time.Millisecond) // drop dwell starts
+	clk.Advance(1900 * time.Millisecond)
+	b2.Observe(50 * time.Millisecond) // dead band: dwell reset
+	clk.Advance(200 * time.Millisecond)
+	if got := b2.Observe(time.Millisecond); got != 1 {
+		t.Fatalf("level %d after interrupted drop dwell, want 1 (timer must reset)", got)
+	}
+}
+
+// TestBrownoutIdleDecay pins the quiet-server contract: with no
+// observations at all, Level steps down one notch per elapsed DropAfter
+// window instead of pinning the last level forever.
+func TestBrownoutIdleDecay(t *testing.T) {
+	clk := newFakeClock()
+	b := testBrownout(clk)
+	b.Observe(time.Second)
+	clk.Advance(500 * time.Millisecond)
+	b.Observe(time.Second)
+	clk.Advance(500 * time.Millisecond)
+	if got := b.Observe(time.Second); got != 2 {
+		t.Fatalf("setup: level %d, want 2", got)
+	}
+
+	clk.Advance(2*time.Second - time.Millisecond)
+	if got := b.Level(); got != 2 {
+		t.Fatalf("level %d just short of one idle window, want 2", got)
+	}
+	clk.Advance(time.Millisecond)
+	if got := b.Level(); got != 1 {
+		t.Fatalf("level %d after one idle DropAfter window, want 1", got)
+	}
+	clk.Advance(2 * time.Second)
+	if got := b.Level(); got != 0 {
+		t.Fatalf("level %d after two idle windows, want 0", got)
+	}
+	if s := b.Stats(); s.Drops != 2 {
+		t.Errorf("drops = %d, want 2", s.Drops)
+	}
+}
+
+// TestBrownoutEWMASmoothing pins that a lone spike through a smoothing
+// controller (realistic Alpha) cannot start a raise dwell: the smoothed
+// signal stays under Target, so transient bursts never flap fidelity.
+func TestBrownoutEWMASmoothing(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(BrownoutConfig{
+		Target:     100 * time.Millisecond,
+		RaiseAfter: time.Millisecond,
+		Alpha:      0.2,
+		Now:        clk.Now,
+	})
+	// Establish a calm baseline, then inject one huge spike.
+	for i := 0; i < 10; i++ {
+		b.Observe(10 * time.Millisecond)
+		clk.Advance(10 * time.Millisecond)
+	}
+	// EWMA after the spike: 10ms + 0.2*(400ms-10ms) = 88ms < Target.
+	if got := b.Observe(400 * time.Millisecond); got != 0 {
+		t.Fatalf("level %d after a single smoothed spike, want 0", got)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if got := b.Observe(10 * time.Millisecond); got != 0 {
+		t.Fatalf("level %d after the spike passed, want 0", got)
+	}
+}
+
+// TestBrownoutConcurrent hammers one controller from many goroutines under
+// the race detector; the final level must be a legal value.
+func TestBrownoutConcurrent(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Target: time.Microsecond, RaiseAfter: time.Nanosecond, MaxLevel: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Observe(time.Duration(g+i) * time.Millisecond)
+				b.Level()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if lvl := b.Level(); lvl < 0 || lvl > 2 {
+		t.Fatalf("level %d outside [0, MaxLevel]", lvl)
+	}
+	if s := b.Stats(); s.Raises < 1 {
+		t.Errorf("sustained over-target pressure never raised the level: %+v", s)
+	}
+}

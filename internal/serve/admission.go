@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"nbody/internal/faults"
+	"nbody/internal/metrics"
 )
 
 // Policy selects how workers pick the next admitted request.
@@ -31,6 +35,30 @@ func ParsePolicy(s string) (Policy, error) {
 	return "", fmt.Errorf("unknown admission policy %q (fifo | fair)", s)
 }
 
+// Fault-injection sites of the admission path (chaos harness): an enqueue
+// stall delays the handler before its request reaches the queue, a dequeue
+// stall holds a worker between claiming a job and running it — the two
+// transport-level chokepoints a real overload hits.
+const (
+	SiteEnqueue = "serve/enqueue"
+	SiteDequeue = "serve/dequeue"
+	SiteWorker  = "serve/worker"
+)
+
+// Sites lists the serving layer's fault sites, in the repo convention
+// (tests reference the exported list so a renamed site fails compilation).
+var Sites = []string{SiteEnqueue, SiteDequeue, SiteWorker}
+
+// Budget carries a request's admission-control inputs: the predicted solve
+// cost and the propagated deadline. The zero value disables cost-model
+// admission for the request (it is queued exactly as before PR 8): a zero
+// Estimate means the estimator had nothing actionable, a zero Deadline
+// means the caller imposed none.
+type Budget struct {
+	Estimate time.Duration
+	Deadline time.Time
+}
+
 // job is one admitted request waiting for a worker.
 type job struct {
 	tq   *tenantQ
@@ -39,6 +67,7 @@ type job struct {
 	err  error
 	done chan struct{}
 	seq  uint64
+	bud  Budget
 }
 
 // tenantQ is one tenant's FIFO queue plus its in-flight count.
@@ -53,6 +82,8 @@ type tenantQ struct {
 type TenantStats struct {
 	Admitted  int64 `json:"admitted"`
 	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed,omitempty"`       // deadline-shed at admission
+	ShedStale int64 `json:"shed_stale,omitempty"` // dropped unmeetable at dequeue
 	Completed int64 `json:"completed"`
 	Canceled  int64 `json:"canceled"` // withdrawn while queued
 }
@@ -61,10 +92,15 @@ type TenantStats struct {
 type DispatchStats struct {
 	Admitted  int64 `json:"admitted"`
 	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	ShedStale int64 `json:"shed_stale"`
 	Completed int64 `json:"completed"`
 	Canceled  int64 `json:"canceled"`
 	Queued    int   `json:"queued"`
 	InFlight  int   `json:"in_flight"`
+	// BacklogMS is the current predicted queue wait (the admission
+	// estimate a new request would see).
+	BacklogMS float64 `json:"backlog_ms"`
 }
 
 // Dispatcher owns the worker fleet and the per-tenant queues. Admission is
@@ -76,6 +112,7 @@ type Dispatcher struct {
 	policy      Policy
 	depth       int // per-tenant queue bound
 	inflightCap int // per-tenant concurrent solves (fair policy)
+	workers     int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -86,6 +123,12 @@ type Dispatcher struct {
 	queued  int
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Predicted-cost bookkeeping for the admission wait model: the summed
+	// estimates of queued and of currently running jobs, maintained on
+	// enqueue/claim/withdraw/completion.
+	queuedEstNS  int64
+	runningEstNS int64
 
 	stats       DispatchStats
 	tenantStats map[string]*TenantStats
@@ -110,6 +153,7 @@ func NewDispatcher(policy Policy, workers, depth, inflightCap int) (*Dispatcher,
 		policy:      policy,
 		depth:       depth,
 		inflightCap: inflightCap,
+		workers:     workers,
 		tenants:     make(map[string]*tenantQ),
 		tenantStats: make(map[string]*TenantStats),
 	}
@@ -121,18 +165,58 @@ func NewDispatcher(policy Policy, workers, depth, inflightCap int) (*Dispatcher,
 	return d, nil
 }
 
-// Do admits fn for tenant and blocks until it ran (returning its error),
-// the queue rejected it (ErrOverloaded / ErrServerClosed), or ctx fired
-// while it was still queued (returning ctx.Err()). Once fn starts, Do
-// waits for it: fn receives ctx, so cancellation reaches a running solve
-// through the solver's own ctx checks.
+// Do admits fn for tenant with no admission budget: the pre-PR 8 contract,
+// kept for callers (and tests) that queue unconditionally.
 func (d *Dispatcher) Do(ctx context.Context, tenant string, fn func(context.Context) error) error {
+	return d.DoBudget(ctx, tenant, Budget{}, fn)
+}
+
+// PredictedWait is the dispatcher's queue-delay estimate for a newly
+// admitted request: the summed predicted cost of all queued work plus half
+// the in-flight work (on average a running solve is halfway done), divided
+// across the worker fleet. It deliberately ignores per-tenant fairness
+// caps — a global lower bound is what the shed decision needs, and the
+// Retry-After hint only has to be the right order of magnitude.
+func (d *Dispatcher) PredictedWait() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.predictedWaitLocked()
+}
+
+func (d *Dispatcher) predictedWaitLocked() time.Duration {
+	return time.Duration((d.queuedEstNS + d.runningEstNS/2) / int64(d.workers))
+}
+
+// DoBudget admits fn for tenant and blocks until it ran (returning its
+// error), the queue rejected it (ErrOverloaded / *ShedError /
+// ErrServerClosed), or ctx fired while it was still queued (returning
+// ctx.Err()). Once fn starts, DoBudget waits for it: fn receives ctx, so
+// cancellation reaches a running solve through the solver's own ctx checks.
+//
+// When bud carries both an estimate and a deadline, cost-model admission
+// applies: a request whose predicted completion (queue wait + solve
+// estimate) exceeds its deadline is shed immediately with a *ShedError —
+// the 429 path — instead of queueing work that can only 504. The same
+// check re-runs at dequeue time, so a request whose deadline became
+// unmeetable while it aged in queue is dropped before it wastes a worker.
+func (d *Dispatcher) DoBudget(ctx context.Context, tenant string, bud Budget, fn func(context.Context) error) error {
+	faults.Fire(SiteEnqueue)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return ErrServerClosed
 	}
 	ts := d.statsFor(tenant)
+	if bud.Estimate > 0 && !bud.Deadline.IsZero() {
+		wait := d.predictedWaitLocked()
+		if predicted := time.Now().Add(wait + bud.Estimate); predicted.After(bud.Deadline) {
+			ts.Shed++
+			d.stats.Shed++
+			d.mu.Unlock()
+			metrics.AddShed(1)
+			return &ShedError{Tenant: tenant, Estimate: bud.Estimate, Wait: wait, RetryAfter: retryAfterHint(wait)}
+		}
+	}
 	tq := d.tenants[tenant]
 	if tq == nil {
 		tq = &tenantQ{name: tenant}
@@ -146,9 +230,10 @@ func (d *Dispatcher) Do(ctx context.Context, tenant string, fn func(context.Cont
 		return fmt.Errorf("%w: tenant %q at depth %d", ErrOverloaded, tenant, d.depth)
 	}
 	d.seq++
-	j := &job{tq: tq, ctx: ctx, fn: fn, done: make(chan struct{}), seq: d.seq}
+	j := &job{tq: tq, ctx: ctx, fn: fn, done: make(chan struct{}), seq: d.seq, bud: bud}
 	tq.jobs = append(tq.jobs, j)
 	d.queued++
+	d.queuedEstNS += int64(bud.Estimate)
 	ts.Admitted++
 	d.stats.Admitted++
 	d.cond.Signal()
@@ -176,6 +261,7 @@ func (d *Dispatcher) withdraw(j *job) bool {
 		if q == j {
 			j.tq.jobs = append(j.tq.jobs[:i:i], j.tq.jobs[i+1:]...)
 			d.queued--
+			d.queuedEstNS -= int64(j.bud.Estimate)
 			d.statsFor(j.tq.name).Canceled++
 			d.stats.Canceled++
 			d.maybeReap(j.tq)
@@ -200,9 +286,30 @@ func (d *Dispatcher) worker() {
 			d.cond.Wait()
 			continue
 		}
+		// Dequeue-time re-check: a job admitted with slack may have aged
+		// past the point where its deadline is meetable; running it would
+		// burn this worker on work that can only 504. Drop it here, still
+		// holding the lock, and claim the next job instead.
+		if j.bud.Estimate > 0 && !j.bud.Deadline.IsZero() &&
+			time.Now().Add(j.bud.Estimate).After(j.bud.Deadline) {
+			j.err = &ShedError{Tenant: j.tq.name, Estimate: j.bud.Estimate, Stale: true,
+				RetryAfter: retryAfterHint(d.predictedWaitLocked())}
+			close(j.done)
+			d.runningEstNS -= int64(j.bud.Estimate)
+			j.tq.inflight--
+			ts := d.statsFor(j.tq.name)
+			ts.ShedStale++
+			ts.Completed++
+			d.stats.ShedStale++
+			d.stats.Completed++
+			metrics.AddShedStale(1)
+			d.maybeReap(j.tq)
+			continue
+		}
 		d.inFlight++
 		d.mu.Unlock()
 
+		faults.Fire(SiteDequeue)
 		if err := j.ctx.Err(); err != nil {
 			j.err = err
 		} else {
@@ -212,6 +319,7 @@ func (d *Dispatcher) worker() {
 
 		d.mu.Lock()
 		d.inFlight--
+		d.runningEstNS -= int64(j.bud.Estimate)
 		j.tq.inflight--
 		d.statsFor(j.tq.name).Completed++
 		d.stats.Completed++
@@ -264,6 +372,8 @@ func (d *Dispatcher) claim(tq *tenantQ) *job {
 	j := tq.jobs[0]
 	tq.jobs = tq.jobs[1:]
 	d.queued--
+	d.queuedEstNS -= int64(j.bud.Estimate)
+	d.runningEstNS += int64(j.bud.Estimate)
 	tq.inflight++
 	return j
 }
@@ -334,6 +444,7 @@ func (d *Dispatcher) Stats() DispatchStats {
 	s := d.stats
 	s.Queued = d.queued
 	s.InFlight = d.inFlight
+	s.BacklogMS = float64(d.predictedWaitLocked().Microseconds()) / 1e3
 	return s
 }
 

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"nbody/internal/dp"
+	"nbody/internal/sphere"
+)
+
+// estimator predicts the solve cost of a request shape, the quantity the
+// admission layer needs to shed doomed work before it wastes a worker.
+//
+// Prediction has two regimes. A shape the server has already solved is
+// predicted by an EWMA over its measured per-request phase totals
+// (metrics.Snapshot.Diff scoped to the request) — exact, host-specific,
+// and converging within a few observations. An unseen shape is seeded from
+// the calibrated cycle model in internal/dp/cost.go: the model predicts
+// relative cost across shapes well (it reproduces the paper's phase
+// economics), and a single host-calibration scale — itself an EWMA over
+// the measured/modeled ratio of every observed request — maps CM-5E cycles
+// onto this machine's wall clock. Admission only trusts a prediction once
+// enough observations back it (confident), so a cold server never sheds on
+// the uncalibrated seed.
+type estimator struct {
+	cost dp.CostModel
+
+	mu     sync.Mutex
+	shapes map[estShape]*shapeEst
+	// scale maps modeled seconds onto measured host seconds, EWMA-refined
+	// from every observation regardless of shape. The seed assumes a host
+	// a few hundred times faster than one 4-VU CM-5E node — the right
+	// order of magnitude for one modern multicore socket.
+	scale    float64
+	scaleObs int64
+}
+
+// estShape is the estimator's key: the cost-relevant subset of a plan Key,
+// with accuracy resolved to the integration-point count K the cost model
+// wants. Sim is included because simulation requests are observed per step
+// while solve requests are observed per request.
+type estShape struct {
+	n, depth, k int
+	supernodes  bool
+	sim         bool
+}
+
+// shapeEst is one shape's measured-cost EWMA.
+type shapeEst struct {
+	ewma float64 // seconds per unit (solve, or simulation step)
+	obs  int64
+}
+
+const (
+	// estAlphaShape weights each per-shape observation; estAlphaScale
+	// weights the global calibration more gently (it aggregates across
+	// heterogeneous shapes).
+	estAlphaShape = 0.3
+	estAlphaScale = 0.1
+	// estSeedScale is the initial modeled-to-measured scale (see scale).
+	estSeedScale = 1.0 / 250
+	// estMax clamps any prediction: no admissible request is slower than
+	// this, and an overflowed model must not poison deadline arithmetic.
+	estMax = 10 * time.Minute
+	// estConfidentShape / estConfidentScale gate shedding: a prediction is
+	// actionable once its shape has this many direct observations, or the
+	// global calibration has seen this many requests.
+	estConfidentShape = 2
+	estConfidentScale = 8
+)
+
+func newEstimator() *estimator {
+	return &estimator{
+		cost:   dp.DefaultCostModel(),
+		shapes: make(map[estShape]*shapeEst),
+		scale:  estSeedScale,
+	}
+}
+
+// accuracyK maps the wire accuracy presets onto their integration-point
+// counts (the paper's K): the 12-point icosahedral rule for fast, the
+// degree-9 and degree-13 product rules above it. Kept consistent with the
+// root package's presets by TestEstimatorAccuracyK.
+func accuracyK(accuracy string) int {
+	deg := 5
+	switch accuracy {
+	case "balanced":
+		deg = 9
+	case "accurate":
+		deg = 13
+	}
+	if r := sphere.ForDegree(deg); r != nil {
+		return r.K()
+	}
+	return 12
+}
+
+func shapeOf(key Key) estShape {
+	return estShape{n: key.N, depth: key.Depth, k: accuracyK(key.Accuracy), supernodes: key.Supernodes, sim: key.Sim}
+}
+
+// modelSeconds is the dp-cost-model seed for one unit of key's work,
+// scaled by the current host calibration. Total and safe on any input.
+func (e *estimator) modelSeconds(sh estShape, scale float64) float64 {
+	cycles := e.cost.ModelSolveCycles(sh.n, sh.depth, sh.k, sh.supernodes)
+	return e.cost.Seconds(cycles) * scale
+}
+
+// Estimate predicts the cost of units units (1 for a solve, the step count
+// for a simulation) of key's work. confident reports whether the
+// prediction is backed by enough measurements to act on: admission only
+// sheds when it is. The returned duration is always in [0, estMax].
+func (e *estimator) Estimate(key Key, units int) (d time.Duration, confident bool) {
+	if units < 1 {
+		units = 1
+	}
+	sh := shapeOf(key)
+	e.mu.Lock()
+	se := e.shapes[sh]
+	scale, scaleObs := e.scale, e.scaleObs
+	var perUnit float64
+	switch {
+	case se != nil && se.obs > 0:
+		perUnit = se.ewma
+		confident = se.obs >= estConfidentShape
+	default:
+		perUnit = e.modelSeconds(sh, scale)
+		confident = scaleObs >= estConfidentScale
+	}
+	e.mu.Unlock()
+	return clampEst(perUnit * float64(units)), confident
+}
+
+// Observe feeds one measured cost: the request's phase-table total (or
+// wall solve time) divided into units. Non-finite and non-positive
+// measurements are dropped — a cancelled or faulted solve measures the
+// abort, not the work.
+func (e *estimator) Observe(key Key, units int, measured time.Duration) {
+	if units < 1 {
+		units = 1
+	}
+	sec := measured.Seconds() / float64(units)
+	if !(sec > 0) || math.IsInf(sec, 0) || sec > estMax.Seconds() {
+		return
+	}
+	sh := shapeOf(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	se := e.shapes[sh]
+	if se == nil {
+		se = &shapeEst{ewma: sec}
+		e.shapes[sh] = se
+	} else {
+		se.ewma += estAlphaShape * (sec - se.ewma)
+	}
+	se.obs++
+	// Refine the host calibration with this observation's measured/modeled
+	// ratio. The ratio is clamped so one pathological request (a fault
+	// retry storm, a model hole at an extreme shape) cannot poison the
+	// scale for every other shape.
+	if model := e.modelSeconds(sh, 1); model > 0 && !math.IsInf(model, 0) {
+		ratio := sec / model
+		if ratio > e.scale*100 {
+			ratio = e.scale * 100
+		}
+		if ratio < e.scale/100 {
+			ratio = e.scale / 100
+		}
+		e.scale += estAlphaScale * (ratio - e.scale)
+		e.scaleObs++
+	}
+}
+
+// Stats reports the estimator's footprint for /v1/metrics.
+func (e *estimator) Stats() (shapes int, scale float64, obs int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.shapes), e.scale, e.scaleObs
+}
+
+// clampEst converts predicted seconds to a duration in [0, estMax],
+// absorbing NaN, infinities, and overflow.
+func clampEst(sec float64) time.Duration {
+	if !(sec > 0) { // negative or NaN
+		return 0
+	}
+	if sec >= estMax.Seconds() {
+		return estMax
+	}
+	return time.Duration(sec * float64(time.Second))
+}

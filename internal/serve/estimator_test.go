@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nbody"
+)
+
+// TestEstimatorConvergence pins the EWMA contract the admission design
+// leans on: after a fixed warm-up of observations at a stable cost, the
+// estimator's prediction is within 20% of the measured value — both when
+// the observations agree with the model seed and when they are far from it.
+func TestEstimatorConvergence(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		measured time.Duration
+	}{
+		{"near-seed", 5 * time.Millisecond},
+		{"seed-way-off", 800 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEstimator()
+			key := Key{N: 2048, Depth: 3, Accuracy: "fast"}
+			const warmup = 10
+			for i := 0; i < warmup; i++ {
+				e.Observe(key, 1, tc.measured)
+			}
+			got, confident := e.Estimate(key, 1)
+			if !confident {
+				t.Fatalf("estimator not confident after %d observations", warmup)
+			}
+			lo := time.Duration(float64(tc.measured) * 0.8)
+			hi := time.Duration(float64(tc.measured) * 1.2)
+			if got < lo || got > hi {
+				t.Fatalf("estimate %v outside 20%% of measured %v after %d observations", got, tc.measured, warmup)
+			}
+		})
+	}
+}
+
+// TestEstimatorConfidenceGating pins the cold-server contract: no
+// prediction is actionable until the shape has estConfidentShape direct
+// observations or the global calibration has estConfidentScale, so a cold
+// server can never shed on the uncalibrated model seed.
+func TestEstimatorConfidenceGating(t *testing.T) {
+	e := newEstimator()
+	key := Key{N: 4096, Depth: 3, Accuracy: "balanced"}
+	if _, confident := e.Estimate(key, 1); confident {
+		t.Fatal("cold estimator claims confidence")
+	}
+	e.Observe(key, 1, 10*time.Millisecond)
+	if _, confident := e.Estimate(key, 1); confident {
+		t.Fatalf("confident after 1 observation, want >= %d", estConfidentShape)
+	}
+	e.Observe(key, 1, 10*time.Millisecond)
+	if _, confident := e.Estimate(key, 1); !confident {
+		t.Fatalf("not confident after %d shape observations", estConfidentShape)
+	}
+
+	// A different shape has no direct observations: it goes through the
+	// model seed, which becomes actionable only at the global threshold.
+	other := Key{N: 512, Depth: 2, Accuracy: "fast"}
+	if _, confident := e.Estimate(other, 1); confident {
+		t.Fatal("unseen shape confident before the global calibration is backed")
+	}
+	for i := int64(0); i < estConfidentScale; i++ {
+		e.Observe(key, 1, 10*time.Millisecond)
+	}
+	if _, confident := e.Estimate(other, 1); !confident {
+		t.Fatalf("unseen shape not confident after %d global observations", estConfidentScale)
+	}
+}
+
+// TestEstimatorRobustInputs throws the fuzz-seed adversarial corpus at the
+// estimator synchronously: zero and huge N, absurd depths, garbage
+// accuracy names, non-finite and overflowing measurements. Every Estimate
+// must come back in [0, estMax] and every Observe must leave the scale
+// finite and positive.
+func TestEstimatorRobustInputs(t *testing.T) {
+	e := newEstimator()
+	keys := []Key{
+		{N: 0, Depth: 0},
+		{N: -5, Depth: -3, Accuracy: "nonsense"},
+		{N: math.MaxInt32, Depth: 16, Accuracy: "accurate", Supernodes: true},
+		{N: 1 << 30, Depth: 2, Accuracy: "fast", Sim: true},
+		{N: 1, Depth: 99},
+	}
+	for _, key := range keys {
+		for _, units := range []int{-1, 0, 1, math.MaxInt32} {
+			d, _ := e.Estimate(key, units)
+			if d < 0 || d > estMax {
+				t.Fatalf("Estimate(%+v, %d) = %v outside [0, %v]", key, units, d, estMax)
+			}
+		}
+		for _, m := range []time.Duration{-time.Second, 0, time.Nanosecond, estMax, 1 << 62} {
+			e.Observe(key, 1, m)
+		}
+		_, scale, _ := e.Stats()
+		if !(scale > 0) || math.IsInf(scale, 0) {
+			t.Fatalf("scale %v corrupted after observing %+v", scale, key)
+		}
+	}
+}
+
+// TestEstimatorAccuracyK cross-checks the estimator's preset->K mapping
+// against the root package's own accuracy estimator, so a re-tuned preset
+// cannot silently skew every admission estimate.
+func TestEstimatorAccuracyK(t *testing.T) {
+	for name, acc := range map[string]nbody.Accuracy{
+		"fast": nbody.Fast, "balanced": nbody.Balanced, "accurate": nbody.Accurate,
+	} {
+		est, err := nbody.EstimateAccuracy(nbody.Options{Accuracy: acc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := accuracyK(name); got != est.K {
+			t.Errorf("accuracyK(%q) = %d, root package resolves K = %d", name, got, est.K)
+		}
+	}
+	if got := accuracyK(""); got != accuracyK("fast") {
+		t.Errorf("empty accuracy maps to K=%d, fast to %d; they must agree", got, accuracyK("fast"))
+	}
+}

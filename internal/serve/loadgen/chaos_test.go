@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"nbody/internal/faults"
+	"nbody/internal/serve"
+)
+
+// TestChaosSoak is the chaos-harness satellite, run under -race in CI on
+// both backends: slow-loris and mid-stream-disconnect clients hammer the
+// server while every serving-layer fault site is armed with an unlimited
+// delay, and an open-loop tenant keeps real arrivals coming. The
+// well-behaved tenant must see zero 5xx and zero transport errors — the
+// misbehavior is contained, not amplified — and after the run drains the
+// goroutine count returns to baseline: no handler, worker, stream, or
+// chaos-client goroutine leaks.
+func TestChaosSoak(t *testing.T) {
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+
+	// Warm-up: process-wide singletons (sched pool, backend dispatch) spin
+	// up persistent goroutines on first solve; measure the baseline after.
+	warmSrv, err := serve.New(serve.Config{Workers: 2, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmHS := httptest.NewServer(warmSrv.Handler())
+	if _, err := Run(context.Background(), Config{
+		BaseURL:  warmHS.URL,
+		Duration: 200 * time.Millisecond,
+		Tenants:  []Tenant{{Name: "warm", Concurrency: 1, Shapes: []Shape{{N: 128}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warmHS.Close()
+	warmSrv.Close()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	srv, err := serve.New(serve.Config{Workers: 4, QueueDepth: 8, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+
+	// Transport-level chaos on every serving-layer site, held open for the
+	// whole window: enqueue, dequeue, and worker each stall on every firing.
+	defer faults.Reset()
+	for _, site := range serve.Sites {
+		faults.InjectDelayEvery(site, 2*time.Millisecond)
+	}
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  hs.URL,
+		Duration: dur,
+		Tenants: []Tenant{
+			// The victim whose service level the soak asserts on.
+			{Name: "light", Concurrency: 2, Shapes: []Shape{{N: 256}}},
+			// Open-loop arrivals keep pressure on regardless of latency.
+			{Name: "hog", RateRPS: 40, MaxOutstanding: 16, Shapes: []Shape{{N: 512}}},
+			// The misbehaving clients.
+			{Name: "chaos-slow", Concurrency: 2, Chaos: ChaosSlowLoris, Shapes: []Shape{{N: 256}}},
+			{Name: "chaos-drop", Concurrency: 2, Chaos: ChaosDisconnect, Shapes: []Shape{{N: 256}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	light := res.Tenants["light"]
+	if light.OK == 0 {
+		t.Errorf("well-behaved tenant served zero requests under chaos: %+v", light)
+	}
+	if light.Err5xx != 0 || light.OtherErr != 0 {
+		t.Errorf("well-behaved tenant saw %d 5xx and %d transport errors under chaos, want 0",
+			light.Err5xx, light.OtherErr)
+	}
+	// The chaos clients must have actually run their attacks, or the soak
+	// proves nothing.
+	if res.Tenants["chaos-slow"].Sent == 0 || res.Tenants["chaos-drop"].Sent == 0 {
+		t.Errorf("chaos clients sent nothing: slow=%+v drop=%+v",
+			res.Tenants["chaos-slow"], res.Tenants["chaos-drop"])
+	}
+
+	faults.Reset()
+	hs.Close()
+	srv.Close()
+
+	// Drain check: the goroutine count must return to the post-warm-up
+	// baseline (plus slack for runtime/netpoll noise).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after chaos soak: baseline %d, now %d\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

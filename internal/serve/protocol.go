@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"nbody"
 	"nbody/internal/cli"
@@ -45,7 +46,47 @@ var (
 	ErrOverloaded = errors.New("serve: tenant queue full")
 	// ErrServerClosed marks requests caught in a server shutdown. HTTP 503.
 	ErrServerClosed = errors.New("serve: server closed")
+	// ErrShed marks a cost-model admission rejection: the request's predicted
+	// completion (queue wait + solve estimate) exceeds its deadline, so
+	// queueing it could only produce a 504 after wasted work. HTTP 429 with a
+	// Retry-After hint; concrete errors are *ShedError.
+	ErrShed = errors.New("serve: shed, deadline unmeetable")
 )
+
+// ShedError is the concrete cost-model rejection: it unwraps to ErrShed and
+// carries what the admission layer knew — the predicted solve cost, the
+// predicted queue wait, and the backlog-derived Retry-After hint the HTTP
+// layer forwards to the client. Stale distinguishes the dequeue-time drop (a
+// request that was admissible but aged past its deadline in queue) from the
+// admission-time shed.
+type ShedError struct {
+	Tenant     string
+	Estimate   time.Duration
+	Wait       time.Duration
+	RetryAfter time.Duration
+	Stale      bool
+}
+
+func (e *ShedError) Error() string {
+	if e.Stale {
+		return fmt.Sprintf("serve: tenant %q request shed at dequeue: estimate %v no longer fits deadline", e.Tenant, e.Estimate)
+	}
+	return fmt.Sprintf("serve: tenant %q request shed: predicted wait %v + estimate %v exceeds deadline", e.Tenant, e.Wait, e.Estimate)
+}
+
+// Is makes errors.Is(err, ErrShed) hold for every ShedError.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// retryAfterHint converts a predicted queue wait into a Retry-After value:
+// the wait rounded up to whole seconds, floored at one second (the header
+// carries integral seconds, and "retry immediately" defeats the point of
+// shedding).
+func retryAfterHint(wait time.Duration) time.Duration {
+	if wait <= time.Second {
+		return time.Second
+	}
+	return wait.Round(time.Second) + time.Second
+}
 
 // SolveRequest is the body of POST /v1/solve. Positions and Charges carry
 // the system (lengths must match); the remaining fields select the plan
@@ -115,6 +156,13 @@ type SolveResponse struct {
 	// Recovery holds the self-healing events this request triggered
 	// (retries, degradations, breaker trips); omitted on a healthy solve.
 	Recovery *RecoveryDelta `json:"recovery,omitempty"`
+	// Degraded reports that the brownout controller rewrote this request to
+	// a cheaper shape (lower accuracy and/or re-pinned depth) than asked for;
+	// BrownoutLevel is the controller level that did it. A client that needs
+	// the full-fidelity answer can retry after the Retry-After pressure
+	// subsides — the response is still a correct solve, just a cheaper one.
+	Degraded      bool `json:"degraded,omitempty"`
+	BrownoutLevel int  `json:"brownout_level,omitempty"`
 }
 
 // PhaseRow is one per-request phase-table line.

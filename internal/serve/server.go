@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"nbody"
+	"nbody/internal/faults"
 	"nbody/internal/metrics"
+	"nbody/internal/resilience"
 	"nbody/internal/simd"
 )
 
@@ -53,6 +55,19 @@ type Config struct {
 	// Retry is the per-request supervisor policy (zero value = library
 	// defaults: 3 attempts per rung with backoff).
 	Retry nbody.RetryPolicy
+	// DisableAdmission turns cost-model admission off: requests queue
+	// unconditionally (the pre-overload-control behavior) and deadline
+	// misses surface as 504s after the work was wasted. The load harness
+	// uses it as the comparison baseline.
+	DisableAdmission bool
+	// DisableBrownout turns the adaptive brownout controller off: requests
+	// always run at their requested fidelity, whatever the queue delay.
+	DisableBrownout bool
+	// BrownoutTarget is the brownout controller's queue-delay setpoint
+	// (default 100ms; see resilience.BrownoutConfig).
+	BrownoutTarget time.Duration
+	// BrownoutMax caps the brownout degradation level (default 2).
+	BrownoutMax int
 	// Logger receives one structured line per request (default: stderr).
 	// Set Quiet to drop request logs entirely.
 	Logger *log.Logger
@@ -106,6 +121,8 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	lat   *latencyRing
+	est   *estimator
+	brown *resilience.Brownout
 
 	mu       sync.Mutex
 	statuses map[int]int64
@@ -125,6 +142,8 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		lat:      newLatencyRing(4096),
+		est:      newEstimator(),
+		brown:    resilience.NewBrownout(resilience.BrownoutConfig{Target: cfg.BrownoutTarget, MaxLevel: cfg.BrownoutMax}),
 		statuses: make(map[int]int64),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -156,6 +175,12 @@ func statusFor(err error) (int, string) {
 		errors.Is(err, nbody.ErrOutOfDomain),
 		errors.Is(err, nbody.ErrInvalidOptions):
 		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, ErrShed):
+		var se *ShedError
+		if errors.As(err, &se) && se.Stale {
+			return http.StatusTooManyRequests, "shed_stale"
+		}
+		return http.StatusTooManyRequests, "shed_deadline"
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, ErrServerClosed):
@@ -170,13 +195,28 @@ func statusFor(err error) (int, string) {
 	}
 }
 
-// writeError emits the JSON error body and accounts the status.
+// writeError emits the JSON error body and accounts the status. Every 429
+// and 503 carries a Retry-After header: the shed path derives it from the
+// predicted backlog, everything else hints one second.
 func (s *Server) writeError(w http.ResponseWriter, err error) (status int) {
 	status, code := statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(retryAfterFor(err)/time.Second)))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code})
 	return status
+}
+
+// retryAfterFor extracts the backlog-derived Retry-After hint of a shed
+// rejection; every other retryable rejection hints one second.
+func retryAfterFor(err error) time.Duration {
+	var se *ShedError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		return se.RetryAfter
+	}
+	return time.Second
 }
 
 // requestCtx applies the deadline policy: the request's own deadline_ms
@@ -248,22 +288,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.logRequest("solve", req.tenantOrEmpty(), Key{}, status, false, 0, 0, 0, err)
 		return
 	}
-	key := s.keyFor(req, sys.Len(), false)
-
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
 
+	level, degraded := s.applyBrownout(req, sys.Len())
+	key := s.keyFor(req, sys.Len(), false)
+
 	var resp *SolveResponse
-	var queueWait, solveTime time.Duration
+	var queueWait, solveTime, measured time.Duration
 	enq := time.Now()
-	err = s.disp.Do(ctx, req.Tenant, func(ctx context.Context) error {
+	err = s.disp.DoBudget(ctx, req.Tenant, s.budgetFor(ctx, key, 1), func(ctx context.Context) error {
 		queueWait = time.Since(enq)
+		s.observePressure(queueWait)
+		faults.Fire(SiteWorker)
 		start := time.Now()
 		var serr error
-		resp, serr = s.execute(ctx, req, sys, key)
+		resp, measured, serr = s.execute(ctx, req, sys, key)
 		solveTime = time.Since(start)
 		return serr
 	})
+
+	if err == nil {
+		if measured <= 0 {
+			measured = solveTime
+		}
+		s.est.Observe(key, 1, measured)
+		// The solve can cross the finish line after the request's clock ran
+		// out: cancellation checks are chunk-granular, and on a saturated
+		// machine the context timer itself fires late, so ctx.Err() can
+		// still be nil past the wall deadline — compare against the
+		// deadline directly. A late result is useless to the caller:
+		// report the deadline failure it is, never a late 200; the
+		// measurement above is exactly the calibration that stops the next
+		// one being admitted.
+		if dl, ok := ctx.Deadline(); ok && time.Now().After(dl) {
+			err = fmt.Errorf("result ready after deadline: %w", context.DeadlineExceeded)
+		}
+	}
 
 	status := http.StatusOK
 	hit := false
@@ -273,6 +334,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.QueueNS = int64(queueWait)
 		resp.SolveNS = int64(solveTime)
+		if degraded {
+			resp.Degraded = true
+			resp.BrownoutLevel = level
+			metrics.AddBrowned(1)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
 			// The client hung up mid-body; nothing to send, just account.
@@ -294,16 +360,19 @@ func (r *SolveRequest) tenantOrEmpty() string {
 
 // execute runs one admitted solve on a plan checked out of the cache: the
 // Resilient ladder with the request context, per-request phase-table and
-// recovery scoping, results copied out before the plan is released.
-func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.System, key Key) (*SolveResponse, error) {
+// recovery scoping, results copied out before the plan is released. The
+// returned duration is the request's measured phase-table total
+// (Snapshot.Diff scoped to this solve), the estimator's preferred
+// observation; zero when the preferred rung recorded nothing.
+func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.System, key Key) (*SolveResponse, time.Duration, error) {
 	plan, hit, err := s.plans.Acquire(key)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer s.plans.Release(plan)
 
 	var before metrics.Snapshot
-	if req.Phases && plan.Rung0 != nil {
+	if plan.Rung0 != nil {
 		before = *plan.Rung0.Stats()
 	}
 	r0, b0, d0 := plan.Ladder.Counters()
@@ -315,7 +384,7 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.Syst
 		err = plan.Ladder.PotentialsIntoCtx(ctx, plan.Phi, sys)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	resp := &SolveResponse{
@@ -332,23 +401,27 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.Syst
 			resp.Acc[i] = [3]float64{a.X, a.Y, a.Z}
 		}
 	}
-	if req.Phases && plan.Rung0 != nil {
+	var measured time.Duration
+	if plan.Rung0 != nil {
 		after := *plan.Rung0.Stats()
 		diff := after.Diff(&before)
-		for p := metrics.Phase(0); p < metrics.NumPhases; p++ {
-			if diff.Time[p] == 0 && diff.Flops[p] == 0 && diff.Calls[p] == 0 {
-				continue
+		measured = diff.TotalTime()
+		if req.Phases {
+			for p := metrics.Phase(0); p < metrics.NumPhases; p++ {
+				if diff.Time[p] == 0 && diff.Flops[p] == 0 && diff.Calls[p] == 0 {
+					continue
+				}
+				resp.PhaseTable = append(resp.PhaseTable, PhaseRow{
+					Phase: p.String(), NS: int64(diff.Time[p]), Flops: diff.Flops[p],
+				})
 			}
-			resp.PhaseTable = append(resp.PhaseTable, PhaseRow{
-				Phase: p.String(), NS: int64(diff.Time[p]), Flops: diff.Flops[p],
-			})
 		}
 	}
 	r1, b1, d1 := plan.Ladder.Counters()
 	if delta := (RecoveryDelta{Retries: r1 - r0, BreakerTrips: b1 - b0, Degradations: d1 - d0}); delta != (RecoveryDelta{}) {
 		resp.Recovery = &delta
 	}
-	return resp, nil
+	return resp, measured, nil
 }
 
 // handleSimulate is POST /v1/simulate: one admitted job that owns a worker
@@ -366,17 +439,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.record(status, time.Since(t0))
 		return
 	}
-	key := s.keyFor(&req.SolveRequest, sys.Len(), true)
-
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
+
+	level, degraded := s.applyBrownout(&req.SolveRequest, sys.Len())
+	key := s.keyFor(&req.SolveRequest, sys.Len(), true)
+	if degraded {
+		// The NDJSON stream has no response envelope; the degradation tag
+		// rides the headers instead.
+		w.Header().Set("X-Degraded", "1")
+		w.Header().Set("X-Brownout-Level", fmt.Sprintf("%d", level))
+	}
 
 	var queueWait time.Duration
 	enq := time.Now()
 	streaming := false
-	err = s.disp.Do(ctx, req.Tenant, func(ctx context.Context) error {
+	err = s.disp.DoBudget(ctx, req.Tenant, s.budgetFor(ctx, key, req.Steps), func(ctx context.Context) error {
 		queueWait = time.Since(enq)
-		return s.stream(ctx, w, req, sys, key, &streaming)
+		s.observePressure(queueWait)
+		faults.Fire(SiteWorker)
+		start := time.Now()
+		serr := s.stream(ctx, w, req, sys, key, &streaming)
+		if serr == nil {
+			s.est.Observe(key, req.Steps, time.Since(start))
+			if degraded {
+				metrics.AddBrowned(1)
+			}
+		}
+		return serr
 	})
 	status := http.StatusOK
 	if err != nil {
@@ -486,6 +576,7 @@ type Metrics struct {
 	Latency   LatencyStats           `json:"latency"`
 	Statuses  map[string]int64       `json:"statuses"`
 	Recovery  metrics.RecoveryStats  `json:"recovery"`
+	Overload  OverloadMetrics        `json:"overload"`
 }
 
 // ReadMetrics assembles the metrics document (also used in-process by the
@@ -508,6 +599,7 @@ func (s *Server) ReadMetrics() Metrics {
 		Latency:   s.lat.stats(),
 		Statuses:  statuses,
 		Recovery:  metrics.ReadRecovery(),
+		Overload:  s.readOverload(),
 	}
 }
 

@@ -1,18 +1,24 @@
 #!/bin/sh
-# Closed-loop load test of the nbodyd solver service: for each admission
-# policy, starts an in-process server on a loopback port, drives the
+# Load test of the nbodyd solver service: for each (policy, overload-mode)
+# pair, starts an in-process server on a loopback port, drives the
 # synthetic tenant mix against it over real HTTP, and prints the markdown
-# comparison table (p50/p95/p99 latency, goodput, plan-cache hit rate).
-# Exits nonzero if any request drew a 5xx or a transport error.
+# comparison table (shed/degraded/late counts, p50/p95/p99 latency,
+# goodput, plan-cache hit rate). Exits nonzero if any well-behaved tenant
+# drew a 5xx or a transport error, or — when a recorded baseline exists
+# for the active backend — if the light tenant's p95 regressed against it
+# by more than 1.5x + 100ms.
 #
-#   scripts/loadtest.sh                         # default mix, 5s per policy
+#   scripts/loadtest.sh                         # default mix, 5s per run
 #   DURATION=10s scripts/loadtest.sh            # longer runs
 #   NBODY_BACKEND=scalar scripts/loadtest.sh    # pin a backend
+#   ARRIVAL=open REQ_DEADLINE=2s scripts/loadtest.sh   # true overload
 #   TENANTS="hog:8:4096,light:1:512" QUEUE=4 scripts/loadtest.sh
 #
 # The contended default mix pairs a hungry multi-shape tenant against light
 # ones so the fifo-vs-fair difference (per-tenant tail latency under one
-# tenant's burst) is visible in the per-tenant breakdown on stderr.
+# tenant's burst) is visible in the per-tenant breakdown on stderr. The
+# results are recorded to $RESULTS (default BENCH_PR8.json) and gated
+# against $BASELINE (default: the committed BENCH_PR8.json) when present.
 set -e
 
 DURATION="${DURATION:-5s}"
@@ -20,12 +26,37 @@ TENANTS="${TENANTS:-hog:8:2048:4096,light:2:512,steady:2:1024}"
 QUEUE="${QUEUE:-16}"
 INFLIGHT="${INFLIGHT:-2}"
 POLICIES="${POLICIES:-fifo,fair}"
+OVERLOAD="${OVERLOAD:-on}"
+ARRIVAL="${ARRIVAL:-closed}"
+REQ_DEADLINE="${REQ_DEADLINE:-0s}"
+LIGHT="${LIGHT:-light}"
+RESULTS="${RESULTS:-BENCH_PR8.json}"
+BASELINE="${BASELINE:-BENCH_PR8.json}"
 
 cd "$(dirname "$0")/.."
-exec go run ./cmd/nbodyd -loadtest \
+
+# Snapshot the committed baseline before the run overwrites $RESULTS, so
+# the p95 gate always compares against the pre-run numbers even when
+# $BASELINE and $RESULTS are the same path.
+GATE_ARGS=""
+if [ -f "$BASELINE" ]; then
+    cp "$BASELINE" "$BASELINE.prev"
+    GATE_ARGS="-baseline $BASELINE.prev"
+fi
+
+status=0
+go run ./cmd/nbodyd -loadtest \
     -duration "$DURATION" \
     -tenants "$TENANTS" \
     -queue-depth "$QUEUE" \
     -inflight "$INFLIGHT" \
     -policies "$POLICIES" \
-    "$@"
+    -overload "$OVERLOAD" \
+    -arrival "$ARRIVAL" \
+    -req-deadline "$REQ_DEADLINE" \
+    -light "$LIGHT" \
+    -json "$RESULTS" \
+    $GATE_ARGS \
+    "$@" || status=$?
+rm -f "$BASELINE.prev"
+exit $status
