@@ -1,0 +1,62 @@
+package nbody
+
+import (
+	"fmt"
+
+	"nbody/internal/plan"
+)
+
+// accuracyName maps the Options preset onto the plan subsystem's canonical
+// accuracy string (the one the serve wire protocol and the CLI use).
+func (a Accuracy) accuracyName() string {
+	switch a {
+	case Balanced:
+		return "balanced"
+	case Accurate:
+		return "accurate"
+	default:
+		return "fast"
+	}
+}
+
+// AutoOptions resolves the Options the plan subsystem recommends for
+// solving sys at the given accuracy preset: the hierarchy depth is the
+// cost model's argmin for the system's shape (particle count and
+// distribution fingerprint), not just an occupancy rule of thumb. The
+// result is deterministic in the system, so equal systems always resolve
+// to equal Options and a solver built from them is bitwise reproducible
+// against one built from the same Options by hand.
+//
+// For measured (tuned) resolutions warmed from a persistent store, use
+// AutoOptionsStored.
+func AutoOptions(sys *System, acc Accuracy) Options {
+	opts, _, _ := autoOptions(sys, acc, "")
+	return opts
+}
+
+// AutoOptionsStored is AutoOptions warmed from the persistent tuned-plan
+// store at path: a shape that was previously tuned (by nbody -autotune or
+// a serving process) resolves to its measured-best depth instead of the
+// analytic one, with no search. A missing store is not an error — the
+// resolution simply falls back to the analytic model; a corrupt store is.
+// The returned provenance string reports which source answered ("tuned",
+// "analytic").
+func AutoOptionsStored(sys *System, acc Accuracy, path string) (Options, string, error) {
+	return autoOptions(sys, acc, path)
+}
+
+func autoOptions(sys *System, acc Accuracy, path string) (Options, string, error) {
+	p := plan.NewPlanner(0)
+	if path != "" {
+		if _, err := p.Load(path); err != nil {
+			return Options{}, "", fmt.Errorf("nbody: %w", err)
+		}
+	}
+	shape := plan.ShapeKey{Accuracy: acc.accuracyName()}
+	if sys != nil {
+		shape.N = sys.Len()
+		shape.Dist = plan.Fingerprint(sys.Positions)
+	}
+	pl, prov := p.Resolve(shape, plan.Request{})
+	return Options{Accuracy: acc, Depth: pl.Depth}, string(prov), nil
+}

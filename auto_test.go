@@ -1,0 +1,128 @@
+package nbody_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nbody"
+	"nbody/internal/core"
+	"nbody/internal/plan"
+)
+
+// TestAutoOptionsAnalyticDepth pins the compatibility contract of the
+// public auto path: for the Fast preset the planner's analytic depth is
+// the classic occupancy heuristic, so AutoOptions changes nothing for code
+// that previously relied on Depth-0 lazy resolution.
+func TestAutoOptionsAnalyticDepth(t *testing.T) {
+	for _, n := range []int{64, 512, 2048, 8192, 32768} {
+		sys := nbody.NewUniformSystem(n, 1)
+		opts := nbody.AutoOptions(sys, nbody.Fast)
+		if want := core.OptimalDepth(n, 32); opts.Depth != want {
+			t.Errorf("n=%d: AutoOptions depth %d, OptimalDepth %d", n, opts.Depth, want)
+		}
+		if opts.Accuracy != nbody.Fast {
+			t.Errorf("n=%d: preset not carried through", n)
+		}
+	}
+	// Nil system: still a valid (small-N) resolution, never a panic.
+	if opts := nbody.AutoOptions(nil, nbody.Accurate); opts.Depth < 2 {
+		t.Errorf("nil system resolved depth %d", opts.Depth)
+	}
+}
+
+// TestAutoOptionsBitwise is the planner-transparency guarantee: a solver
+// built from planner-chosen Options produces bitwise-identical potentials
+// to one built from hand-specified Options of the same shape. Choosing a
+// plan automatically must never change what the plan computes.
+func TestAutoOptionsBitwise(t *testing.T) {
+	const n = 512
+	sys := nbody.NewUniformSystem(n, 9)
+	box := nbody.Box{Center: nbody.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Side: 1.1}
+
+	auto := nbody.AutoOptions(sys, nbody.Fast)
+	a, err := nbody.NewAnderson(box, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiAuto, err := a.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manual, err := nbody.NewAnderson(box, nbody.Options{Accuracy: nbody.Fast, Depth: auto.Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiManual, err := manual.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phiAuto {
+		if phiAuto[i] != phiManual[i] {
+			t.Fatalf("phi[%d]: auto %v != manual %v", i, phiAuto[i], phiManual[i])
+		}
+	}
+
+	// And the lazy Depth-0 path (the pre-planner auto) agrees too, for the
+	// Fast preset where the planner reproduces the old heuristic.
+	lazy, err := nbody.NewAnderson(box, nbody.Options{Accuracy: nbody.Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiLazy, err := lazy.Potentials(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phiAuto {
+		if phiAuto[i] != phiLazy[i] {
+			t.Fatalf("phi[%d]: auto %v != lazy depth-0 %v", i, phiAuto[i], phiLazy[i])
+		}
+	}
+}
+
+// TestAutoOptionsStored pins the warm-start path: a tuned-plan store on
+// disk overrides the analytic depth with the measured-best one, reports
+// tuned provenance, and a missing store falls back silently while a
+// corrupt one fails loudly.
+func TestAutoOptionsStored(t *testing.T) {
+	const n = 2048
+	sys := nbody.NewUniformSystem(n, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.nbp")
+
+	// Missing store: analytic fallback, no error.
+	opts, prov, err := nbody.AutoOptionsStored(sys, nbody.Fast, path)
+	if err != nil || prov != string(plan.ProvenanceAnalytic) {
+		t.Fatalf("missing store: provenance %q err %v", prov, err)
+	}
+	analytic := opts.Depth
+
+	// Persist a tuned entry for this exact shape at a different depth.
+	tuned := analytic + 1
+	p := plan.NewPlanner(0)
+	shape := plan.ShapeKey{N: n, Dist: plan.Fingerprint(sys.Positions), Accuracy: "fast"}
+	key := plan.Key{Shape: shape, Plan: plan.Plan{Depth: tuned, K: plan.AccuracyK("fast")}}
+	p.Observe(key, 2*time.Millisecond)
+	p.Observe(key, 2*time.Millisecond)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	opts, prov, err = nbody.AutoOptionsStored(sys, nbody.Fast, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov != string(plan.ProvenanceTuned) || opts.Depth != tuned {
+		t.Fatalf("stored resolve: depth %d provenance %q, want %d tuned", opts.Depth, prov, tuned)
+	}
+
+	// Corrupt store: loud error.
+	if err := os.WriteFile(path, []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nbody.AutoOptionsStored(sys, nbody.Fast, path); err == nil {
+		t.Fatal("corrupt store accepted")
+	}
+}

@@ -50,6 +50,9 @@ func main() {
 		ckEvery  = flag.Int("checkpoint-every", 0, "steps between checkpoints (needs -checkpoint)")
 		resume   = flag.String("resume", "", "resume the simulation from this snapshot")
 		backend  = flag.String("backend", "auto", cli.BackendHelp)
+
+		autotune  = flag.Bool("autotune", false, cli.AutotuneHelp)
+		planStore = flag.String("plan-store", "", cli.PlanStoreHelp)
 	)
 	flag.Parse()
 
@@ -99,6 +102,25 @@ func main() {
 	if *steps > 0 {
 		box.Side *= 4
 	}
+
+	if *autotune || *planStore != "" {
+		if spec.Kind != "anderson" && spec.Kind != "core" {
+			log.Fatal("-autotune/-plan-store apply to -solver anderson")
+		}
+		pf := cli.PlanFlags{Autotune: *autotune, Store: *planStore}
+		planner, err := pf.Planner(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err = pf.Apply(planner, spec, sys, *accuracy, box)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pf.Save(planner); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	s, err := cli.Supervised(spec, rec, box)
 	if err != nil {
 		log.Fatal(err)

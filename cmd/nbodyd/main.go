@@ -57,6 +57,8 @@ func main() {
 		noAdmission = flag.Bool("no-admission", false, "disable cost-model admission (serve mode)")
 		noBrownout  = flag.Bool("no-brownout", false, "disable adaptive brownout (serve mode)")
 		brownTarget = flag.Duration("brownout-target", 0, "brownout queue-delay setpoint (0 = default 100ms)")
+		planStore   = flag.String("plan-store", "", cli.PlanStoreHelp)
+		noAutotune  = flag.Bool("no-autotune", false, "resolve auto-depth requests from the analytic cost model only (no tuned plans, no online refinement)")
 
 		loadtest = flag.Bool("loadtest", false, "run the load harness instead of serving")
 		duration = flag.Duration("duration", 5*time.Second, "loadtest: duration per run")
@@ -94,6 +96,8 @@ func main() {
 		DisableAdmission:  *noAdmission,
 		DisableBrownout:   *noBrownout,
 		BrownoutTarget:    *brownTarget,
+		PlanStore:         *planStore,
+		DisableAutotune:   *noAutotune,
 	}
 
 	if *loadtest {

@@ -40,6 +40,9 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit JSON instead of the table")
 		workers = flag.Bool("workers", true, "capture per-worker scheduler utilization")
 		backend = flag.String("backend", "auto", cli.BackendHelp)
+
+		autotune  = flag.Bool("autotune", false, cli.AutotuneHelp)
+		planStore = flag.String("plan-store", "", cli.PlanStoreHelp)
 	)
 	flag.Parse()
 
@@ -48,6 +51,41 @@ func main() {
 	// the selected one.
 	if err := cli.SetBackend(*backend); err != nil {
 		log.Fatal(err)
+	}
+
+	// Plan resolution happens before the counters are armed, so autotune
+	// bench solves do not pollute the reported breakdown. An explicit -depth
+	// pins the depth; otherwise the planner chooses it (tuned entry, measured
+	// search under -autotune, or the analytic cost model).
+	if *autotune || *planStore != "" {
+		if *solver != "core" {
+			log.Fatal("-autotune/-plan-store apply to -solver core")
+		}
+		depthSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "depth" {
+				depthSet = true
+			}
+		})
+		d := *depth
+		if !depthSet {
+			d = 0
+		}
+		sys := nbody.NewUniformSystem(*n, *seed)
+		spec := cli.Spec{Kind: "core", Opts: nbody.Options{Degree: *degree, Depth: d}}
+		pf := cli.PlanFlags{Autotune: *autotune, Store: *planStore}
+		planner, err := pf.Planner(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err = pf.Apply(planner, spec, sys, accuracyOfDegree(*degree), sys.BoundingBox())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pf.Save(planner); err != nil {
+			log.Fatal(err)
+		}
+		*depth = spec.Opts.Depth
 	}
 
 	if *workers {
@@ -64,10 +102,12 @@ func main() {
 	if *workers {
 		st.CaptureWorkers()
 	}
-	// Recovery and overload counters ride along in both outputs; on a
-	// healthy run both sections are zero and the table and JSON omit them.
+	// Recovery, overload, and planner counters ride along in both outputs;
+	// on a run that exercised none of them the sections are zero and the
+	// table and JSON omit them.
 	st.CaptureRecovery()
 	st.CaptureOverload()
+	st.CapturePlanner()
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -89,6 +129,20 @@ func main() {
 			jobs += w.Jobs
 		}
 		fmt.Printf("  sched: %d participants, %d timed jobs\n", len(st.Workers), jobs)
+	}
+}
+
+// accuracyOfDegree maps the -degree flag onto the plan subsystem's accuracy
+// preset names (degree 5/9/13 are the paper's configurations; anything else
+// keys as the nearest-below preset).
+func accuracyOfDegree(degree int) string {
+	switch {
+	case degree >= 13:
+		return "accurate"
+	case degree >= 9:
+		return "balanced"
+	default:
+		return "fast"
 	}
 }
 

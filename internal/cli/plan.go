@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"fmt"
+	"time"
+
+	"nbody"
+	"nbody/internal/plan"
+)
+
+// PlanFlags is the command-line surface of the plan subsystem, shared by
+// cmd/nbody, cmd/phases, and (through serve.Config) cmd/nbodyd: whether to
+// resolve the solve configuration by measured autotuning, and where the
+// persistent tuned-plan store lives.
+type PlanFlags struct {
+	// Autotune enables the measured depth search for auto-depth runs: every
+	// candidate depth is benchmarked once and the fastest wins. Shapes
+	// already tuned (in memory or in the store) skip the search entirely.
+	Autotune bool
+	// Store is the tuned-plan store path ("" = memory only): loaded before
+	// resolution so warm starts skip search, saved after so the next run
+	// warm-starts from this one's evidence.
+	Store string
+}
+
+// AutotuneHelp / PlanStoreHelp document the shared flags.
+const (
+	AutotuneHelp  = "resolve auto depth by measured search (tuned shapes skip the search)"
+	PlanStoreHelp = "persistent tuned-plan store path (loaded before solving, saved after)"
+)
+
+// Planner builds the planner these flags describe: depth candidates capped
+// at maxDepth (0 = the planner default), warmed from the store when one is
+// configured. A missing store file is a cold start; a corrupt one is an
+// error.
+func (f PlanFlags) Planner(maxDepth int) (*plan.Planner, error) {
+	p := plan.NewPlanner(maxDepth)
+	if f.Store != "" {
+		if _, err := p.Load(f.Store); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Save persists the planner's tuned table to the configured store (a no-op
+// without one).
+func (f PlanFlags) Save(p *plan.Planner) error {
+	if f.Store == "" {
+		return nil
+	}
+	return p.Save(f.Store)
+}
+
+// ShapeOf fingerprints a system into the planner's canonical shape key.
+func ShapeOf(sys *nbody.System, accuracy string) plan.ShapeKey {
+	return plan.ShapeKey{N: sys.Len(), Dist: plan.Fingerprint(sys.Positions), Accuracy: accuracy}
+}
+
+// Apply resolves the depth of an anderson run through the planner and
+// writes it back into a copy of the spec. With Autotune set, an untuned
+// auto-depth shape is resolved by measured search — one timed solve per
+// candidate depth, built via the spec — while a tuned shape (memory or
+// store) answers without search; without Autotune the resolution never
+// solves anything (tuned entry or analytic cost model). A one-line
+// grep-able summary (plus the per-depth trial table when a search ran)
+// goes to stdout — the CI smoke test asserts on the provenance=,
+// searches=, and store_loaded= fields.
+func (f PlanFlags) Apply(p *plan.Planner, sp Spec, sys *nbody.System, accuracy string, box nbody.Box) (Spec, error) {
+	shape := ShapeOf(sys, accuracy)
+	req := plan.Request{Depth: sp.Opts.Depth, Supernodes: sp.Opts.Supernodes}
+
+	var pl plan.Plan
+	var prov plan.Provenance
+	if f.Autotune {
+		bench := func(cand plan.Plan) (time.Duration, error) {
+			bsp := sp
+			bsp.Opts.Depth = cand.Depth
+			s, err := bsp.New(box)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := s.Potentials(sys); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+		var trials []plan.Trial
+		var err error
+		pl, trials, prov, err = p.Tune(shape, req, bench)
+		if err != nil {
+			return sp, err
+		}
+		for _, tr := range trials {
+			fmt.Printf("autotune: trial depth=%d measured=%v model=%v\n",
+				tr.Depth, tr.Measured.Round(time.Microsecond), time.Duration(tr.ModelNS).Round(time.Microsecond))
+		}
+	} else {
+		pl, prov = p.Resolve(shape, req)
+	}
+
+	c := p.Counters()
+	fmt.Printf("autotune: shape={%s} depth=%d provenance=%s searches=%d search_time=%v store_loaded=%d\n",
+		shape, pl.Depth, prov, c.Searches, time.Duration(c.SearchNS).Round(time.Microsecond), c.StoreLoads)
+	out := sp
+	out.Opts.Depth = pl.Depth
+	return out, nil
+}

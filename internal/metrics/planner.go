@@ -1,0 +1,97 @@
+package metrics
+
+import "sync/atomic"
+
+// PlannerStats is a snapshot of the plan subsystem's counters: how often an
+// automatic configuration was answered from the tuned-plan table versus the
+// analytic cost model, how many measured searches ran (and how long), the
+// provenance mix of every resolved plan, and the persistent store traffic.
+// Like the recovery and overload counters, every field is zero on a process
+// that never planned anything, so any nonzero value in a report is a
+// planning event worth reading.
+type PlannerStats struct {
+	TuneHits      int64 `json:"tune_hits"`      // auto-resolutions answered from the tuned table
+	TuneMisses    int64 `json:"tune_misses"`    // auto-resolutions that fell back to the analytic model
+	Searches      int64 `json:"searches"`       // measured candidate searches actually run
+	SearchNS      int64 `json:"search_ns"`      // total wall time spent inside measured searches
+	PlansPinned   int64 `json:"plans_pinned"`   // resolutions where the caller pinned the depth
+	PlansAnalytic int64 `json:"plans_analytic"` // resolutions served by the analytic cost model
+	PlansTuned    int64 `json:"plans_tuned"`    // resolutions served by a tuned (measured) plan
+	StoreLoads    int64 `json:"store_loads"`    // tuned-plan store files loaded
+	StoreSaves    int64 `json:"store_saves"`    // tuned-plan store files written
+}
+
+// Zero reports whether no planning event has been recorded.
+func (p PlannerStats) Zero() bool {
+	return p == PlannerStats{}
+}
+
+// The planner counters are package-level atomics for the same reason the
+// recovery and overload counters are: plan resolution spans every solver,
+// command, and tenant, so its events belong to the process.
+var planner struct {
+	tuneHits      atomic.Int64
+	tuneMisses    atomic.Int64
+	searches      atomic.Int64
+	searchNS      atomic.Int64
+	plansPinned   atomic.Int64
+	plansAnalytic atomic.Int64
+	plansTuned    atomic.Int64
+	storeLoads    atomic.Int64
+	storeSaves    atomic.Int64
+}
+
+// AddTuneHits counts n tuned-table hits during auto-resolution.
+func AddTuneHits(n int64) { planner.tuneHits.Add(n) }
+
+// AddTuneMisses counts n auto-resolutions that missed the tuned table.
+func AddTuneMisses(n int64) { planner.tuneMisses.Add(n) }
+
+// AddSearches counts n measured candidate searches.
+func AddSearches(n int64) { planner.searches.Add(n) }
+
+// AddSearchNS adds n nanoseconds of measured-search wall time.
+func AddSearchNS(n int64) { planner.searchNS.Add(n) }
+
+// AddPlansPinned counts n resolutions with a caller-pinned depth.
+func AddPlansPinned(n int64) { planner.plansPinned.Add(n) }
+
+// AddPlansAnalytic counts n resolutions served by the analytic model.
+func AddPlansAnalytic(n int64) { planner.plansAnalytic.Add(n) }
+
+// AddPlansTuned counts n resolutions served by a tuned plan.
+func AddPlansTuned(n int64) { planner.plansTuned.Add(n) }
+
+// AddStoreLoads counts n tuned-plan store loads.
+func AddStoreLoads(n int64) { planner.storeLoads.Add(n) }
+
+// AddStoreSaves counts n tuned-plan store saves.
+func AddStoreSaves(n int64) { planner.storeSaves.Add(n) }
+
+// ReadPlanner returns the current planner counters.
+func ReadPlanner() PlannerStats {
+	return PlannerStats{
+		TuneHits:      planner.tuneHits.Load(),
+		TuneMisses:    planner.tuneMisses.Load(),
+		Searches:      planner.searches.Load(),
+		SearchNS:      planner.searchNS.Load(),
+		PlansPinned:   planner.plansPinned.Load(),
+		PlansAnalytic: planner.plansAnalytic.Load(),
+		PlansTuned:    planner.plansTuned.Load(),
+		StoreLoads:    planner.storeLoads.Load(),
+		StoreSaves:    planner.storeSaves.Load(),
+	}
+}
+
+// ResetPlanner zeroes the planner counters (tests and long-lived tools).
+func ResetPlanner() {
+	planner.tuneHits.Store(0)
+	planner.tuneMisses.Store(0)
+	planner.searches.Store(0)
+	planner.searchNS.Store(0)
+	planner.plansPinned.Store(0)
+	planner.plansAnalytic.Store(0)
+	planner.plansTuned.Store(0)
+	planner.storeLoads.Store(0)
+	planner.storeSaves.Store(0)
+}

@@ -59,6 +59,11 @@ type Snapshot struct {
 	// overload-control layer's counters (deadline sheds, stale drops,
 	// brownout activity). All-zero on an unloaded process.
 	Overload *OverloadStats
+
+	// Planner, when captured with CapturePlanner, holds the plan
+	// subsystem's counters (tune hits/misses, measured searches, plan
+	// provenance, store traffic). All-zero on a process that never planned.
+	Planner *PlannerStats
 }
 
 // CaptureRecovery copies the process-wide recovery counters into the
@@ -73,6 +78,13 @@ func (s *Snapshot) CaptureRecovery() {
 func (s *Snapshot) CaptureOverload() {
 	o := ReadOverload()
 	s.Overload = &o
+}
+
+// CapturePlanner copies the process-wide planner counters into the
+// snapshot, alongside the phases, recovery, and overload sections.
+func (s *Snapshot) CapturePlanner() {
+	p := ReadPlanner()
+	s.Planner = &p
 }
 
 // Diff returns the per-phase delta s minus prev: the accounting of exactly
@@ -96,6 +108,7 @@ func (s *Snapshot) Diff(prev *Snapshot) Snapshot {
 	d.HeapAllocs, d.HeapBytes = 0, 0
 	d.Recovery = nil
 	d.Overload = nil
+	d.Planner = nil
 	return d
 }
 
@@ -209,6 +222,12 @@ func (s *Snapshot) Table() string {
 		fmt.Fprintf(&b, "  overload: %d shed, %d stale drops, %d browned, %d brownout raises, %d drops\n",
 			o.Shed, o.ShedStale, o.Browned, o.BrownoutRaises, o.BrownoutDrops)
 	}
+	if s.Planner != nil && !s.Planner.Zero() {
+		p := s.Planner
+		fmt.Fprintf(&b, "  planner: %d tune hits, %d misses, %d searches (%v), plans %d pinned / %d analytic / %d tuned\n",
+			p.TuneHits, p.TuneMisses, p.Searches, time.Duration(p.SearchNS).Round(time.Microsecond),
+			p.PlansPinned, p.PlansAnalytic, p.PlansTuned)
+	}
 	return b.String()
 }
 
@@ -255,6 +274,7 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Workers    []WorkerStat   `json:"workers,omitempty"`
 		Recovery   *RecoveryStats `json:"recovery,omitempty"`
 		Overload   *OverloadStats `json:"overload,omitempty"`
+		Planner    *PlannerStats  `json:"planner,omitempty"`
 	}{
 		Particles:  s.Particles,
 		Depth:      s.Depth,
@@ -270,5 +290,6 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 		Workers:    s.Workers,
 		Recovery:   s.Recovery,
 		Overload:   s.Overload,
+		Planner:    s.Planner,
 	})
 }

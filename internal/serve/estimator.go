@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"nbody/internal/dp"
-	"nbody/internal/sphere"
+	"nbody/internal/plan"
 )
 
 // estimator predicts the solve cost of a request shape, the quantity the
@@ -36,15 +36,14 @@ type estimator struct {
 	scaleObs int64
 }
 
-// estShape is the estimator's key: the cost-relevant subset of a plan Key,
-// with accuracy resolved to the integration-point count K the cost model
-// wants. Sim is included because simulation requests are observed per step
-// while solve requests are observed per request.
-type estShape struct {
-	n, depth, k int
-	supernodes  bool
-	sim         bool
-}
+// estShape is the estimator's key: plan.CostShape, the cost-relevant
+// projection of a plan Key with accuracy already resolved to the
+// integration-point count K the cost model wants. The planner's online
+// refinement tables key on the same type, so the two measured-cost views
+// of the server can never diverge. Sim is included because simulation
+// requests are observed per step while solve requests are observed per
+// request.
+type estShape = plan.CostShape
 
 // shapeEst is one shape's measured-cost EWMA.
 type shapeEst struct {
@@ -78,32 +77,10 @@ func newEstimator() *estimator {
 	}
 }
 
-// accuracyK maps the wire accuracy presets onto their integration-point
-// counts (the paper's K): the 12-point icosahedral rule for fast, the
-// degree-9 and degree-13 product rules above it. Kept consistent with the
-// root package's presets by TestEstimatorAccuracyK.
-func accuracyK(accuracy string) int {
-	deg := 5
-	switch accuracy {
-	case "balanced":
-		deg = 9
-	case "accurate":
-		deg = 13
-	}
-	if r := sphere.ForDegree(deg); r != nil {
-		return r.K()
-	}
-	return 12
-}
-
-func shapeOf(key Key) estShape {
-	return estShape{n: key.N, depth: key.Depth, k: accuracyK(key.Accuracy), supernodes: key.Supernodes, sim: key.Sim}
-}
-
 // modelSeconds is the dp-cost-model seed for one unit of key's work,
 // scaled by the current host calibration. Total and safe on any input.
 func (e *estimator) modelSeconds(sh estShape, scale float64) float64 {
-	cycles := e.cost.ModelSolveCycles(sh.n, sh.depth, sh.k, sh.supernodes)
+	cycles := e.cost.ModelSolveCycles(sh.N, sh.Depth, sh.K, sh.Supernodes)
 	return e.cost.Seconds(cycles) * scale
 }
 
@@ -115,7 +92,7 @@ func (e *estimator) Estimate(key Key, units int) (d time.Duration, confident boo
 	if units < 1 {
 		units = 1
 	}
-	sh := shapeOf(key)
+	sh := key.CostShape()
 	e.mu.Lock()
 	se := e.shapes[sh]
 	scale, scaleObs := e.scale, e.scaleObs
@@ -144,7 +121,7 @@ func (e *estimator) Observe(key Key, units int, measured time.Duration) {
 	if !(sec > 0) || math.IsInf(sec, 0) || sec > estMax.Seconds() {
 		return
 	}
-	sh := shapeOf(key)
+	sh := key.CostShape()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	se := e.shapes[sh]

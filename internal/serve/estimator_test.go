@@ -6,7 +6,18 @@ import (
 	"time"
 
 	"nbody"
+	"nbody/internal/plan"
 )
+
+// tkey builds a plan Key the way the server's planner does: accuracy
+// resolved to K, depth and flags in the Plan.
+func tkey(n, depth int, acc string, super, sim bool) Key {
+	return Key{
+		Shape: plan.ShapeKey{N: n, Accuracy: acc},
+		Sim:   sim,
+		Plan:  plan.Plan{Depth: depth, K: plan.AccuracyK(acc), Supernodes: super},
+	}
+}
 
 // TestEstimatorConvergence pins the EWMA contract the admission design
 // leans on: after a fixed warm-up of observations at a stable cost, the
@@ -22,7 +33,7 @@ func TestEstimatorConvergence(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			e := newEstimator()
-			key := Key{N: 2048, Depth: 3, Accuracy: "fast"}
+			key := tkey(2048, 3, "fast", false, false)
 			const warmup = 10
 			for i := 0; i < warmup; i++ {
 				e.Observe(key, 1, tc.measured)
@@ -46,7 +57,7 @@ func TestEstimatorConvergence(t *testing.T) {
 // server can never shed on the uncalibrated model seed.
 func TestEstimatorConfidenceGating(t *testing.T) {
 	e := newEstimator()
-	key := Key{N: 4096, Depth: 3, Accuracy: "balanced"}
+	key := tkey(4096, 3, "balanced", false, false)
 	if _, confident := e.Estimate(key, 1); confident {
 		t.Fatal("cold estimator claims confidence")
 	}
@@ -61,7 +72,7 @@ func TestEstimatorConfidenceGating(t *testing.T) {
 
 	// A different shape has no direct observations: it goes through the
 	// model seed, which becomes actionable only at the global threshold.
-	other := Key{N: 512, Depth: 2, Accuracy: "fast"}
+	other := tkey(512, 2, "fast", false, false)
 	if _, confident := e.Estimate(other, 1); confident {
 		t.Fatal("unseen shape confident before the global calibration is backed")
 	}
@@ -81,11 +92,11 @@ func TestEstimatorConfidenceGating(t *testing.T) {
 func TestEstimatorRobustInputs(t *testing.T) {
 	e := newEstimator()
 	keys := []Key{
-		{N: 0, Depth: 0},
-		{N: -5, Depth: -3, Accuracy: "nonsense"},
-		{N: math.MaxInt32, Depth: 16, Accuracy: "accurate", Supernodes: true},
-		{N: 1 << 30, Depth: 2, Accuracy: "fast", Sim: true},
-		{N: 1, Depth: 99},
+		tkey(0, 0, "", false, false),
+		tkey(-5, -3, "nonsense", false, false),
+		tkey(math.MaxInt32, 16, "accurate", true, false),
+		tkey(1<<30, 2, "fast", false, true),
+		tkey(1, 99, "", false, false),
 	}
 	for _, key := range keys {
 		for _, units := range []int{-1, 0, 1, math.MaxInt32} {
@@ -104,9 +115,10 @@ func TestEstimatorRobustInputs(t *testing.T) {
 	}
 }
 
-// TestEstimatorAccuracyK cross-checks the estimator's preset->K mapping
-// against the root package's own accuracy estimator, so a re-tuned preset
-// cannot silently skew every admission estimate.
+// TestEstimatorAccuracyK cross-checks the plan subsystem's preset->K
+// mapping (the one the estimator keys on) against the root package's own
+// accuracy estimator, so a re-tuned preset cannot silently skew every
+// admission estimate.
 func TestEstimatorAccuracyK(t *testing.T) {
 	for name, acc := range map[string]nbody.Accuracy{
 		"fast": nbody.Fast, "balanced": nbody.Balanced, "accurate": nbody.Accurate,
@@ -115,11 +127,11 @@ func TestEstimatorAccuracyK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := accuracyK(name); got != est.K {
-			t.Errorf("accuracyK(%q) = %d, root package resolves K = %d", name, got, est.K)
+		if got := plan.AccuracyK(name); got != est.K {
+			t.Errorf("plan.AccuracyK(%q) = %d, root package resolves K = %d", name, got, est.K)
 		}
 	}
-	if got := accuracyK(""); got != accuracyK("fast") {
-		t.Errorf("empty accuracy maps to K=%d, fast to %d; they must agree", got, accuracyK("fast"))
+	if got := plan.AccuracyK(""); got != plan.AccuracyK("fast") {
+		t.Errorf("empty accuracy maps to K=%d, fast to %d; they must agree", got, plan.AccuracyK("fast"))
 	}
 }

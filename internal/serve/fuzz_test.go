@@ -56,8 +56,10 @@ func FuzzServeRequest(f *testing.F) {
 			if len(sys.Charges) != n || len(req.Positions) != n {
 				t.Fatalf("accepted mismatched lengths: n=%d charges=%d positions=%d", n, len(sys.Charges), len(req.Positions))
 			}
-			if req.Depth < 2 || req.Depth > lim.MaxDepth {
-				t.Fatalf("accepted depth %d outside [2, %d]", req.Depth, lim.MaxDepth)
+			// Depth 0 (auto) survives decoding for the planner to resolve;
+			// anything else must land in [2, MaxDepth].
+			if req.Depth != 0 && (req.Depth < 2 || req.Depth > lim.MaxDepth) {
+				t.Fatalf("accepted depth %d outside {0} ∪ [2, %d]", req.Depth, lim.MaxDepth)
 			}
 			switch req.Compute {
 			case "potentials", "accelerations":
@@ -110,7 +112,7 @@ func FuzzEstimator(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, n, depth int, accuracy string, supernodes, sim bool, units int, measuredNS, deadlineNS int64) {
 		e := newEstimator()
-		key := Key{N: n, Depth: depth, Accuracy: accuracy, Supernodes: supernodes, Sim: sim}
+		key := tkey(n, depth, accuracy, supernodes, sim)
 		for i := 0; i < 3; i++ {
 			e.Observe(key, units, time.Duration(measuredNS))
 		}

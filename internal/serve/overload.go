@@ -4,8 +4,8 @@ import (
 	"context"
 	"time"
 
-	"nbody/internal/core"
 	"nbody/internal/metrics"
+	"nbody/internal/plan"
 	"nbody/internal/resilience"
 )
 
@@ -21,11 +21,14 @@ import (
 // reporting the level and whether anything actually changed. Level 1 drops
 // the accuracy preset one notch (accurate->balanced, balanced->fast); level
 // 2 pins accuracy to fast and re-pins an over-deep hierarchy back to the
-// optimal depth for N. Depth is only ever lowered toward the optimum — FMM
-// cost is U-shaped in depth, so "shallower" is only cheaper when the caller
-// pinned a depth beyond it. A request already at the floor passes through
-// untagged: the client got exactly what it asked for.
-func (s *Server) applyBrownout(req *SolveRequest, n int) (level int, degraded bool) {
+// planner's depth for the shape — the tuned (measured-best) depth when the
+// shape has evidence, the analytic cost-model depth otherwise, so a
+// brownout rewrite and an auto-depth resolution can never disagree about
+// what "the right depth" is. Depth is only ever lowered toward that
+// optimum — FMM cost is U-shaped in depth, so "shallower" is only cheaper
+// when the caller pinned a depth beyond it. A request already at the floor
+// passes through untagged: the client got exactly what it asked for.
+func (s *Server) applyBrownout(req *SolveRequest, n int, dist string, sim bool) (level int, degraded bool) {
 	if s.cfg.DisableBrownout {
 		return 0, false
 	}
@@ -39,7 +42,7 @@ func (s *Server) applyBrownout(req *SolveRequest, n int) (level int, degraded bo
 			req.Accuracy = "fast"
 			degraded = true
 		}
-		if opt := core.OptimalDepth(n, 32); req.Depth > opt {
+		if opt := s.planner.DepthFor(plan.ShapeKey{N: n, Dist: dist, Accuracy: req.Accuracy}, req.Supernodes, sim); req.Depth > opt {
 			req.Depth = opt
 			degraded = true
 		}

@@ -226,7 +226,7 @@ func TestApplyBrownout(t *testing.T) {
 	for _, tc := range cases {
 		srv.brown = newBrownoutAtLevel(t, tc.level)
 		req := &SolveRequest{Accuracy: tc.accuracy, Depth: tc.depth}
-		level, degraded := srv.applyBrownout(req, 16384) // OptimalDepth(16384, 32) = 3
+		level, degraded := srv.applyBrownout(req, 16384, "uniform", false) // planner depth for 16384/fast = 3
 		if degraded != tc.wantDegraded || req.Accuracy != tc.wantAccuracy || req.Depth != tc.wantDepth {
 			t.Errorf("level %d %s/depth%d -> %s/depth%d degraded=%v (controller level %d), want %s/depth%d degraded=%v",
 				tc.level, tc.accuracy, tc.depth, req.Accuracy, req.Depth, degraded, level,

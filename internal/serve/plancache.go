@@ -7,37 +7,22 @@ import (
 
 	"nbody"
 	"nbody/internal/cli"
+	"nbody/internal/plan"
 )
 
-// Key is the shape of a solver plan: every field that changes the plan the
-// solver builds at construction (hierarchy, translation matrices,
-// preallocated buffers). Two requests with equal keys are served bitwise
-// identically by one warm plan; two requests with different keys never
-// share one. N is part of the shape because the repo's solvers preallocate
-// every particle-sized buffer in NewSolver — the 2-allocs steady state the
-// warm path exists to hit. Accuracy stands in for the paper's K (the
-// per-box sphere-point count: fast = 12 points, accurate = 98); Sim
-// selects the enlarged integration domain.
-type Key struct {
-	N          int
-	Depth      int
-	Accuracy   string
-	Supernodes bool
-	Sim        bool
-	Ladder     string // fallback chain, e.g. "bh,direct" ("" = no fallbacks)
-}
-
-// String renders the key the way the request logs print it.
-func (k Key) String() string {
-	tag := ""
-	if k.Supernodes {
-		tag = "+super"
-	}
-	if k.Sim {
-		tag += "+sim"
-	}
-	return fmt.Sprintf("n=%d depth=%d acc=%s%s", k.N, k.Depth, k.Accuracy, tag)
-}
+// Key is the identity of a solver plan: every field that changes the plan
+// the solver builds at construction (hierarchy, translation matrices,
+// preallocated buffers). It is the plan subsystem's Key — the problem's
+// ShapeKey (N, distribution fingerprint, accuracy, dims) plus the resolved
+// plan.Plan (depth, K, supernodes, ladder) — so the cache, the admission
+// estimator, and the planner all key on one canonical type and can never
+// disagree about what a shape is. Two requests with equal keys are served
+// bitwise identically by one warm plan; two requests with different keys
+// never share one. N is part of the shape because the repo's solvers
+// preallocate every particle-sized buffer in NewSolver — the 2-allocs
+// steady state the warm path exists to hit. Sim selects the enlarged
+// integration domain.
+type Key = plan.Key
 
 // Plan is one warm execution engine for a shape: the Resilient ladder over
 // a depth-pinned Anderson rung, plus the output buffers sized for the
@@ -60,7 +45,7 @@ type Plan struct {
 // runs here — the cost the cache exists to amortize), optional fallback
 // rungs, and the Resilient wrapper with the given retry policy.
 func buildPlan(key Key, policy nbody.RetryPolicy) (*Plan, error) {
-	acc, err := cli.Accuracy(key.Accuracy)
+	acc, err := cli.Accuracy(key.Shape.Accuracy)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -70,9 +55,9 @@ func buildPlan(key Key, policy nbody.RetryPolicy) (*Plan, error) {
 	}
 	spec := cli.Spec{
 		Kind: "anderson",
-		Opts: nbody.Options{Accuracy: acc, Depth: key.Depth, Supernodes: key.Supernodes},
+		Opts: nbody.Options{Accuracy: acc, Depth: key.Plan.Depth, Supernodes: key.Plan.Supernodes},
 	}
-	rungs, err := spec.Ladder(key.Ladder, box)
+	rungs, err := spec.Ladder(key.Plan.Ladder, box)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -83,8 +68,8 @@ func buildPlan(key Key, policy nbody.RetryPolicy) (*Plan, error) {
 	p := &Plan{
 		Key:    key,
 		Ladder: ladder,
-		Phi:    make([]float64, key.N),
-		Acc:    make([]nbody.Vec3, key.N),
+		Phi:    make([]float64, key.Shape.N),
+		Acc:    make([]nbody.Vec3, key.Shape.N),
 	}
 	p.Rung0, _ = rungs[0].(*nbody.Anderson)
 	// Force plan building now: the Anderson rung defers NewSolver to the

@@ -26,10 +26,10 @@ func TestPlanCacheKeying(t *testing.T) {
 	c := NewPlanCache(8, nbody.RetryPolicy{})
 	builds := fakeBuild(c)
 
-	kA := Key{N: 512, Depth: 3, Accuracy: "fast"}
-	kB := Key{N: 512, Depth: 4, Accuracy: "fast"}       // depth differs
-	kC := Key{N: 512, Depth: 3, Accuracy: "accurate"}   // accuracy differs
-	kD := Key{N: 512, Depth: 3, Accuracy: "fast", Sim: true} // domain differs
+	kA := tkey(512, 3, "fast", false, false)
+	kB := tkey(512, 4, "fast", false, false)      // depth differs
+	kC := tkey(512, 3, "accurate", false, false)  // accuracy differs
+	kD := tkey(512, 3, "fast", false, true)       // domain differs
 
 	plans := map[Key]*Plan{}
 	for _, k := range []Key{kA, kB, kC, kD} {
@@ -66,7 +66,7 @@ func TestPlanCacheEviction(t *testing.T) {
 	c := NewPlanCache(2, nbody.RetryPolicy{})
 	fakeBuild(c)
 
-	keys := []Key{{N: 1}, {N: 2}, {N: 3}}
+	keys := []Key{tkey(1, 0, "", false, false), tkey(2, 0, "", false, false), tkey(3, 0, "", false, false)}
 	var plans []*Plan
 	for _, k := range keys {
 		p, _, err := c.Acquire(k)
@@ -102,7 +102,7 @@ func TestPlanCacheEviction(t *testing.T) {
 func TestPlanCacheDisabled(t *testing.T) {
 	c := NewPlanCache(-1, nbody.RetryPolicy{})
 	builds := fakeBuild(c)
-	k := Key{N: 7}
+	k := tkey(7, 0, "", false, false)
 	for i := 0; i < 3; i++ {
 		p, hit, err := c.Acquire(k)
 		if err != nil || hit {
@@ -118,7 +118,7 @@ func TestPlanCacheDisabled(t *testing.T) {
 func TestPlanCacheDoubleReleasePanics(t *testing.T) {
 	c := NewPlanCache(2, nbody.RetryPolicy{})
 	fakeBuild(c)
-	p, _, _ := c.Acquire(Key{N: 1})
+	p, _, _ := c.Acquire(tkey(1, 0, "", false, false))
 	c.Release(p)
 	defer func() {
 		if recover() == nil {
@@ -137,7 +137,7 @@ func TestPlanCacheExclusivity(t *testing.T) {
 
 	var mu sync.Mutex
 	held := map[*Plan]bool{}
-	key := Key{N: 64, Depth: 2, Accuracy: "fast"}
+	key := tkey(64, 2, "fast", false, false)
 
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -179,7 +179,7 @@ func TestPlanCacheExclusivity(t *testing.T) {
 // indistinguishable from building one per request.
 func TestPlanReuseBitwise(t *testing.T) {
 	const n = 256
-	key := Key{N: n, Depth: 2, Accuracy: "fast"}
+	key := tkey(n, 2, "fast", false, false)
 	c := NewPlanCache(2, nbody.RetryPolicy{})
 
 	sys := nbody.NewUniformSystem(n, 42)
@@ -213,7 +213,7 @@ func TestPlanReuseBitwise(t *testing.T) {
 	c.Release(p2)
 
 	// A fresh same-shape solver agrees bitwise with the cached plan.
-	fresh, err := nbody.NewAnderson(Domain(), nbody.Options{Accuracy: nbody.Fast, Depth: key.Depth})
+	fresh, err := nbody.NewAnderson(Domain(), nbody.Options{Accuracy: nbody.Fast, Depth: key.Plan.Depth})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestPlanCacheBuildError(t *testing.T) {
 	c.build = func(Key, nbody.RetryPolicy) (*Plan, error) {
 		return nil, fmt.Errorf("%w: no such accuracy", ErrBadRequest)
 	}
-	if _, _, err := c.Acquire(Key{N: 1}); err == nil {
+	if _, _, err := c.Acquire(tkey(1, 0, "", false, false)); err == nil {
 		t.Fatalf("build error swallowed")
 	}
 	if st := c.Stats(); st.Idle != 0 || st.Shapes != 0 {

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nbody"
+	"nbody/internal/plan"
+)
+
+// TestServerPlanStoreWarmStart drives the persistent-store lifecycle
+// through the real server: measured solves populate the tuned table, Close
+// persists it, and a second server warm-starts from the file — its very
+// first auto request resolves with tuned provenance, no search, no analytic
+// fallback.
+func TestServerPlanStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "plans.nbp")
+	sys := nbody.NewUniformSystem(512, 11)
+	raw, err := json.Marshal(map[string]any{
+		"tenant": "warm", "positions": positionsOf(sys), "charges": sys.Charges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(Config{Workers: 2, Quiet: true, PlanStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	// Two successful solves of one shape reach the planner's promotion
+	// threshold (tuneMinObs), so the tuned table has the shape by Close.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(hs.URL+"/v1/solve", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	shape := plan.ShapeKey{N: sys.Len(), Dist: plan.Fingerprint(sys.Positions), Accuracy: "fast"}
+	if _, ok := srv.Planner().Tuned(shape, plan.Request{Ladder: srv.cfg.Ladder}); !ok {
+		t.Fatalf("shape %v not tuned after 2 measured solves", shape)
+	}
+	hs.Close()
+	srv.Close()
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("Close did not persist the store: %v", err)
+	}
+
+	warm, err := New(Config{Workers: 2, Quiet: true, PlanStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	c := warm.Planner().Counters()
+	if c.StoreLoads != 1 {
+		t.Fatalf("warm server StoreLoads = %d, want 1", c.StoreLoads)
+	}
+	if _, ok := warm.Planner().Tuned(shape, plan.Request{}); !ok {
+		t.Fatal("warm server does not know the tuned shape")
+	}
+	// The first auto resolution answers from the table: tuned provenance,
+	// zero searches.
+	if _, prov := warm.Planner().Resolve(shape, plan.Request{MaxDepth: warm.cfg.MaxDepth}); prov != plan.ProvenanceTuned {
+		t.Fatalf("warm resolve provenance %s, want tuned", prov)
+	}
+	if c := warm.Planner().Counters(); c.Searches != 0 {
+		t.Fatalf("warm server ran %d searches", c.Searches)
+	}
+
+	// A corrupt store is a loud startup failure.
+	if err := os.WriteFile(store, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Workers: 2, Quiet: true, PlanStore: store}); err == nil {
+		t.Fatal("New accepted a corrupt plan store")
+	}
+}

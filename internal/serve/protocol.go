@@ -27,7 +27,6 @@ import (
 
 	"nbody"
 	"nbody/internal/cli"
-	"nbody/internal/core"
 )
 
 // Typed admission/decoding errors, mapped onto HTTP status codes by the
@@ -300,15 +299,11 @@ func (r *SolveRequest) resolve(lim Limits, box nbody.Box) (*nbody.System, error)
 		return nil, fmt.Errorf("%w: depth must be 0 (auto) or >= 2, got %d", ErrBadRequest, r.Depth)
 	case lim.MaxDepth > 0 && r.Depth > lim.MaxDepth:
 		return nil, fmt.Errorf("%w: depth %d, cap is %d", ErrTooLarge, r.Depth, lim.MaxDepth)
-	case r.Depth == 0:
-		// Resolved here, deterministically in N, so the shape key of an
-		// auto-depth request matches every other auto-depth request of the
-		// same N and the plan cache can serve them all from one plan.
-		r.Depth = core.OptimalDepth(n, 32)
-		if lim.MaxDepth > 0 && r.Depth > lim.MaxDepth {
-			r.Depth = lim.MaxDepth
-		}
 	}
+	// Depth 0 (auto) survives decoding: the server's planner resolves it —
+	// deterministically in the problem shape, so equal auto-depth requests
+	// still share one plan-cache entry — from the tuned table when the shape
+	// has measured evidence and the analytic cost model otherwise.
 	sys := &nbody.System{Positions: make([]nbody.Vec3, n), Charges: r.Charges}
 	for i, p := range r.Positions {
 		sys.Positions[i] = nbody.Vec3{X: p[0], Y: p[1], Z: p[2]}

@@ -15,6 +15,7 @@ import (
 	"nbody"
 	"nbody/internal/faults"
 	"nbody/internal/metrics"
+	"nbody/internal/plan"
 	"nbody/internal/resilience"
 	"nbody/internal/simd"
 )
@@ -63,6 +64,15 @@ type Config struct {
 	// DisableBrownout turns the adaptive brownout controller off: requests
 	// always run at their requested fidelity, whatever the queue delay.
 	DisableBrownout bool
+	// PlanStore is the path of the persistent tuned-plan store. When set,
+	// New warms the planner from it (so previously tuned shapes resolve
+	// without search from the first request) and Close persists the table
+	// back. "" keeps the planner memory-only.
+	PlanStore string
+	// DisableAutotune restricts automatic depth resolution to the analytic
+	// cost model: tuned entries are ignored and measured solves do not
+	// refine the table. Pinned depths are unaffected.
+	DisableAutotune bool
 	// BrownoutTarget is the brownout controller's queue-delay setpoint
 	// (default 100ms; see resilience.BrownoutConfig).
 	BrownoutTarget time.Duration
@@ -118,11 +128,12 @@ type Server struct {
 	cfg   Config
 	disp  *Dispatcher
 	plans *PlanCache
-	mux   *http.ServeMux
-	start time.Time
-	lat   *latencyRing
-	est   *estimator
-	brown *resilience.Brownout
+	mux     *http.ServeMux
+	start   time.Time
+	lat     *latencyRing
+	est     *estimator
+	brown   *resilience.Brownout
+	planner *plan.Planner
 
 	mu       sync.Mutex
 	statuses map[int]int64
@@ -144,7 +155,16 @@ func New(cfg Config) (*Server, error) {
 		lat:      newLatencyRing(4096),
 		est:      newEstimator(),
 		brown:    resilience.NewBrownout(resilience.BrownoutConfig{Target: cfg.BrownoutTarget, MaxLevel: cfg.BrownoutMax}),
+		planner:  plan.NewPlanner(cfg.MaxDepth),
 		statuses: make(map[int]int64),
+	}
+	if cfg.PlanStore != "" {
+		// A corrupt store is a loud startup failure, never a silently wrong
+		// plan; the operator deletes the file or restores a backup.
+		if _, err := s.planner.Load(cfg.PlanStore); err != nil {
+			disp.Close()
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -156,9 +176,20 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler (mount it on any http.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the dispatcher: queued requests fail with 503, in-flight
-// solves finish, workers exit.
-func (s *Server) Close() { s.disp.Close() }
+// Close drains the dispatcher (queued requests fail with 503, in-flight
+// solves finish, workers exit) and persists the tuned-plan store when one
+// is configured, so the next process warm-starts from this one's evidence.
+func (s *Server) Close() {
+	s.disp.Close()
+	if s.cfg.PlanStore != "" {
+		if err := s.planner.Save(s.cfg.PlanStore); err != nil {
+			s.cfg.Logger.Printf("plan store save failed: %v", err)
+		}
+	}
+}
+
+// Planner exposes the plan subsystem (tests and the load harness).
+func (s *Server) Planner() *plan.Planner { return s.planner }
 
 // PlanStats exposes the plan cache counters (tests and the load harness).
 func (s *Server) PlanStats() CacheStats { return s.plans.Stats() }
@@ -261,16 +292,26 @@ func (s *Server) record(status int, total time.Duration) {
 	}
 }
 
-// keyFor builds the plan-cache shape key of a resolved request.
-func (s *Server) keyFor(req *SolveRequest, n int, sim bool) Key {
-	return Key{
-		N:          n,
+// shapeFor builds the canonical problem shape of a request.
+func shapeFor(req *SolveRequest, n int, dist string) plan.ShapeKey {
+	return plan.ShapeKey{N: n, Dist: dist, Accuracy: req.Accuracy}
+}
+
+// keyFor resolves the full plan key of a request through the planner: a
+// pinned depth (req.Depth > 0) is honored verbatim; an auto request gets
+// the tuned depth when the shape has measured evidence, the analytic
+// cost-model depth otherwise. The resolution provenance lands in the
+// planner counters on /v1/metrics.
+func (s *Server) keyFor(req *SolveRequest, n int, dist string, sim bool) Key {
+	pl, _ := s.planner.Resolve(shapeFor(req, n, dist), plan.Request{
 		Depth:      req.Depth,
-		Accuracy:   req.Accuracy,
 		Supernodes: req.Supernodes,
 		Sim:        sim,
 		Ladder:     s.cfg.Ladder,
-	}
+		MaxDepth:   s.cfg.MaxDepth,
+		NoTuned:    s.cfg.DisableAutotune,
+	})
+	return Key{Shape: shapeFor(req, n, dist), Sim: sim, Plan: pl}
 }
 
 // handleSolve is POST /v1/solve.
@@ -291,8 +332,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
 
-	level, degraded := s.applyBrownout(req, sys.Len())
-	key := s.keyFor(req, sys.Len(), false)
+	dist := plan.Fingerprint(sys.Positions)
+	level, degraded := s.applyBrownout(req, sys.Len(), dist, false)
+	key := s.keyFor(req, sys.Len(), dist, false)
 
 	var resp *SolveResponse
 	var queueWait, solveTime, measured time.Duration
@@ -313,6 +355,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			measured = solveTime
 		}
 		s.est.Observe(key, 1, measured)
+		if !s.cfg.DisableAutotune {
+			s.planner.Observe(key, measured)
+		}
 		// The solve can cross the finish line after the request's clock ran
 		// out: cancellation checks are chunk-granular, and on a saturated
 		// machine the context timer itself fires late, so ctx.Err() can
@@ -442,8 +487,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
 
-	level, degraded := s.applyBrownout(&req.SolveRequest, sys.Len())
-	key := s.keyFor(&req.SolveRequest, sys.Len(), true)
+	dist := plan.Fingerprint(sys.Positions)
+	level, degraded := s.applyBrownout(&req.SolveRequest, sys.Len(), dist, true)
+	key := s.keyFor(&req.SolveRequest, sys.Len(), dist, true)
 	if degraded {
 		// The NDJSON stream has no response envelope; the degradation tag
 		// rides the headers instead.
@@ -461,7 +507,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		serr := s.stream(ctx, w, req, sys, key, &streaming)
 		if serr == nil {
-			s.est.Observe(key, req.Steps, time.Since(start))
+			elapsed := time.Since(start)
+			s.est.Observe(key, req.Steps, elapsed)
+			if !s.cfg.DisableAutotune && req.Steps > 0 {
+				// Per-step cost: a simulation is Steps solves of this shape.
+				s.planner.Observe(key, elapsed/time.Duration(req.Steps))
+			}
 			if degraded {
 				metrics.AddBrowned(1)
 			}
@@ -577,6 +628,17 @@ type Metrics struct {
 	Statuses  map[string]int64       `json:"statuses"`
 	Recovery  metrics.RecoveryStats  `json:"recovery"`
 	Overload  OverloadMetrics        `json:"overload"`
+	Planner   PlannerMetrics         `json:"planner"`
+}
+
+// PlannerMetrics is the plan-subsystem section of /v1/metrics: whether
+// autotuning is on, where the persistent store lives, and this server's
+// planner counters (tune hits/misses, measured searches and their total
+// time, plan provenance tallies, store traffic).
+type PlannerMetrics struct {
+	AutotuneEnabled bool                 `json:"autotune_enabled"`
+	Store           string               `json:"store,omitempty"`
+	Counters        metrics.PlannerStats `json:"counters"`
 }
 
 // ReadMetrics assembles the metrics document (also used in-process by the
@@ -600,6 +662,11 @@ func (s *Server) ReadMetrics() Metrics {
 		Statuses:  statuses,
 		Recovery:  metrics.ReadRecovery(),
 		Overload:  s.readOverload(),
+		Planner: PlannerMetrics{
+			AutotuneEnabled: !s.cfg.DisableAutotune,
+			Store:           s.cfg.PlanStore,
+			Counters:        s.planner.Counters(),
+		},
 	}
 }
 

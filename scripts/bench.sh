@@ -20,7 +20,7 @@
 # the hardware, not the code.
 set -eu
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR9.json}"
 solve_txt="$(mktemp)"
 gemm_txt="$(mktemp)"
 phases_json="$(mktemp)"
@@ -76,6 +76,9 @@ prev_same=""
 prev_any=""
 for f in $(ls BENCH_PR*.json 2>/dev/null | sort -V); do
     [ "$f" = "$out" ] && continue
+    # Skip records that do not carry the headline solve benchmark (e.g. the
+    # PR8 loadtest artifact records tenant latency buckets, not ns/op).
+    grep -q '"name": "BenchmarkSolveK12Depth4"' "$f" || continue
     prev_any="$f"
     [ "$(record_backend "$f")" = "$backend" ] && prev_same="$f"
 done
