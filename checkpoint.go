@@ -155,14 +155,30 @@ func writeFileAtomic(path string, fill func(io.Writer) error) error {
 	return nil
 }
 
-// ResumeSimulation rebuilds a Simulation from a snapshot written by
-// Checkpoint, running it on solver (which must be configured compatibly
-// with the original — same domain box and accuracy — for the resumed
-// trajectory to continue bitwise). Any structural damage — bad magic,
-// unknown version, truncation, inconsistent lengths, checksum mismatch —
-// is reported with ErrCorruptCheckpoint; a corrupt snapshot never panics
-// and never yields a silently wrong simulation.
-func ResumeSimulation(r io.Reader, solver Accelerator) (*Simulation, error) {
+// CheckpointState is the decoded restartable content of one checkpoint
+// record: everything Checkpoint wrote, with structure and checksum already
+// validated. It separates parsing from resumption so callers that only
+// need to inspect a snapshot — the serve layer validating a resume token,
+// the gateway reading the step a stream died at — can do so without
+// building a solver.
+type CheckpointState struct {
+	Step       int
+	Time       float64
+	DT         float64
+	Positions  []Vec3
+	Velocities []Vec3
+	Charges    []float64
+}
+
+// Len returns the particle count.
+func (st *CheckpointState) Len() int { return len(st.Positions) }
+
+// DecodeCheckpoint parses and validates one snapshot record from r. Any
+// structural damage — bad magic, unknown version, truncation, inconsistent
+// lengths, checksum mismatch, non-finite time or non-positive timestep —
+// is reported with ErrCorruptCheckpoint; corrupt input never panics and
+// never yields a silently wrong state.
+func DecodeCheckpoint(r io.Reader) (*CheckpointState, error) {
 	le := binary.LittleEndian
 	var hdr [ckHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -233,13 +249,31 @@ func ResumeSimulation(r io.Reader, solver Accelerator) (*Simulation, error) {
 		off += 8
 	}
 
-	sim := &Simulation{
-		System:     &System{Positions: pos, Charges: q},
-		Velocities: vel,
-		Solver:     solver,
+	return &CheckpointState{
+		Step:       int(step),
+		Time:       simTime,
 		DT:         dt,
-		time:       simTime,
-		step:       int(step),
+		Positions:  pos,
+		Velocities: vel,
+		Charges:    q,
+	}, nil
+}
+
+// ResumeSimulationState rebuilds a Simulation from a decoded checkpoint,
+// running it on solver (which must be configured compatibly with the
+// original — same domain box and accuracy — for the resumed trajectory to
+// continue bitwise). The accelerations are recomputed deterministically
+// from the positions, so resume → Step reproduces the uninterrupted
+// trajectory exactly. The state's slices are adopted, not copied.
+func ResumeSimulationState(st *CheckpointState, solver Accelerator) (*Simulation, error) {
+	n := st.Len()
+	sim := &Simulation{
+		System:     &System{Positions: st.Positions, Charges: st.Charges},
+		Velocities: st.Velocities,
+		Solver:     solver,
+		DT:         st.DT,
+		time:       st.Time,
+		step:       st.Step,
 	}
 	sim.into, _ = solver.(AcceleratorInto)
 	sim.phi = make([]float64, n)
@@ -249,6 +283,16 @@ func ResumeSimulation(r io.Reader, solver Accelerator) (*Simulation, error) {
 	}
 	metrics.AddResumes(1)
 	return sim, nil
+}
+
+// ResumeSimulation rebuilds a Simulation from a snapshot written by
+// Checkpoint: DecodeCheckpoint composed with ResumeSimulationState.
+func ResumeSimulation(r io.Reader, solver Accelerator) (*Simulation, error) {
+	st, err := DecodeCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeSimulationState(st, solver)
 }
 
 // ResumeSimulationFile is ResumeSimulation over a snapshot file written by

@@ -59,11 +59,13 @@ func main() {
 		brownTarget = flag.Duration("brownout-target", 0, "brownout queue-delay setpoint (0 = default 100ms)")
 		planStore   = flag.String("plan-store", "", cli.PlanStoreHelp)
 		noAutotune  = flag.Bool("no-autotune", false, "resolve auto-depth requests from the analytic cost model only (no tuned plans, no online refinement)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "on SIGTERM, how long to wait for queued and in-flight work (streams emit an interrupted checkpoint frame and end) before forcing shutdown")
 
 		loadtest = flag.Bool("loadtest", false, "run the load harness instead of serving")
 		duration = flag.Duration("duration", 5*time.Second, "loadtest: duration per run")
 		tenants  = flag.String("tenants", "alice:4:2048,bob:4:2048,carol:2:8192",
 			"loadtest: tenant spec name:concurrency:n[@accuracy][:n...], comma-separated (concurrency is arrivals/sec under -arrival open)")
+		target   = flag.String("target", "", "loadtest: drive this external base URL (a gateway or a replica) instead of in-process servers; the policy/overload matrix does not apply")
 		policies = flag.String("policies", "fifo,fair", "loadtest: admission policies to compare")
 		think    = flag.Duration("think", 0, "loadtest: per-tenant think time between requests")
 		arrival  = flag.String("arrival", "closed", "loadtest: arrival model, closed | open")
@@ -113,19 +115,27 @@ func main() {
 			jsonOut:  *jsonOut,
 			baseline: *baseline,
 			light:    *light,
+			target:   *target,
 		}
 		if err := runLoadtest(cfg, opts); err != nil {
 			log.Fatalf("nbodyd: %v", err)
 		}
 		return
 	}
-	if err := serveForever(cfg, *addr); err != nil {
+	if err := serveForever(cfg, *addr, *drainGrace); err != nil {
 		log.Fatalf("nbodyd: %v", err)
 	}
 }
 
-// serveForever runs the server until SIGINT/SIGTERM, then drains.
-func serveForever(cfg serve.Config, addr string) error {
+// serveForever runs the server until SIGINT/SIGTERM, then drains before
+// shutting down: first the serve layer refuses new work (so /v1/healthz
+// advertises "draining" and a gateway stops routing here while the listener
+// is still up — closing the listener first would make the drain invisible),
+// then queued and in-flight requests finish (active simulate streams emit
+// an interrupted checkpoint frame and end cleanly), and only then does the
+// HTTP server close. A rolling restart under a gateway is therefore
+// zero-failed-requests: nothing is severed mid-flight.
+func serveForever(cfg serve.Config, addr string, drainGrace time.Duration) error {
 	if _, err := serve.ParsePolicy(string(cfg.Policy)); err != nil {
 		return err
 	}
@@ -145,11 +155,17 @@ func serveForever(cfg serve.Config, addr string) error {
 		srv.Close()
 		return err
 	case s := <-sig:
-		log.Printf("nbodyd: %v, draining", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		log.Printf("nbodyd: %v, draining (grace %s)", s, drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("nbodyd: drain incomplete: %v", err)
+		}
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 		srv.Close()
+		log.Printf("nbodyd: drained, exiting")
 		return nil
 	}
 }
@@ -166,6 +182,7 @@ type loadtestOpts struct {
 	jsonOut  string
 	baseline string
 	light    string
+	target   string
 }
 
 // Chaos tenant names the 5xx gate skips: their whole job is to misbehave.
@@ -211,6 +228,23 @@ func runLoadtest(cfg serve.Config, opts loadtestOpts) error {
 	}
 
 	var results []*loadgen.Result
+	if opts.target != "" {
+		// An external target (a gateway, or one replica of a fleet): the
+		// policy/overload matrix is the server's business, not ours — one
+		// run, labeled "target".
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  strings.TrimRight(opts.target, "/"),
+			Duration: opts.duration,
+			Tenants:  ts,
+		})
+		if err != nil {
+			return err
+		}
+		res.Policy = "target"
+		results = append(results, res)
+		fmt.Fprint(os.Stderr, res.Summary())
+		return reportLoadtest(cfg, results, opts)
+	}
 	for _, mode := range strings.Split(opts.overload, ",") {
 		mode = strings.TrimSpace(mode)
 		if mode != "on" && mode != "off" {
@@ -238,7 +272,12 @@ func runLoadtest(cfg serve.Config, opts loadtestOpts) error {
 			fmt.Fprint(os.Stderr, res.Summary())
 		}
 	}
+	return reportLoadtest(cfg, results, opts)
+}
 
+// reportLoadtest prints the comparison table, records/gates the bench JSON,
+// and enforces the zero-5xx gate on well-behaved tenants.
+func reportLoadtest(cfg serve.Config, results []*loadgen.Result, opts loadtestOpts) error {
 	// Report the resolved fleet size, not the config zero value that means
 	// "use the default".
 	workers := cfg.Workers

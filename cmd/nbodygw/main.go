@@ -1,0 +1,104 @@
+// Command nbodygw is the replicated-serving gateway: a reverse proxy in
+// front of N nbodyd replicas with health-checked failover, retry-budgeted
+// idempotent solve retries, optional hedged requests, and crash-survivable
+// /v1/simulate streams (the gateway checkpoints streams in flight and
+// resumes them on a healthy replica when one dies).
+//
+//	nbodygw -addr :8040 -replicas http://127.0.0.1:8041,http://127.0.0.1:8042,http://127.0.0.1:8043
+//
+// SIGINT/SIGTERM shut the gateway down gracefully: the listener closes,
+// in-flight requests and streams finish (bounded by -shutdown-grace), and
+// the health-probe loop stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nbody/internal/gw"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8040", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated nbodyd base URLs (required)")
+
+		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "health-probe cadence per replica")
+		downAfter  = flag.Int("down-after", 2, "consecutive probe failures before a replica is marked down")
+		brkThresh  = flag.Int("breaker-threshold", 3, "consecutive request failures that open a replica's circuit breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a trial request")
+
+		retryRate  = flag.Float64("retry-rate", 20, "failover/hedge retry budget refill rate (tokens/second)")
+		retryBurst = flag.Float64("retry-burst", 20, "failover/hedge retry budget burst size")
+
+		hedge       = flag.Bool("hedge", false, "hedge small solve requests for tail latency")
+		hedgeMaxN   = flag.Int("hedge-max-n", 4096, "largest particle count eligible for hedging")
+		hedgeFactor = flag.Float64("hedge-factor", 3, "hedge delay as a multiple of the size bucket's latency EWMA")
+		hedgeMin    = flag.Duration("hedge-min", 20*time.Millisecond, "hedge delay floor")
+
+		retryWindow = flag.Duration("stream-retry-window", 30*time.Second, "how long a simulate stream may go without progress before it is declared lost")
+		maxBody     = flag.Int64("max-body", 64<<20, "request-body size cap in bytes")
+		grace       = flag.Duration("shutdown-grace", 60*time.Second, "graceful-shutdown bound for in-flight requests and streams")
+		quiet       = flag.Bool("quiet", false, "drop failover/resume logs")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("nbodygw: -replicas is required (comma-separated nbodyd base URLs)")
+	}
+
+	g, err := gw.New(gw.Config{
+		Replicas:          urls,
+		ProbeEvery:        *probeEvery,
+		DownAfter:         *downAfter,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCool,
+		RetryRate:         *retryRate,
+		RetryBurst:        *retryBurst,
+		Hedge:             *hedge,
+		HedgeMaxN:         *hedgeMaxN,
+		HedgeFactor:       *hedgeFactor,
+		HedgeMin:          *hedgeMin,
+		StreamRetryWindow: *retryWindow,
+		MaxBodyBytes:      *maxBody,
+		Quiet:             *quiet,
+	})
+	if err != nil {
+		log.Fatalf("nbodygw: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: g}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("nbodygw: serving on %s in front of %d replicas", *addr, len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		g.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("nbodygw: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("nbodygw: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		g.Close()
+	}
+}

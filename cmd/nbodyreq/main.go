@@ -1,0 +1,200 @@
+// Command nbodyreq generates deterministic solver-service request bodies
+// and, with -url, drives them against a live server — the fleet test's
+// client. The same seed always yields the same particle system, so two
+// runs against different servers (a gateway with replicas dying under it
+// versus one quiet single process) are comparable bitwise.
+//
+// Generate a request body:
+//
+//	nbodyreq -kind simulate -n 64 -seed 7 -steps 600 -dt 1e-5 > req.json
+//
+// Drive it and verify the stream (monotone steps, no interrupted frames or
+// token leaks, a final frame at exactly -steps), printing the canonical
+// final frame to stdout:
+//
+//	nbodyreq -kind simulate -n 64 -seed 7 -steps 600 -dt 1e-5 \
+//	         -stream-every 1 -depth 3 -url http://127.0.0.1:8040 > final.json
+//
+// Pinning -depth (and -accuracy) makes the trajectory independent of the
+// server's autotuner, which is what lets the fleet test demand bitwise
+// equality between the two final frames.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"nbody"
+	"nbody/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nbodyreq: ")
+	var (
+		kind   = flag.String("kind", "solve", "request kind: solve | simulate")
+		n      = flag.Int("n", 256, "particle count")
+		seed   = flag.Int64("seed", 7, "particle-system seed (same seed, same system)")
+		tenant = flag.String("tenant", "fleet", "tenant name")
+
+		accuracy   = flag.String("accuracy", "fast", "accuracy preset: fast | balanced | accurate")
+		depth      = flag.Int("depth", 0, "hierarchy depth (0 = server auto; pin it for bitwise comparisons)")
+		supernodes = flag.Bool("supernodes", false, "enable the supernode reduction")
+		deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline in ms (0 = server default)")
+
+		steps     = flag.Int("steps", 600, "simulate: leapfrog steps")
+		dt        = flag.Float64("dt", 1e-5, "simulate: timestep")
+		every     = flag.Int("stream-every", 1, "simulate: emit a frame every k steps (0 = final only)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "simulate: attach a resume token every k emitted frames (0 = none)")
+
+		url = flag.String("url", "", "POST the request to this base URL instead of printing it; simulate responses are verified as streams and reduced to the canonical final frame")
+	)
+	flag.Parse()
+
+	body, err := buildBody(*kind, *n, *seed, *tenant, *accuracy, *depth, *supernodes, *deadlineMS, *steps, *dt, *every, *ckptEvery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *url == "" {
+		os.Stdout.Write(append(body, '\n'))
+		return
+	}
+	base := strings.TrimRight(*url, "/")
+	switch *kind {
+	case "solve":
+		err = driveSolve(base, body)
+	case "simulate":
+		err = driveSimulate(base, body, *steps, *every, *ckptEvery)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildBody(kind string, n int, seed int64, tenant, accuracy string, depth int, supernodes bool, deadlineMS int64, steps int, dt float64, every, ckptEvery int) ([]byte, error) {
+	sys := nbody.NewUniformSystem(n, seed)
+	sr := serve.SolveRequest{
+		Tenant:     tenant,
+		Positions:  make([][3]float64, n),
+		Charges:    sys.Charges,
+		Accuracy:   accuracy,
+		Depth:      depth,
+		Supernodes: supernodes,
+		DeadlineMS: deadlineMS,
+	}
+	for i, p := range sys.Positions {
+		sr.Positions[i] = [3]float64{p.X, p.Y, p.Z}
+	}
+	switch kind {
+	case "solve":
+		return json.Marshal(sr)
+	case "simulate":
+		return json.Marshal(serve.SimulateRequest{
+			SolveRequest:    sr,
+			Steps:           steps,
+			DT:              dt,
+			StreamEvery:     every,
+			CheckpointEvery: ckptEvery,
+		})
+	default:
+		return nil, fmt.Errorf("unknown -kind %q (solve | simulate)", kind)
+	}
+}
+
+// driveSolve posts one solve and prints the response body; any non-200 is
+// fatal with the server's error body.
+func driveSolve(base string, body []byte) error {
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("solve: %s: %s", resp.Status, bytes.TrimSpace(out))
+	}
+	os.Stdout.Write(out)
+	return nil
+}
+
+// driveSimulate posts one simulate request, verifies the NDJSON stream's
+// invariants as a client would experience them, and prints the final frame
+// in canonical form (re-marshaled, resume token cleared) so two runs can be
+// compared with cmp(1).
+func driveSimulate(base string, body []byte, steps, every, ckptEvery int) error {
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("simulate: %s: %s", resp.Status, bytes.TrimSpace(out))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	var (
+		frames   int
+		lastStep = -1
+		final    *serve.Frame
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var f serve.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("simulate: torn frame after step %d: %v", lastStep, err)
+		}
+		frames++
+		if f.Interrupted {
+			return fmt.Errorf("simulate: interrupted frame leaked at step %d", f.Step)
+		}
+		if f.ResumeToken != "" && ckptEvery == 0 {
+			return fmt.Errorf("simulate: unrequested resume token leaked at step %d", f.Step)
+		}
+		if f.Step <= lastStep {
+			return fmt.Errorf("simulate: step went backwards: %d after %d", f.Step, lastStep)
+		}
+		lastStep = f.Step
+		if f.Final {
+			final = &f
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("simulate: stream read after step %d: %v", lastStep, err)
+	}
+	switch {
+	case final == nil:
+		return fmt.Errorf("simulate: stream ended without a final frame (last step %d, %d frames)", lastStep, frames)
+	case final.Step != steps:
+		return fmt.Errorf("simulate: final frame at step %d, want %d", final.Step, steps)
+	case len(final.Positions) == 0:
+		return fmt.Errorf("simulate: final frame carries no particle state")
+	case every == 1 && frames != steps:
+		return fmt.Errorf("simulate: %d frames for %d steps at stream_every=1", frames, steps)
+	}
+	fmt.Fprintf(os.Stderr, "nbodyreq: simulate ok: %d frames, final step %d\n", frames, final.Step)
+
+	final.ResumeToken = ""
+	out, err := json.Marshal(final)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(out, '\n'))
+	return nil
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import "sync/atomic"
+
+// GatewayStats is a snapshot of the replication tier's counters: replica
+// ejections and recoveries from health checking, solve failovers and
+// hedges from the retry layer, and stream resumes from the
+// crash-survivable simulate path. Like OverloadStats, every field is zero
+// on an unloaded process, so any nonzero value in a report is a fleet
+// event worth reading.
+type GatewayStats struct {
+	Ejections     int64 `json:"ejections"`      // replicas marked down (probe or passive failure)
+	Recoveries    int64 `json:"recoveries"`     // replicas marked healthy again
+	Failovers     int64 `json:"failovers"`      // solve retried on another replica after a failure
+	HedgesFired   int64 `json:"hedges_fired"`   // hedged duplicate requests launched
+	HedgesWon     int64 `json:"hedges_won"`     // hedges that answered before the primary
+	HedgesLost    int64 `json:"hedges_lost"`    // hedges the primary beat (duplicate discarded)
+	StreamResumes int64 `json:"stream_resumes"` // simulate streams resumed on another replica
+	StreamsLost   int64 `json:"streams_lost"`   // simulate streams abandoned (no checkpoint or no replica)
+}
+
+// Zero reports whether no gateway event has been recorded.
+func (g GatewayStats) Zero() bool {
+	return g == GatewayStats{}
+}
+
+// The gateway counters are package-level atomics for the same reason the
+// overload counters are: the routing layer spans every replica and tenant,
+// so its events belong to the process, not to any one backend's recorder.
+var gateway struct {
+	ejections     atomic.Int64
+	recoveries    atomic.Int64
+	failovers     atomic.Int64
+	hedgesFired   atomic.Int64
+	hedgesWon     atomic.Int64
+	hedgesLost    atomic.Int64
+	streamResumes atomic.Int64
+	streamsLost   atomic.Int64
+}
+
+// AddEjections counts n replicas marked down.
+func AddEjections(n int64) { gateway.ejections.Add(n) }
+
+// AddRecoveries counts n replicas marked healthy again.
+func AddRecoveries(n int64) { gateway.recoveries.Add(n) }
+
+// AddFailovers counts n solves retried on another replica.
+func AddFailovers(n int64) { gateway.failovers.Add(n) }
+
+// AddHedgesFired counts n hedged duplicates launched.
+func AddHedgesFired(n int64) { gateway.hedgesFired.Add(n) }
+
+// AddHedgesWon counts n hedges that answered first.
+func AddHedgesWon(n int64) { gateway.hedgesWon.Add(n) }
+
+// AddHedgesLost counts n hedges the primary beat.
+func AddHedgesLost(n int64) { gateway.hedgesLost.Add(n) }
+
+// AddStreamResumes counts n simulate streams resumed on another replica.
+func AddStreamResumes(n int64) { gateway.streamResumes.Add(n) }
+
+// AddStreamsLost counts n simulate streams abandoned for good.
+func AddStreamsLost(n int64) { gateway.streamsLost.Add(n) }
+
+// ReadGateway returns the current gateway counters.
+func ReadGateway() GatewayStats {
+	return GatewayStats{
+		Ejections:     gateway.ejections.Load(),
+		Recoveries:    gateway.recoveries.Load(),
+		Failovers:     gateway.failovers.Load(),
+		HedgesFired:   gateway.hedgesFired.Load(),
+		HedgesWon:     gateway.hedgesWon.Load(),
+		HedgesLost:    gateway.hedgesLost.Load(),
+		StreamResumes: gateway.streamResumes.Load(),
+		StreamsLost:   gateway.streamsLost.Load(),
+	}
+}
+
+// ResetGateway zeroes the gateway counters (tests and long-lived tools).
+func ResetGateway() {
+	gateway.ejections.Store(0)
+	gateway.recoveries.Store(0)
+	gateway.failovers.Store(0)
+	gateway.hedgesFired.Store(0)
+	gateway.hedgesWon.Store(0)
+	gateway.hedgesLost.Store(0)
+	gateway.streamResumes.Store(0)
+	gateway.streamsLost.Store(0)
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in a
+// row open it for Cooldown, during which Allow reports false; after the
+// cooldown one probe is allowed through (half-open), and any Success closes
+// it again. It is the breaker the Supervisor runs per ladder rung, exported
+// so other layers — the gateway keeps one per replica — share the exact
+// trip/cooldown semantics instead of reimplementing them.
+//
+// A zero or negative threshold disables the breaker entirely: Allow always
+// reports true and Failure never trips. All methods are safe for concurrent
+// use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// and rejecting for cooldown afterwards. threshold <= 0 disables it;
+// cooldown <= 0 selects one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether an attempt may proceed right now: the breaker is
+// closed, or its cooldown has elapsed (the half-open probe).
+func (b *Breaker) Allow() bool { return !b.Open() }
+
+// Open reports whether the breaker currently rejects attempts.
+func (b *Breaker) Open() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().Before(b.openUntil)
+}
+
+// Failure records one failed attempt and reports whether this failure
+// tripped the breaker open (the caller counts trips; the breaker only
+// counts failures).
+func (b *Breaker) Failure() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive < b.threshold {
+		return false
+	}
+	b.consecutive = 0
+	b.openUntil = time.Now().Add(b.cooldown)
+	return true
+}
+
+// Success closes the breaker and zeroes the failure streak.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}

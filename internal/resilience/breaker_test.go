@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if b.Failure() {
+			t.Fatalf("failure %d tripped before threshold", i+1)
+		}
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i+1)
+		}
+	}
+	if !b.Failure() {
+		t.Fatal("third failure did not trip the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("breaker closed immediately after tripping")
+	}
+	if !b.Open() {
+		t.Fatal("Open() false after trip")
+	}
+}
+
+func TestBreakerCooldownHalfOpen(t *testing.T) {
+	b := NewBreaker(1, 20*time.Millisecond)
+	if !b.Failure() {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	if b.Allow() {
+		t.Fatal("breaker closed during cooldown")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never half-opened after cooldown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Half-open probe failing trips it again immediately (threshold 1).
+	if !b.Failure() {
+		t.Fatal("half-open probe failure did not re-trip")
+	}
+	if b.Allow() {
+		t.Fatal("breaker closed right after re-trip")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := NewBreaker(2, time.Hour)
+	b.Failure()
+	b.Success()
+	if b.Failure() {
+		t.Fatal("streak not reset by Success: single post-reset failure tripped")
+	}
+	if !b.Failure() {
+		t.Fatal("second consecutive failure after reset did not trip")
+	}
+	b.Success()
+	if b.Open() {
+		t.Fatal("Success did not close an open breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Hour)
+	for i := 0; i < 10; i++ {
+		if b.Failure() {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if !b.Allow() || b.Open() {
+		t.Fatal("disabled breaker rejected an attempt")
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() || b.Open() || b.Failure() {
+		t.Fatal("nil breaker misbehaved")
+	}
+	b.Success() // must not panic
+}
+
+func TestBreakerDefaultCooldown(t *testing.T) {
+	b := NewBreaker(1, 0)
+	if b.cooldown != time.Second {
+		t.Fatalf("cooldown = %v, want 1s default", b.cooldown)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch {
+				case i%3 == 0:
+					b.Failure()
+				case i%3 == 1:
+					b.Success()
+				default:
+					b.Allow()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -145,24 +145,17 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
-// breaker is one rung's circuit-breaker state. Failures accumulate across
-// Do calls; a success closes the breaker.
-type breaker struct {
-	consecutive int
-	openUntil   time.Time
-}
-
 // Supervisor executes attempts under a Policy across a fixed-size ladder.
 // One Do at a time: the supervisor serializes itself with an internal
-// mutex only around breaker and jitter state, but the rungs it drives are
-// single-solve solvers, so callers run one operation at a time just as
-// they would on the bare solver.
+// mutex only around jitter state (each rung's Breaker has its own), but
+// the rungs it drives are single-solve solvers, so callers run one
+// operation at a time just as they would on the bare solver.
 type Supervisor struct {
 	p Policy
 
-	mu       sync.Mutex // guards rng and breakers
+	mu       sync.Mutex // guards rng
 	rng      *rand.Rand
-	breakers []breaker
+	breakers []*Breaker
 
 	// Per-supervisor mirrors of the process-wide recovery counters, so a
 	// caller that owns this supervisor exclusively (e.g. one server
@@ -201,11 +194,15 @@ func New(p Policy, rungs int) (*Supervisor, error) {
 		return nil, errors.New("resilience: Policy.Classify is required")
 	}
 	p = p.withDefaults()
-	return &Supervisor{
+	s := &Supervisor{
 		p:        p,
 		rng:      rand.New(rand.NewSource(p.Seed)),
-		breakers: make([]breaker, rungs),
-	}, nil
+		breakers: make([]*Breaker, rungs),
+	}
+	for i := range s.breakers {
+		s.breakers[i] = NewBreaker(p.BreakerThreshold, p.BreakerCooldown)
+	}
+	return s, nil
 }
 
 // Rungs returns the ladder length.
@@ -214,9 +211,7 @@ func (s *Supervisor) Rungs() int { return len(s.breakers) }
 // BreakerOpen reports whether rung's circuit breaker currently rejects
 // attempts (for tests and status displays).
 func (s *Supervisor) BreakerOpen(rung int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return time.Now().Before(s.breakers[rung].openUntil)
+	return s.breakers[rung].Open()
 }
 
 // Do runs attempt down the ladder until one rung succeeds: it returns the
@@ -365,29 +360,15 @@ func (s *Supervisor) backoff(attempt int) time.Duration {
 
 // breakerRejects reports whether rung's breaker is open right now.
 func (s *Supervisor) breakerRejects(rung int) bool {
-	if s.p.BreakerThreshold <= 0 {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return time.Now().Before(s.breakers[rung].openUntil)
+	return s.breakers[rung].Open()
 }
 
 // recordFailure counts one consecutive failure on rung and reports whether
 // it tripped the breaker (opening it for the cooldown).
 func (s *Supervisor) recordFailure(rung int) bool {
-	if s.p.BreakerThreshold <= 0 {
+	if !s.breakers[rung].Failure() {
 		return false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b := &s.breakers[rung]
-	b.consecutive++
-	if b.consecutive < s.p.BreakerThreshold {
-		return false
-	}
-	b.consecutive = 0
-	b.openUntil = time.Now().Add(s.p.BreakerCooldown)
 	metrics.AddBreakerTrips(1)
 	s.breakerTrips.Add(1)
 	return true
@@ -396,12 +377,5 @@ func (s *Supervisor) recordFailure(rung int) bool {
 // recordSuccess closes rung's breaker. The happy path (breakers disabled)
 // takes no lock.
 func (s *Supervisor) recordSuccess(rung int) {
-	if s.p.BreakerThreshold <= 0 {
-		return
-	}
-	s.mu.Lock()
-	b := &s.breakers[rung]
-	b.consecutive = 0
-	b.openUntil = time.Time{}
-	s.mu.Unlock()
+	s.breakers[rung].Success()
 }

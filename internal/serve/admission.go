@@ -448,6 +448,14 @@ func (d *Dispatcher) Stats() DispatchStats {
 	return s
 }
 
+// Quiesced reports whether the dispatcher has no queued and no running
+// work — the drain loop's completion condition.
+func (d *Dispatcher) Quiesced() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queued == 0 && d.inFlight == 0
+}
+
 // TenantSnapshot copies the per-tenant counters.
 func (d *Dispatcher) TenantSnapshot() map[string]TenantStats {
 	d.mu.Lock()

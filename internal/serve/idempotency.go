@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// idemStore is the solve-replay registry behind the Idempotency-Key
+// header: the gateway stamps one key on a request and reuses it verbatim
+// on every failover retry, so a retry that lands on a replica that
+// already served the original replays the stored response bytes instead
+// of re-running (and re-accounting) the solve — "never double-counted"
+// means the replay path skips admission, the estimator, and the planner
+// entirely.
+//
+// Entries are tenant-scoped (the key is tenant + NUL + Idempotency-Key),
+// so one tenant can never replay another tenant's response by guessing
+// its key. Only successful (200) solve bodies are stored: an error is
+// exactly what the gateway retries *through*, so caching it would defeat
+// the failover. The store is a strict LRU bounded by both entry count and
+// total body bytes.
+type idemStore struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	order      *list.List // front = most recent; values are *idemEntry
+	byKey      map[string]*list.Element
+}
+
+type idemEntry struct {
+	key  string
+	body []byte
+}
+
+// Default replay-store bounds: enough for the retry window of a busy
+// gateway (a key is useful for seconds, not hours), small enough that a
+// flood of unique keys cannot hold the heap hostage.
+const (
+	idemDefaultEntries = 512
+	idemDefaultBytes   = 64 << 20
+)
+
+func newIdemStore(maxEntries int, maxBytes int64) *idemStore {
+	if maxEntries <= 0 {
+		maxEntries = idemDefaultEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = idemDefaultBytes
+	}
+	return &idemStore{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		byKey:      make(map[string]*list.Element),
+	}
+}
+
+// idemKeyFor builds the tenant-scoped lookup key.
+func idemKeyFor(tenant, key string) string {
+	return tenant + "\x00" + key
+}
+
+// get returns the stored response body for tenant's key, marking it most
+// recently used.
+func (s *idemStore) get(tenant, key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[idemKeyFor(tenant, key)]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*idemEntry).body, true
+}
+
+// put stores a successful response body under tenant's key, evicting from
+// the LRU tail until both bounds hold. A body alone bigger than the byte
+// bound is not stored (replay is an optimization, not a promise).
+func (s *idemStore) put(tenant, key string, body []byte) {
+	if int64(len(body)) > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := idemKeyFor(tenant, key)
+	if el, ok := s.byKey[k]; ok {
+		// A racing duplicate finished first; keep its answer (both are
+		// correct solves of the same request).
+		s.order.MoveToFront(el)
+		return
+	}
+	el := s.order.PushFront(&idemEntry{key: k, body: body})
+	s.byKey[k] = el
+	s.bytes += int64(len(body))
+	for s.order.Len() > s.maxEntries || s.bytes > s.maxBytes {
+		tail := s.order.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*idemEntry)
+		s.order.Remove(tail)
+		delete(s.byKey, e.key)
+		s.bytes -= int64(len(e.body))
+	}
+}
+
+// stats snapshots the store's occupancy for /v1/metrics.
+func (s *idemStore) stats() (entries int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len(), s.bytes
+}

@@ -50,6 +50,10 @@ var (
 	// queueing it could only produce a 504 after wasted work. HTTP 429 with a
 	// Retry-After hint; concrete errors are *ShedError.
 	ErrShed = errors.New("serve: shed, deadline unmeetable")
+	// ErrDraining marks requests arriving after BeginDrain: the server is
+	// finishing its in-flight work before shutdown and accepts no new work.
+	// HTTP 503 with Retry-After, so a gateway or client retries elsewhere.
+	ErrDraining = errors.New("serve: draining, not accepting new work")
 )
 
 // ShedError is the concrete cost-model rejection: it unwraps to ErrShed and
@@ -131,6 +135,25 @@ type SimulateRequest struct {
 	// i.e. only the final frame). The final frame always carries the full
 	// particle state.
 	StreamEvery int `json:"stream_every,omitempty"`
+	// CheckpointEvery attaches a resume token (the versioned CRC32C
+	// checkpoint encoding, base64) to every k-th emitted non-final frame,
+	// so a reader that loses the stream can restart it from the last token
+	// it saw. 0 (default) emits no checkpoint tokens; interrupted frames
+	// (server drain) always carry one regardless.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// ResumeToken restarts a simulation from a checkpoint frame of an
+	// earlier stream instead of from Positions/Charges (the two are
+	// mutually exclusive). The resumed stream continues the step numbering
+	// and — given the same plan (depth, accuracy, supernodes) and backend —
+	// the exact trajectory of the original: the final frame is
+	// bitwise-identical to an uninterrupted run. Steps stays the original
+	// total (it must exceed the checkpoint's step); DT must match the
+	// checkpoint (or be 0 to adopt it).
+	ResumeToken string `json:"resume_token,omitempty"`
+
+	// resume is the decoded ResumeToken, carried from the decoder to the
+	// stream loop.
+	resume *nbody.CheckpointState
 }
 
 // SolveResponse is the body of a successful /v1/solve.
@@ -181,15 +204,21 @@ type RecoveryDelta struct {
 
 // Frame is one NDJSON line of a /v1/simulate stream: energies every
 // StreamEvery steps, and on the final frame the full particle state.
+// Interrupted marks a clean early termination (server drain): the stream
+// ends after this frame without reaching Steps, and ResumeToken restarts
+// it where it stopped. ResumeToken also appears on every CheckpointEvery-th
+// ordinary frame when the request asked for checkpoints.
 type Frame struct {
-	Step      int          `json:"step"`
-	Time      float64      `json:"t"`
-	Kinetic   float64      `json:"kinetic"`
-	Potential float64      `json:"potential"`
-	Total     float64      `json:"total"`
-	Final     bool         `json:"final,omitempty"`
-	Positions [][3]float64 `json:"positions,omitempty"`
-	Velocity  [][3]float64 `json:"velocities,omitempty"`
+	Step        int          `json:"step"`
+	Time        float64      `json:"t"`
+	Kinetic     float64      `json:"kinetic"`
+	Potential   float64      `json:"potential"`
+	Total       float64      `json:"total"`
+	Final       bool         `json:"final,omitempty"`
+	Interrupted bool         `json:"interrupted,omitempty"`
+	ResumeToken string       `json:"resume_token,omitempty"`
+	Positions   [][3]float64 `json:"positions,omitempty"`
+	Velocity    [][3]float64 `json:"velocities,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -251,11 +280,24 @@ func decodeSimulateRequest(body io.Reader, lim Limits) (*SimulateRequest, *nbody
 	if req.Steps < 1 {
 		return nil, nil, fmt.Errorf("%w: steps must be >= 1, got %d", ErrBadRequest, req.Steps)
 	}
-	if !(req.DT > 0) || req.DT > 1e6 {
-		return nil, nil, fmt.Errorf("%w: dt must be in (0, 1e6], got %g", ErrBadRequest, req.DT)
-	}
 	if req.StreamEvery < 0 {
 		return nil, nil, fmt.Errorf("%w: stream_every must be >= 0, got %d", ErrBadRequest, req.StreamEvery)
+	}
+	if req.CheckpointEvery < 0 {
+		return nil, nil, fmt.Errorf("%w: checkpoint_every must be >= 0, got %d", ErrBadRequest, req.CheckpointEvery)
+	}
+	if req.ResumeToken != "" {
+		sys, err := req.resolveResume(lim, SimDomain())
+		if err != nil {
+			return nil, nil, err
+		}
+		if req.StreamEvery == 0 {
+			req.StreamEvery = req.Steps
+		}
+		return &req, sys, nil
+	}
+	if !(req.DT > 0) || req.DT > 1e6 {
+		return nil, nil, fmt.Errorf("%w: dt must be in (0, 1e6], got %g", ErrBadRequest, req.DT)
 	}
 	if req.StreamEvery == 0 {
 		req.StreamEvery = req.Steps
@@ -281,24 +323,8 @@ func (r *SolveRequest) resolve(lim Limits, box nbody.Box) (*nbody.System, error)
 	if len(r.Charges) != n {
 		return nil, fmt.Errorf("%w: %d positions but %d charges", ErrBadRequest, n, len(r.Charges))
 	}
-	switch r.Compute {
-	case "":
-		r.Compute = "potentials"
-	case "potentials", "accelerations":
-	default:
-		return nil, fmt.Errorf("%w: unknown compute %q (potentials | accelerations)", ErrBadRequest, r.Compute)
-	}
-	if r.Accuracy == "" {
-		r.Accuracy = "fast"
-	}
-	if _, err := cli.Accuracy(r.Accuracy); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	switch {
-	case r.Depth < 0 || r.Depth == 1:
-		return nil, fmt.Errorf("%w: depth must be 0 (auto) or >= 2, got %d", ErrBadRequest, r.Depth)
-	case lim.MaxDepth > 0 && r.Depth > lim.MaxDepth:
-		return nil, fmt.Errorf("%w: depth %d, cap is %d", ErrTooLarge, r.Depth, lim.MaxDepth)
+	if err := r.resolveSelectors(lim); err != nil {
+		return nil, err
 	}
 	// Depth 0 (auto) survives decoding: the server's planner resolves it —
 	// deterministically in the problem shape, so equal auto-depth requests
@@ -312,4 +338,29 @@ func (r *SolveRequest) resolve(lim Limits, box nbody.Box) (*nbody.System, error)
 		return nil, err
 	}
 	return sys, nil
+}
+
+// resolveSelectors validates and defaults the per-request selectors shared
+// by the fresh and resume decode paths (Compute, Accuracy, Depth).
+func (r *SolveRequest) resolveSelectors(lim Limits) error {
+	switch r.Compute {
+	case "":
+		r.Compute = "potentials"
+	case "potentials", "accelerations":
+	default:
+		return fmt.Errorf("%w: unknown compute %q (potentials | accelerations)", ErrBadRequest, r.Compute)
+	}
+	if r.Accuracy == "" {
+		r.Accuracy = "fast"
+	}
+	if _, err := cli.Accuracy(r.Accuracy); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	switch {
+	case r.Depth < 0 || r.Depth == 1:
+		return fmt.Errorf("%w: depth must be 0 (auto) or >= 2, got %d", ErrBadRequest, r.Depth)
+	case lim.MaxDepth > 0 && r.Depth > lim.MaxDepth:
+		return fmt.Errorf("%w: depth %d, cap is %d", ErrTooLarge, r.Depth, lim.MaxDepth)
+	}
+	return nil
 }

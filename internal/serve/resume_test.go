@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nbody"
+)
+
+// simBody marshals a simulate request for sys.
+func simBody(t *testing.T, sys *nbody.System, mutate func(*SimulateRequest)) []byte {
+	t.Helper()
+	req := SimulateRequest{}
+	req.Positions = make([][3]float64, sys.Len())
+	for i, p := range sys.Positions {
+		req.Positions[i] = [3]float64{p.X, p.Y, p.Z}
+	}
+	req.Charges = sys.Charges
+	if mutate != nil {
+		mutate(&req)
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// readFrames drains an NDJSON response into frames.
+func readFrames(t *testing.T, body io.Reader) []Frame {
+	t.Helper()
+	var frames []Frame
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Bytes(), err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+// validToken builds a resume token the way the server does: a few steps of
+// a real simulation, checkpointed.
+func validToken(t *testing.T, n, steps int, dt float64) string {
+	t.Helper()
+	sys := nbody.NewUniformSystem(n, 7)
+	a, err := nbody.NewAnderson(SimDomain(), nbody.Options{Accuracy: nbody.Fast, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := nbody.NewSimulation(sys, nil, a, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 0 {
+		if err := sim.Step(steps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tok, err := encodeResumeToken(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+// TestResumeContinuationBitwise is the crash-survivability contract at the
+// serve layer: a stream carrying checkpoint tokens, cut at a mid-stream
+// token and resumed (with the plan pinned from the original's headers),
+// produces a final frame bitwise-identical to the uninterrupted run.
+func TestResumeContinuationBitwise(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	const n, steps, every = 96, 6, 2
+	const dt = 1e-3
+	sys := nbody.NewUniformSystem(n, 3)
+
+	// Uninterrupted run: the reference final frame.
+	full := simBody(t, sys, func(r *SimulateRequest) {
+		r.Tenant = "resume"
+		r.Steps = steps
+		r.DT = dt
+		r.StreamEvery = every
+		r.CheckpointEvery = 1
+	})
+	resp, err := http.Post(hs.URL+"/v1/simulate", "application/json", bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planDepth := resp.Header.Get("X-Plan-Depth")
+	planAcc := resp.Header.Get("X-Plan-Accuracy")
+	if planDepth == "" || planAcc == "" {
+		t.Fatalf("missing plan headers: depth=%q accuracy=%q", planDepth, planAcc)
+	}
+	frames := readFrames(t, resp.Body)
+	resp.Body.Close()
+	if len(frames) != steps/every {
+		t.Fatalf("got %d frames, want %d", len(frames), steps/every)
+	}
+	ref := frames[len(frames)-1]
+	if !ref.Final || ref.ResumeToken != "" {
+		t.Fatalf("reference final frame: final=%v token=%q (final frames carry no token)", ref.Final, ref.ResumeToken)
+	}
+	mid := frames[0]
+	if mid.ResumeToken == "" {
+		t.Fatal("checkpoint_every=1 frame carries no resume token")
+	}
+
+	// Resume from the first frame's token on the "other replica" (same
+	// server here; the plan cache entry differs because the distribution
+	// fingerprint moved, so this also exercises a cold-plan resume).
+	depth, err := strconv.Atoi(planDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBody, _ := json.Marshal(&SimulateRequest{
+		SolveRequest: SolveRequest{Tenant: "resume", Depth: depth, Accuracy: planAcc},
+		Steps:        steps,
+		StreamEvery:  every,
+		ResumeToken:  mid.ResumeToken,
+	})
+	resp2, err := http.Post(hs.URL+"/v1/simulate", "application/json", bytes.NewReader(resBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("resume status %d: %s", resp2.StatusCode, data)
+	}
+	resumed := readFrames(t, resp2.Body)
+	if len(resumed) != (steps-mid.Step)/every {
+		t.Fatalf("resumed stream: got %d frames, want %d", len(resumed), (steps-mid.Step)/every)
+	}
+	if resumed[0].Step != mid.Step+every {
+		t.Fatalf("resumed stream starts at step %d, want %d", resumed[0].Step, mid.Step+every)
+	}
+	last := resumed[len(resumed)-1]
+	if !last.Final || last.Step != steps {
+		t.Fatalf("resumed final frame: final=%v step=%d", last.Final, last.Step)
+	}
+	if len(last.Positions) != n || len(last.Velocity) != n {
+		t.Fatalf("resumed final frame state: %d/%d particles", len(last.Positions), len(last.Velocity))
+	}
+	for i := range last.Positions {
+		if last.Positions[i] != ref.Positions[i] {
+			t.Fatalf("positions[%d] = %v, want %v (bitwise)", i, last.Positions[i], ref.Positions[i])
+		}
+		if last.Velocity[i] != ref.Velocity[i] {
+			t.Fatalf("velocities[%d] = %v, want %v (bitwise)", i, last.Velocity[i], ref.Velocity[i])
+		}
+	}
+	if last.Total != ref.Total {
+		t.Fatalf("final energy %v, want %v (bitwise)", last.Total, ref.Total)
+	}
+}
+
+// TestResumeTokenCorruptionTable mirrors the checkpoint and plan-store
+// corruption suites at the HTTP surface: every damaged or inconsistent
+// token is a 400 — structural validation, the checksum, and the
+// cross-field checks all answer before any solver work — and never a 5xx
+// or a panic.
+func TestResumeTokenCorruptionTable(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, MaxN: 512})
+
+	const dt = 1e-3
+	good := validToken(t, 32, 2, dt)
+	raw, err := base64.StdEncoding.DecodeString(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) string {
+		b := append([]byte(nil), raw...)
+		return base64.StdEncoding.EncodeToString(f(b))
+	}
+
+	cases := []struct {
+		name     string
+		token    string
+		also     func(*SimulateRequest)
+		wantCode string
+	}{
+		{"empty token with no positions", "", nil, "invalid_request"},
+		{"not base64", "!!!not-base64!!!", nil, "invalid_request"},
+		{"truncated header", mutate(func(b []byte) []byte { return b[:10] }), nil, "bad_resume_token"},
+		{"truncated payload", mutate(func(b []byte) []byte { return b[:len(b)-40] }), nil, "bad_resume_token"},
+		{"truncated checksum", mutate(func(b []byte) []byte { return b[:len(b)-2] }), nil, "bad_resume_token"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), nil, "bad_resume_token"},
+		{"stale version", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 99)
+			return b
+		}), nil, "bad_resume_token"},
+		{"forged length", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:], 1<<40)
+			return b
+		}), nil, "bad_resume_token"},
+		{"payload bitflip", mutate(func(b []byte) []byte { b[60] ^= 0x01; return b }), nil, "bad_resume_token"},
+		{"checksum bitflip", mutate(func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }), nil, "bad_resume_token"},
+		{"trailing garbage", mutate(func(b []byte) []byte { return append(b, 0xde, 0xad) }), nil, "invalid_request"},
+		{"token plus positions", good, func(r *SimulateRequest) {
+			r.Positions = [][3]float64{{0.5, 0.5, 0.5}}
+			r.Charges = []float64{1}
+		}, "invalid_request"},
+		{"dt mismatch", good, func(r *SimulateRequest) { r.DT = dt * 2 }, "invalid_request"},
+		{"steps behind checkpoint", good, func(r *SimulateRequest) { r.Steps = 2 }, "invalid_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := &SimulateRequest{Steps: 8, ResumeToken: tc.token}
+			req.Tenant = "corrupt"
+			if tc.also != nil {
+				tc.also(req)
+			}
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(hs.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode >= 500 {
+				t.Fatalf("server error %d on corrupt token: %s", resp.StatusCode, data)
+			}
+			if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status %d, want 4xx: %s", resp.StatusCode, data)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(data, &er); err != nil {
+				t.Fatalf("error body not JSON: %s", data)
+			}
+			if er.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q (%s)", er.Code, tc.wantCode, er.Error)
+			}
+		})
+	}
+
+	// The oversized-token cap rejects before decoding.
+	huge := strings.Repeat("A", 512*56*4)
+	resp, err := http.Post(hs.URL+"/v1/simulate", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"steps":8,"resume_token":%q}`, huge))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized token: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// FuzzResumeToken fuzzes the token decoder with arbitrary strings plus
+// seeded mutations of a valid token: it must never panic, and whatever it
+// accepts must be a structurally valid state.
+func FuzzResumeToken(f *testing.F) {
+	sys := nbody.NewUniformSystem(16, 5)
+	a, err := nbody.NewAnderson(SimDomain(), nbody.Options{Accuracy: nbody.Fast, Depth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sim, err := nbody.NewSimulation(sys, nil, a, 1e-3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := sim.Step(1); err != nil {
+		f.Fatal(err)
+	}
+	tok, err := encodeResumeToken(sim)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tok)
+	f.Add("")
+	f.Add("AAAA")
+	f.Add(tok[:len(tok)/2])
+	f.Add(tok + "AAAA")
+	raw, _ := base64.StdEncoding.DecodeString(tok)
+	for _, off := range []int{0, 8, 12, 20, 40, len(raw) - 1} {
+		b := append([]byte(nil), raw...)
+		b[off] ^= 0x20
+		f.Add(base64.StdEncoding.EncodeToString(b))
+	}
+
+	lim := Limits{MaxN: 1024, MaxDepth: 6}
+	f.Fuzz(func(t *testing.T, token string) {
+		st, err := decodeResumeToken(token, lim)
+		if err != nil {
+			if st != nil {
+				t.Fatal("state returned alongside error")
+			}
+			if !errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, nbody.ErrCorruptCheckpoint) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if st.Len() > lim.MaxN {
+			t.Fatalf("accepted %d particles over cap %d", st.Len(), lim.MaxN)
+		}
+		if len(st.Velocities) != st.Len() || len(st.Charges) != st.Len() {
+			t.Fatalf("inconsistent state: %d/%d/%d", st.Len(), len(st.Velocities), len(st.Charges))
+		}
+		if !(st.DT > 0) {
+			t.Fatalf("accepted non-positive dt %g", st.DT)
+		}
+	})
+}
+
+// TestDrainLifecycle covers the graceful-drain surface: healthz flips to
+// "draining", new work is 503+Retry-After with the draining code, and
+// Drain returns once the dispatcher is quiet.
+func TestDrainLifecycle(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 2})
+
+	get := func() string {
+		resp, err := http.Get(hs.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status %d", resp.StatusCode)
+		}
+		return strings.TrimSpace(string(data))
+	}
+	if got := get(); got != `{"status":"ok"}` {
+		t.Fatalf("healthz = %s", got)
+	}
+
+	resp, err := http.Post(hs.URL+"/v1/drain", "application/json", http.NoBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	if got := get(); got != `{"status":"draining"}` {
+		t.Fatalf("healthz after drain = %s", got)
+	}
+	if !srv.Draining() {
+		t.Fatal("Draining() false after /v1/drain")
+	}
+
+	sys := nbody.NewUniformSystem(32, 9)
+	sresp, data := postSolve(t, hs.URL, solveBody(t, "drain", sys, nil))
+	if sresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: status %d: %s", sresp.StatusCode, data)
+	}
+	if sresp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Code != "draining" {
+		t.Fatalf("error code %q, want draining (%s)", er.Code, data)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestCloseDuringStream is the in-flight-stream shutdown contract: Close
+// during an active NDJSON stream lets the stream finish its current frame,
+// terminates the response cleanly with an interrupted frame whose resume
+// token round-trips, leaks no goroutines, and the interrupted stream
+// resumed on a fresh server lands bitwise on the uninterrupted run.
+func TestCloseDuringStream(t *testing.T) {
+	const n, steps, every = 64, 4000, 1
+	const dt = 1e-4
+	sys := nbody.NewUniformSystem(n, 13)
+
+	// Goroutine baseline after a warm-up request settles the lazy
+	// machinery (sched pool, http transport).
+	warm, warmHS := newTestServer(t, Config{Workers: 2})
+	wresp, _ := postSolve(t, warmHS.URL, solveBody(t, "warm", sys, nil))
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up solve: %d", wresp.StatusCode)
+	}
+	warmHS.Close()
+	warm.Close()
+	time.Sleep(50 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	srv, hs := newTestServer(t, Config{Workers: 2})
+	body := simBody(t, sys, func(r *SimulateRequest) {
+		r.Tenant = "closer"
+		r.Steps = steps
+		r.DT = dt
+		r.StreamEvery = every
+	})
+	resp, err := http.Post(hs.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	planDepth := resp.Header.Get("X-Plan-Depth")
+
+	// Read two frames to prove the stream is live, then close the server
+	// under it.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var frames []Frame
+	for sc.Scan() {
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		frames = append(frames, f)
+		if len(frames) == 2 {
+			break
+		}
+	}
+	if len(frames) < 2 {
+		t.Fatalf("stream died before 2 frames: %v", sc.Err())
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+
+	// The rest of the stream: must end cleanly (no scanner error) with an
+	// interrupted frame carrying a decodable token.
+	for sc.Scan() {
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("truncated or torn frame after Close: %q: %v", sc.Bytes(), err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not terminate cleanly: %v", err)
+	}
+	last := frames[len(frames)-1]
+	if !last.Interrupted {
+		t.Fatalf("last frame not interrupted: %+v", last)
+	}
+	if last.Final {
+		t.Fatal("interrupted frame marked final")
+	}
+	if last.ResumeToken == "" {
+		t.Fatal("interrupted frame carries no resume token")
+	}
+	st, err := decodeResumeToken(last.ResumeToken, Limits{MaxN: 131072})
+	if err != nil {
+		t.Fatalf("interrupted frame token does not decode: %v", err)
+	}
+	if st.Step != last.Step || st.Len() != n {
+		t.Fatalf("token state step=%d n=%d, frame step=%d n=%d", st.Step, st.Len(), last.Step, n)
+	}
+
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on the in-flight stream")
+	}
+	hs.Close()
+
+	// Goroutine-leak check: allow scheduler jitter, catch a leaked worker
+	// or stream goroutine.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+3 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base+3 {
+		t.Fatalf("goroutines after Close: %d, baseline %d", got, base)
+	}
+
+	// Continuation: resume the interrupted stream on a fresh server for a
+	// few more steps and compare bitwise against an uninterrupted run of
+	// the same length.
+	_, hs2 := newTestServer(t, Config{Workers: 2})
+	total := last.Step + 3
+	depth := 0
+	if planDepth != "" {
+		depth, _ = strconv.Atoi(planDepth)
+	}
+	resBody, _ := json.Marshal(&SimulateRequest{
+		SolveRequest: SolveRequest{Tenant: "closer", Depth: depth, Accuracy: "fast"},
+		Steps:        total,
+		StreamEvery:  total, // final frame only
+		ResumeToken:  last.ResumeToken,
+	})
+	resp2, err := http.Post(hs2.URL+"/v1/simulate", "application/json", bytes.NewReader(resBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("resume status %d: %s", resp2.StatusCode, data)
+	}
+	resumed := readFrames(t, resp2.Body)
+	fin := resumed[len(resumed)-1]
+	if !fin.Final || fin.Step != total {
+		t.Fatalf("resumed final frame: final=%v step=%d want %d", fin.Final, fin.Step, total)
+	}
+
+	a, err := nbody.NewAnderson(SimDomain(), nbody.Options{Accuracy: nbody.Fast, Depth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := nbody.NewUniformSystem(n, 13)
+	sim, err := nbody.NewSimulation(ref, nil, a, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(total); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sim.System.Positions {
+		if fin.Positions[i] != [3]float64{p.X, p.Y, p.Z} {
+			t.Fatalf("positions[%d] = %v, want %v (bitwise)", i, fin.Positions[i], p)
+		}
+	}
+	for i, v := range sim.Velocities {
+		if fin.Velocity[i] != [3]float64{v.X, v.Y, v.Z} {
+			t.Fatalf("velocities[%d] = %v, want %v (bitwise)", i, fin.Velocity[i], v)
+		}
+	}
+}
+
+// TestIdempotentReplay covers the never-double-counted contract: a
+// repeated solve with the same Idempotency-Key returns the stored bytes
+// (marked as a replay) without a second admission, and keys are
+// tenant-scoped.
+func TestIdempotentReplay(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 2})
+	sys := nbody.NewUniformSystem(48, 21)
+	body := solveBody(t, "idem", sys, nil)
+
+	do := func(tenant, key string, b []byte) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/solve", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	r1, b1 := do("idem", "key-1", body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: %d: %s", r1.StatusCode, b1)
+	}
+	if r1.Header.Get("X-Idempotent-Replay") != "" {
+		t.Fatal("first solve marked as replay")
+	}
+	admitted := srv.ReadMetrics().Admission.Admitted
+
+	r2, b2 := do("idem", "key-1", body)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("replay solve: %d", r2.StatusCode)
+	}
+	if r2.Header.Get("X-Idempotent-Replay") != "1" {
+		t.Fatal("second solve not marked as replay")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("replay bytes differ from the original response")
+	}
+	m := srv.ReadMetrics()
+	if m.Admission.Admitted != admitted {
+		t.Fatalf("replay was admitted: %d -> %d", admitted, m.Admission.Admitted)
+	}
+	if m.Idempotency.Entries != 1 || m.Idempotency.Bytes != int64(len(b1)) {
+		t.Fatalf("idempotency stats = %+v, want 1 entry of %d bytes", m.Idempotency, len(b1))
+	}
+
+	// Another tenant presenting the same key must NOT get the stored
+	// response: keys are tenant-scoped.
+	otherBody := solveBody(t, "other", sys, nil)
+	r3, _ := do("other", "key-1", otherBody)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("other-tenant solve: %d", r3.StatusCode)
+	}
+	if r3.Header.Get("X-Idempotent-Replay") != "" {
+		t.Fatal("cross-tenant replay: tenant scoping broken")
+	}
+	if got := srv.ReadMetrics().Admission.Admitted; got != admitted+1 {
+		t.Fatalf("other tenant's solve not admitted: %d, want %d", got, admitted+1)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbody"
@@ -134,6 +136,13 @@ type Server struct {
 	est     *estimator
 	brown   *resilience.Brownout
 	planner *plan.Planner
+	idem    *idemStore
+
+	// draining flips once (BeginDrain or Close) and never back: new work
+	// is 503'd, healthz reports "draining", and in-flight simulation
+	// streams stop at their next frame boundary with an interrupted frame
+	// carrying a resume token.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	statuses map[int]int64
@@ -156,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 		est:      newEstimator(),
 		brown:    resilience.NewBrownout(resilience.BrownoutConfig{Target: cfg.BrownoutTarget, MaxLevel: cfg.BrownoutMax}),
 		planner:  plan.NewPlanner(cfg.MaxDepth),
+		idem:     newIdemStore(0, 0),
 		statuses: make(map[int]int64),
 	}
 	if cfg.PlanStore != "" {
@@ -170,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	return s, nil
 }
 
@@ -179,13 +190,60 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close drains the dispatcher (queued requests fail with 503, in-flight
 // solves finish, workers exit) and persists the tuned-plan store when one
 // is configured, so the next process warm-starts from this one's evidence.
+//
+// The draining flag goes up before the dispatcher closes: an in-flight
+// simulation stream owns its worker for the whole integration, so without
+// the flag Close would block until the longest stream ran to completion.
+// With it, every stream stops at its next frame boundary, emits a cleanly
+// terminated interrupted frame with a resume token, and releases its
+// worker — no goroutine leak, no truncated frame.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.disp.Close()
 	if s.cfg.PlanStore != "" {
 		if err := s.planner.Save(s.cfg.PlanStore); err != nil {
 			s.cfg.Logger.Printf("plan store save failed: %v", err)
 		}
 	}
+}
+
+// BeginDrain puts the server into draining mode: /v1/healthz reports
+// "draining" (so gateways and orchestrators stop routing here), new solve
+// and simulate requests are rejected with 503 + Retry-After, and running
+// simulation streams finish their current frame and terminate cleanly
+// with a resume token. Irreversible; idempotent.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) && !s.cfg.Quiet {
+		s.cfg.Logger.Printf("draining: refusing new work, finishing %d in flight", s.disp.Stats().InFlight)
+	}
+}
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins draining and blocks until every queued and in-flight
+// request has finished or ctx fires. Close is still required afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for !s.disp.Quiesced() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// handleDrain is POST /v1/drain: the remote half of the rolling-restart
+// recipe. It flips the server into draining mode and returns immediately;
+// the caller polls /v1/healthz (or the process exit) for completion.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	s.BeginDrain()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"draining"}` + "\n"))
 }
 
 // Planner exposes the plan subsystem (tests and the load harness).
@@ -201,11 +259,17 @@ func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrTooLarge):
 		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, nbody.ErrCorruptCheckpoint):
+		// A damaged resume token is the client's (or a stale gateway's)
+		// problem, never a server failure.
+		return http.StatusBadRequest, "bad_resume_token"
 	case errors.Is(err, ErrBadRequest),
 		errors.Is(err, nbody.ErrInvalidSystem),
 		errors.Is(err, nbody.ErrOutOfDomain),
 		errors.Is(err, nbody.ErrInvalidOptions):
 		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrShed):
 		var se *ShedError
 		if errors.As(err, &se) && se.Stale {
@@ -317,6 +381,11 @@ func (s *Server) keyFor(req *SolveRequest, n int, dist string, sim bool) Key {
 // handleSolve is POST /v1/solve.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		status := s.writeError(w, ErrDraining)
+		s.record(status, time.Since(t0))
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, sys, err := decodeSolveRequest(r.Body, s.limits())
 	if err != nil {
@@ -329,6 +398,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.logRequest("solve", req.tenantOrEmpty(), Key{}, status, false, 0, 0, 0, err)
 		return
 	}
+
+	// Idempotent replay: a failed-over or hedged retry carrying the same
+	// Idempotency-Key as a solve this replica already answered gets the
+	// stored bytes back — no admission, no estimator or planner
+	// observation, no double-counting of work that already happened.
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" {
+		if body, ok := s.idem.get(req.Tenant, idemKey); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Idempotent-Replay", "1")
+			_, _ = w.Write(body)
+			s.record(http.StatusOK, time.Since(t0))
+			s.logRequest("solve", req.Tenant, Key{}, http.StatusOK, true, 0, 0, 0, nil)
+			return
+		}
+	}
+
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
 
@@ -385,9 +471,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			metrics.AddBrowned(1)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
-			// The client hung up mid-body; nothing to send, just account.
-			status = 499
+		if idemKey == "" {
+			if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
+				// The client hung up mid-body; nothing to send, just account.
+				status = 499
+			}
+		} else {
+			// Keyed requests encode through a buffer so the exact bytes the
+			// client saw are what a replay returns.
+			var buf bytes.Buffer
+			if encErr := json.NewEncoder(&buf).Encode(resp); encErr != nil {
+				status = 499
+			} else {
+				s.idem.put(req.Tenant, idemKey, buf.Bytes())
+				if _, werr := w.Write(buf.Bytes()); werr != nil {
+					status = 499
+				}
+			}
 		}
 		hit, rung = resp.CacheHit, resp.Rung
 	}
@@ -473,6 +573,11 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, sys *nbody.Syst
 // for the whole integration, streaming NDJSON frames as it goes.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.draining.Load() {
+		status := s.writeError(w, ErrDraining)
+		s.record(status, time.Since(t0))
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, sys, err := decodeSimulateRequest(r.Body, s.limits())
 	if err != nil {
@@ -488,7 +593,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	dist := plan.Fingerprint(sys.Positions)
-	level, degraded := s.applyBrownout(&req.SolveRequest, sys.Len(), dist, true)
+	level, degraded := 0, false
+	if req.resume == nil {
+		// A resumed stream must continue on exactly the plan the original
+		// ran (the caller pins depth and accuracy from the original's
+		// headers) — brownout rewriting it would fork the trajectory.
+		level, degraded = s.applyBrownout(&req.SolveRequest, sys.Len(), dist, true)
+	}
 	key := s.keyFor(&req.SolveRequest, sys.Len(), dist, true)
 	if degraded {
 		// The NDJSON stream has no response envelope; the degradation tag
@@ -497,21 +608,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Brownout-Level", fmt.Sprintf("%d", level))
 	}
 
+	stepsBudget := req.Steps
+	if req.resume != nil {
+		stepsBudget = req.Steps - req.resume.Step
+	}
 	var queueWait time.Duration
 	enq := time.Now()
 	streaming := false
-	err = s.disp.DoBudget(ctx, req.Tenant, s.budgetFor(ctx, key, req.Steps), func(ctx context.Context) error {
+	err = s.disp.DoBudget(ctx, req.Tenant, s.budgetFor(ctx, key, stepsBudget), func(ctx context.Context) error {
 		queueWait = time.Since(enq)
 		s.observePressure(queueWait)
 		faults.Fire(SiteWorker)
 		start := time.Now()
-		serr := s.stream(ctx, w, req, sys, key, &streaming)
-		if serr == nil {
+		stepsRun, serr := s.stream(ctx, w, req, sys, key, &streaming)
+		if serr == nil && stepsRun > 0 {
 			elapsed := time.Since(start)
-			s.est.Observe(key, req.Steps, elapsed)
-			if !s.cfg.DisableAutotune && req.Steps > 0 {
-				// Per-step cost: a simulation is Steps solves of this shape.
-				s.planner.Observe(key, elapsed/time.Duration(req.Steps))
+			s.est.Observe(key, stepsRun, elapsed)
+			if !s.cfg.DisableAutotune {
+				// Per-step cost: a simulation is stepsRun solves of this shape.
+				s.planner.Observe(key, elapsed/time.Duration(stepsRun))
 			}
 			if degraded {
 				metrics.AddBrowned(1)
@@ -536,26 +651,61 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // stream runs the integration, emitting a Frame every StreamEvery steps
 // and a final Frame with the full particle state. Cancellation lands
 // between chunks (the solver's own ctx checks bound each chunk's latency).
-func (s *Server) stream(ctx context.Context, w http.ResponseWriter, req *SimulateRequest, sys *nbody.System, key Key, streaming *bool) error {
+// A resume request continues from its decoded checkpoint instead of step
+// zero; CheckpointEvery attaches resume tokens to periodic frames; and a
+// server drain stops the loop at the next frame boundary with a cleanly
+// terminated interrupted frame carrying a token. Returns the number of
+// steps actually integrated (what the estimator should observe).
+func (s *Server) stream(ctx context.Context, w http.ResponseWriter, req *SimulateRequest, sys *nbody.System, key Key, streaming *bool) (int, error) {
 	plan, hit, err := s.plans.Acquire(key)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer s.plans.Release(plan)
 
-	sim, err := nbody.NewSimulation(sys, nil, ctxAccelerator{plan.Ladder, ctx}, req.DT)
+	var sim *nbody.Simulation
+	start := 0
+	if req.resume != nil {
+		sim, err = nbody.ResumeSimulationState(req.resume, ctxAccelerator{plan.Ladder, ctx})
+		if sim != nil {
+			start = req.resume.Step
+		}
+	} else {
+		sim, err = nbody.NewSimulation(sys, nil, ctxAccelerator{plan.Ladder, ctx}, req.DT)
+	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Plan-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	// The plan the stream runs on, so a gateway resuming it elsewhere can
+	// pin the same depth and accuracy for bitwise continuation.
+	w.Header().Set("X-Plan-Depth", fmt.Sprintf("%d", key.Plan.Depth))
+	w.Header().Set("X-Plan-Accuracy", key.Shape.Accuracy)
 	*streaming = true
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 
-	emit := func(final bool) error {
+	frames := 0
+	emit := func(final, interrupted bool) error {
 		k, u, e := sim.Energy()
-		f := Frame{Step: sim.Steps(), Time: sim.Time(), Kinetic: k, Potential: u, Total: e, Final: final}
+		f := Frame{Step: sim.Steps(), Time: sim.Time(), Kinetic: k, Potential: u, Total: e,
+			Final: final, Interrupted: interrupted}
+		switch {
+		case interrupted:
+			// An interrupted frame without a token would be a dead end.
+			tok, terr := encodeResumeToken(sim)
+			if terr != nil {
+				return terr
+			}
+			f.ResumeToken = tok
+		case !final && req.CheckpointEvery > 0 && frames%req.CheckpointEvery == 0:
+			tok, terr := encodeResumeToken(sim)
+			if terr != nil {
+				return terr
+			}
+			f.ResumeToken = tok
+		}
 		if final {
 			f.Positions = make([][3]float64, sys.Len())
 			f.Velocity = make([][3]float64, sys.Len())
@@ -566,6 +716,7 @@ func (s *Server) stream(ctx context.Context, w http.ResponseWriter, req *Simulat
 				f.Velocity[i] = [3]float64{v.X, v.Y, v.Z}
 			}
 		}
+		frames++
 		if err := enc.Encode(f); err != nil {
 			return fmt.Errorf("%w: %v", context.Canceled, err)
 		}
@@ -575,23 +726,29 @@ func (s *Server) stream(ctx context.Context, w http.ResponseWriter, req *Simulat
 		return nil
 	}
 
-	for done := 0; done < req.Steps; {
+	for done := start; done < req.Steps; {
 		if err := ctx.Err(); err != nil {
-			return err
+			return done - start, err
+		}
+		if s.draining.Load() {
+			// Server shutting down: hand the stream back cleanly, resumable
+			// exactly where it stopped. This is a successful response — the
+			// client (or gateway) carries on elsewhere.
+			return done - start, emit(false, true)
 		}
 		chunk := req.StreamEvery
 		if rem := req.Steps - done; chunk > rem {
 			chunk = rem
 		}
 		if err := sim.Step(chunk); err != nil {
-			return err
+			return done - start, err
 		}
 		done += chunk
-		if err := emit(done == req.Steps); err != nil {
-			return err
+		if err := emit(done == req.Steps, false); err != nil {
+			return done - start, err
 		}
 	}
-	return nil
+	return req.Steps - start, nil
 }
 
 // ctxAccelerator threads the request context into Simulation's
@@ -629,6 +786,16 @@ type Metrics struct {
 	Recovery  metrics.RecoveryStats  `json:"recovery"`
 	Overload  OverloadMetrics        `json:"overload"`
 	Planner   PlannerMetrics         `json:"planner"`
+	// Draining reports whether the server has begun its shutdown drain.
+	Draining bool `json:"draining,omitempty"`
+	// Idempotency is the solve-replay registry occupancy.
+	Idempotency IdemMetrics `json:"idempotency"`
+}
+
+// IdemMetrics is the replay-registry section of /v1/metrics.
+type IdemMetrics struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // PlannerMetrics is the plan-subsystem section of /v1/metrics: whether
@@ -650,6 +817,8 @@ func (s *Server) ReadMetrics() Metrics {
 		statuses[fmt.Sprintf("%d", code)] = n
 	}
 	s.mu.Unlock()
+	entries, bytes := s.idem.stats()
+	idem := IdemMetrics{Entries: entries, Bytes: bytes}
 	return Metrics{
 		UptimeMS:  time.Since(s.start).Milliseconds(),
 		Backend:   simd.Active(),
@@ -667,6 +836,8 @@ func (s *Server) ReadMetrics() Metrics {
 			Store:           s.cfg.PlanStore,
 			Counters:        s.planner.Counters(),
 		},
+		Draining:    s.draining.Load(),
+		Idempotency: idem,
 	}
 }
 
@@ -676,8 +847,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(s.ReadMetrics())
 }
 
-// handleHealthz is GET /v1/healthz.
+// handleHealthz is GET /v1/healthz. A draining server still answers 200 —
+// it is alive and finishing work — but the body flips to "draining" so
+// gateways and orchestrators stop routing new requests to it before the
+// process exits.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		_, _ = w.Write([]byte(`{"status":"draining"}` + "\n"))
+		return
+	}
 	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
